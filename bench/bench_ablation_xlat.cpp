@@ -1,0 +1,57 @@
+// Ablation bench (ours): what the redundancy-checking stage of the
+// software framework (paper Fig. 2) contributes — code size and cycles
+// per benchmark, with the pass on and off.
+#include <cstdio>
+
+#include "core/benchmarks.hpp"
+#include "report.hpp"
+#include "rv32/rv32_assembler.hpp"
+#include "sim/pipeline.hpp"
+#include "xlat/framework.hpp"
+
+int main() {
+  using namespace art9;
+  bench::heading("Ablation — the redundancy-checking stage (Fig. 2, last box)");
+  std::printf("  %-12s | %7s %9s %9s %7s | %10s %10s\n", "benchmark", "rv32", "ART-9 w/",
+              "ART-9 w/o", "removed", "cycles w/", "cycles w/o");
+  bench::rule();
+
+  for (const core::BenchmarkSources* b : core::all_benchmarks()) {
+    const rv32::Rv32Program rp = rv32::assemble_rv32(b->rv32);
+
+    xlat::SoftwareFrameworkOptions on;
+    xlat::SoftwareFrameworkOptions off;
+    off.redundancy_checking = false;
+    const xlat::TranslationResult with = xlat::SoftwareFramework(on).translate(rp);
+    const xlat::TranslationResult without = xlat::SoftwareFramework(off).translate(rp);
+
+    sim::PipelineSimulator sim_with(with.program);
+    sim::PipelineSimulator sim_without(without.program);
+    const uint64_t cycles_with = sim_with.run().cycles;
+    const uint64_t cycles_without = sim_without.run().cycles;
+
+    std::printf("  %-12s | %7zu %9zu %9zu %7zu | %10llu %10llu\n", b->name.c_str(),
+                rp.code.size(), with.program.code.size(), without.program.code.size(),
+                with.stats.removed_redundant, static_cast<unsigned long long>(cycles_with),
+                static_cast<unsigned long long>(cycles_without));
+  }
+  bench::rule();
+
+  // Expansion-ratio summary (instruction mapping + operand conversion cost).
+  std::printf("\n  translation statistics (redundancy checking on):\n");
+  std::printf("  %-12s %9s %9s %9s %9s %9s\n", "benchmark", "rv32", "mapped", "final",
+              "expansion", "spills");
+  for (const core::BenchmarkSources* b : core::all_benchmarks()) {
+    const xlat::TranslationResult r =
+        xlat::SoftwareFramework().translate(rv32::assemble_rv32(b->rv32));
+    std::printf("  %-12s %9zu %9zu %9zu %8.2fx %9zu\n", b->name.c_str(),
+                r.stats.rv32_instructions, r.stats.mapped_instructions,
+                r.stats.final_instructions, r.stats.expansion_ratio(),
+                r.stats.spilled_registers);
+  }
+  bench::note("");
+  bench::note("The paper reports the three-stage flow (mapping, operand conversion,");
+  bench::note("redundancy checking) reaching 54% fewer memory cells than RV-32I on");
+  bench::note("Dhrystone; this table isolates the last stage's contribution.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 1 reproduction: the truth tables of the balanced ternary logic
+// operations (AND, OR, XOR, STI, NTI, PTI), printed from the very
+// implementations the TALU executes.
+#include <cstdio>
+
+#include "report.hpp"
+#include "ternary/trit.hpp"
+
+namespace {
+
+using art9::ternary::kAllTrits;
+using art9::ternary::Trit;
+
+template <typename F>
+void print_two_input(const char* name, F&& f) {
+  std::printf("\n  %s | ", name);
+  for (Trit b : kAllTrits) std::printf(" %c", b.to_char());
+  std::printf("\n  ----+---------\n");
+  for (Trit a : kAllTrits) {
+    std::printf("   %c  | ", a.to_char());
+    for (Trit b : kAllTrits) std::printf(" %c", f(a, b).to_char());
+    std::printf("\n");
+  }
+}
+
+template <typename F>
+void print_one_input(const char* name, F&& f) {
+  std::printf("  %-4s: ", name);
+  for (Trit a : kAllTrits) std::printf("%c->%c  ", a.to_char(), f(a).to_char());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  art9::bench::heading("Fig. 1 — truth tables of ternary logic operations");
+  print_two_input("AND", [](Trit a, Trit b) { return art9::ternary::tand(a, b); });
+  print_two_input("OR", [](Trit a, Trit b) { return art9::ternary::tor(a, b); });
+  print_two_input("XOR", [](Trit a, Trit b) { return art9::ternary::txor(a, b); });
+  std::printf("\n  inverters (STI / NTI / PTI):\n");
+  print_one_input("STI", [](Trit a) { return art9::ternary::sti(a); });
+  print_one_input("NTI", [](Trit a) { return art9::ternary::nti(a); });
+  print_one_input("PTI", [](Trit a) { return art9::ternary::pti(a); });
+  art9::bench::note("");
+  art9::bench::note("AND = min, OR = max, XOR = -(a*b); exhaustively asserted in");
+  art9::bench::note("tests/ternary/trit_test.cpp (including the min/max-form equivalence).");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Micro-benchmarks (google-benchmark): simulator and framework throughput —
+// how many simulated cycles/instructions per host second, and how fast the
+// translation pipeline runs on the Dhrystone corpus.
+#include <benchmark/benchmark.h>
+
+#include "core/benchmarks.hpp"
+#include "isa/assembler.hpp"
+#include "rv32/rv32_assembler.hpp"
+#include "rv32/rv32_sim.hpp"
+#include "sim/functional_sim.hpp"
+#include "sim/pipeline.hpp"
+#include "xlat/framework.hpp"
+
+namespace {
+
+using namespace art9;
+
+const isa::Program& dhrystone_art9() {
+  static const isa::Program kProgram = [] {
+    xlat::SoftwareFramework framework;
+    return framework.translate(rv32::assemble_rv32(core::dhrystone().rv32)).program;
+  }();
+  return kProgram;
+}
+
+void BM_PipelineSimulator(benchmark::State& state) {
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::PipelineSimulator sim(dhrystone_art9());
+    cycles += sim.run().cycles;
+  }
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PipelineSimulator)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalSimulator(benchmark::State& state) {
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::FunctionalSimulator sim(dhrystone_art9());
+    instructions += sim.run().instructions;
+  }
+  state.counters["sim_instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimulator)->Unit(benchmark::kMillisecond);
+
+void BM_Rv32Simulator(benchmark::State& state) {
+  const rv32::Rv32Program program = rv32::assemble_rv32(core::dhrystone().rv32);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    rv32::Rv32Simulator sim(program);
+    instructions += sim.run().instructions;
+  }
+  state.counters["sim_instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Rv32Simulator)->Unit(benchmark::kMillisecond);
+
+void BM_TranslationPipeline(benchmark::State& state) {
+  const rv32::Rv32Program program = rv32::assemble_rv32(core::dhrystone().rv32);
+  for (auto _ : state) {
+    xlat::SoftwareFramework framework;
+    benchmark::DoNotOptimize(framework.translate(program));
+  }
+}
+BENCHMARK(BM_TranslationPipeline)->Unit(benchmark::kMicrosecond);
+
+void BM_Art9Assembler(benchmark::State& state) {
+  const std::string source = R"(
+main:
+    LIMM T1, 100
+    LIMM T2, 0
+loop:
+    ADD  T2, T1
+    ADDI T1, -1
+    MV   T3, T1
+    COMP T3, T4
+    BNE  T3, 0, loop
+    HALT
+)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::assemble(source));
+  }
+}
+BENCHMARK(BM_Art9Assembler)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark): throughput of the ternary substrate
+// primitives — word arithmetic, logic, the binary-coded-ternary emulation
+// path, and instruction encode/decode.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "isa/encoding.hpp"
+#include "ternary/arith.hpp"
+#include "ternary/bct.hpp"
+#include "ternary/random.hpp"
+#include "ternary/word.hpp"
+
+namespace {
+
+using art9::ternary::BctWord9;
+using art9::ternary::Word9;
+
+std::vector<Word9> sample_words(std::size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Word9> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(art9::ternary::random_word<9>(rng));
+  return out;
+}
+
+void BM_WordAdd(benchmark::State& state) {
+  const auto words = sample_words(1024, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(words[i % 1024] + words[(i + 1) % 1024]);
+    ++i;
+  }
+}
+BENCHMARK(BM_WordAdd);
+
+void BM_WordMultiply(benchmark::State& state) {
+  const auto words = sample_words(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(art9::ternary::multiply(words[i % 1024], words[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_WordMultiply);
+
+void BM_WordCompare(benchmark::State& state) {
+  const auto words = sample_words(1024, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Word9::compare(words[i % 1024], words[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_WordCompare);
+
+void BM_WordLogic(benchmark::State& state) {
+  const auto words = sample_words(1024, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(art9::ternary::txor(words[i % 1024], words[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_WordLogic);
+
+void BM_IntConversionRoundTrip(benchmark::State& state) {
+  int64_t v = -9841;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Word9::from_int(v).to_int());
+    v = v >= 9841 ? -9841 : v + 7;
+  }
+}
+BENCHMARK(BM_IntConversionRoundTrip);
+
+void BM_BctAdd(benchmark::State& state) {
+  const auto words = sample_words(1024, 5);
+  std::vector<BctWord9> enc;
+  enc.reserve(words.size());
+  for (const Word9& w : words) enc.push_back(BctWord9::encode(w));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BctWord9::add(enc[i % 1024], enc[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_BctAdd);
+
+void BM_BctLogic(benchmark::State& state) {
+  const auto words = sample_words(1024, 6);
+  std::vector<BctWord9> enc;
+  enc.reserve(words.size());
+  for (const Word9& w : words) enc.push_back(BctWord9::encode(w));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BctWord9::txor(enc[i % 1024], enc[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_BctLogic);
+
+void BM_EncodeDecode(benchmark::State& state) {
+  using art9::isa::Instruction;
+  using art9::isa::Opcode;
+  std::vector<Instruction> insts;
+  for (int ta = 0; ta < 9; ++ta) {
+    for (int tb = 0; tb < 9; ++tb) {
+      insts.push_back(Instruction{Opcode::kAdd, ta, tb, art9::ternary::kTritZ, 0});
+      insts.push_back(Instruction{Opcode::kLoad, ta, tb, art9::ternary::kTritZ, 5});
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(art9::isa::decode(art9::isa::encode(insts[i % insts.size()])));
+    ++i;
+  }
+}
+BENCHMARK(BM_EncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Balanced-ternary playground: the number system underneath the ART-9
+// core — conversions, arithmetic, the Fig. 1 logic family, and the
+// binary-coded emulation used on the FPGA.
+//
+//   $ ./examples/ternary_playground 1234 -567
+#include <cstdio>
+#include <cstdlib>
+
+#include "ternary/arith.hpp"
+#include "ternary/bct.hpp"
+#include "ternary/word.hpp"
+
+int main(int argc, char** argv) {
+  using namespace art9::ternary;
+
+  const int64_t a_value = argc > 1 ? std::atoll(argv[1]) : 1234;
+  const int64_t b_value = argc > 2 ? std::atoll(argv[2]) : -567;
+  if (a_value < Word9::kMinValue || a_value > Word9::kMaxValue || b_value < Word9::kMinValue ||
+      b_value > Word9::kMaxValue) {
+    std::fprintf(stderr, "values must be within [%lld, %lld]\n",
+                 static_cast<long long>(Word9::kMinValue),
+                 static_cast<long long>(Word9::kMaxValue));
+    return 1;
+  }
+
+  const Word9 a = Word9::from_int(a_value);
+  const Word9 b = Word9::from_int(b_value);
+  auto show = [](const char* name, const Word9& w) {
+    std::printf("  %-10s = %s = %lld\n", name, w.to_string().c_str(),
+                static_cast<long long>(w.to_int()));
+  };
+
+  std::printf("9-trit balanced ternary (MST first; '+' = +1, '-' = -1):\n");
+  std::printf("  a = %6lld = %s  (unsigned reading of the same pattern: %lld)\n",
+              static_cast<long long>(a_value), a.to_string().c_str(),
+              static_cast<long long>(a.to_unsigned()));
+  std::printf("  b = %6lld = %s\n\n", static_cast<long long>(b_value), b.to_string().c_str());
+
+  std::printf("arithmetic (all mod 3^9, the TALU's behaviour):\n");
+  show("a + b", a + b);
+  show("a - b", a - b);
+  show("-a (STI)", -a);
+  show("a * b", multiply(a, b));
+  show("a << 1 (x3)", a.shl(1));
+  show("a >> 1", a.shr(1));
+  std::printf("  (shifting right divides by 3 rounding to NEAREST — a balanced\n");
+  std::printf("   ternary signature: %lld / 3 = %.2f -> %lld)\n\n",
+              static_cast<long long>(a_value), static_cast<double>(a_value) / 3.0,
+              static_cast<long long>(a.shr(1).to_int()));
+
+  std::printf("tritwise logic (Fig. 1):\n");
+  show("AND (min)", tand(a, b));
+  show("OR  (max)", tor(a, b));
+  show("XOR -(ab)", txor(a, b));
+  show("NTI(a)", nti(a));
+  show("PTI(a)", pti(a));
+  std::printf("\n");
+
+  std::printf("binary-coded ternary (the FPGA emulation, 2 bits per trit):\n");
+  const BctWord9 ea = BctWord9::encode(a);
+  std::printf("  a: NEG plane = %03x, POS plane = %03x (%d bits per word)\n", ea.neg_plane(),
+              ea.pos_plane(), BctWord9::kBitsPerWord);
+  const BctWord9 sum = BctWord9::add(ea, BctWord9::encode(b));
+  std::printf("  BCT add agrees with the ternary adder: %s (%lld)\n",
+              sum.decode().to_string().c_str(), static_cast<long long>(sum.decode().to_int()));
+  return 0;
+}

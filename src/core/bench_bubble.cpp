@@ -1,0 +1,92 @@
+// Bubble sort benchmark (paper Table III column 1).
+#include <algorithm>
+
+#include "core/benchmarks.hpp"
+
+namespace art9::core {
+
+std::vector<int32_t> bubble_input() { return generated_values(11, kBubbleN, -500, 500); }
+
+std::vector<int32_t> bubble_expected() {
+  std::vector<int32_t> v = bubble_input();
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+const BenchmarkSources& bubble_sort() {
+  static const BenchmarkSources kSources = [] {
+    BenchmarkSources s;
+    s.name = "bubble-sort";
+    s.iterations = 1;
+
+    // Registers: a0 base, a1 i, a2 j, a3 limit, a4 addr, a5 x, t0 y.
+    s.rv32 = std::string(R"(
+; bubble sort of N words at `arr` (ascending, in place)
+.equ N, )") + std::to_string(kBubbleN) + R"(
+.data
+.org 0
+arr: )" + word_directive(bubble_input()) + R"(
+.text
+main:
+    la   a0, arr
+    li   a1, 0          ; i
+outer:
+    li   a2, 0          ; j
+    li   a3, N-1
+    sub  a3, a3, a1     ; limit = N-1-i
+inner:
+    slli a4, a2, 2
+    add  a4, a4, a0     ; &arr[j]
+    lw   a5, 0(a4)
+    lw   t0, 4(a4)
+    ble  a5, t0, noswap
+    sw   t0, 0(a4)
+    sw   a5, 4(a4)
+noswap:
+    addi a2, a2, 1
+    blt  a2, a3, inner
+    addi a1, a1, 1
+    li   a4, N-1
+    blt  a1, a4, outer
+    ebreak
+)";
+
+    // Thumb-1 port (structure mirrors the rv32 version; r0 base, r1 i,
+    // r2 j, r3 limit, r4 addr, r5 x, r6 y, r7 scratch).
+    s.thumb = std::string(R"(
+.equ N, )") + std::to_string(kBubbleN) + R"(
+main:
+    movs r0, #0          ; arr base
+    movs r1, #0          ; i
+outer:
+    movs r2, #0          ; j
+    movs r3, #N
+    subs r3, r3, #1
+    subs r3, r3, r1      ; limit
+inner:
+    lsls r4, r2, #2
+    adds r4, r4, r0
+    ldr  r5, [r4, #0]
+    ldr  r6, [r4, #4]
+    cmp  r5, r6
+    ble  noswap
+    str  r6, [r4, #0]
+    str  r5, [r4, #4]
+noswap:
+    adds r2, r2, #1
+    cmp  r2, r3
+    blt  inner
+    adds r1, r1, #1
+    movs r4, #N
+    subs r4, r4, #1
+    cmp  r1, r4
+    blt  outer
+    nop                  ; halt analogue
+.data
+arr: )" + word_directive(bubble_input()) + "\n";
+    return s;
+  }();
+  return kSources;
+}
+
+}  // namespace art9::core

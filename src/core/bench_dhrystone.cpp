@@ -1,0 +1,277 @@
+// Dhrystone-shaped kernel (paper Tables II/III, last column).
+//
+// Classic Dhrystone measures a fixed mix of string operations, record
+// assignment, procedure calls, integer arithmetic and branches; one
+// "iteration" of this kernel keeps that mix (word-granular strings — a
+// ternary character occupies one word) at a size calibrated to the
+// paper's per-iteration cycle counts (ART-9 ~1342 cycles, Table III /
+// Table II: 134,200 cycles for 100 iterations = 0.42 DMIPS/MHz).
+// DMIPS = iterations-per-second / 1757, as usual.
+#include "core/benchmarks.hpp"
+
+namespace art9::core {
+namespace {
+
+constexpr int kStrLen = 25;   // words per string
+constexpr int kRecLen = 14;   // words per record
+constexpr uint32_t kStrA = 500;
+constexpr uint32_t kStrB = 600;
+constexpr uint32_t kRecSrc = 700;
+constexpr uint32_t kRecDst = 800;
+
+std::vector<int32_t> string_a() { return generated_values(41, kStrLen, 1, 25); }
+std::vector<int32_t> record_src() { return generated_values(42, kRecLen, -20, 20); }
+
+/// Host mirror of the `arithmix` routine.
+int32_t arithmix_expected() {
+  int32_t acc = 0;
+  for (int32_t v : record_src()) {
+    acc += v;
+    acc += acc < 0 ? 1 : 0;  // the slt feedback
+  }
+  return acc;
+}
+
+/// Host mirror of `mulsum` (a0 = 7, a1 = -6).
+int32_t mulsum_expected() {
+  const int32_t t0 = 7 * -6;
+  const int32_t t1 = t0 * -6;
+  const int32_t t2 = t1 * 7;
+  return t0 + t1 + t2;
+}
+
+}  // namespace
+
+int32_t dhrystone_expected_checksum() {
+  return 1 /* strings compare equal */ + arithmix_expected() + mulsum_expected();
+}
+
+const BenchmarkSources& dhrystone() {
+  static const BenchmarkSources kSources = [] {
+    BenchmarkSources s;
+    s.name = "dhrystone";
+    s.iterations = kDhrystoneIterations;
+
+    s.rv32 = std::string(R"(
+; Dhrystone-shaped kernel, ITERS iterations
+.equ ITERS, )") + std::to_string(kDhrystoneIterations) + R"(
+.equ STRLEN, )" + std::to_string(kStrLen) + R"(
+.equ RECLEN, )" + std::to_string(kRecLen) + R"(
+.equ STRA, )" + std::to_string(kStrA) + R"(
+.equ STRB, )" + std::to_string(kStrB) + R"(
+.equ RECS, )" + std::to_string(kRecSrc) + R"(
+.equ RECD, )" + std::to_string(kRecDst) + R"(
+.equ CHK, )" + std::to_string(kDhrystoneChecksumAddr) + R"(
+.data
+.org STRA
+str_a: )" + word_directive(string_a()) + R"(
+.org RECS
+rec_src: )" + word_directive(record_src()) + R"(
+.text
+main:
+    li   s0, 0              ; iteration counter
+    li   s1, 0              ; checksum
+run:
+    ; Proc_1: word-string copy STRA -> STRB
+    li   a0, STRA
+    li   a1, STRB
+    jal  ra, strcpy
+    ; Func_1: word-string compare (equal -> 1)
+    li   a0, STRA
+    li   a1, STRB
+    jal  ra, strcmp
+    add  s1, zero, a0
+    ; Proc_2: record assignment RECS -> RECD
+    li   a0, RECS
+    li   a1, RECD
+    jal  ra, reccopy
+    ; Proc_3: arithmetic/branch mix over the record
+    li   a0, RECD
+    jal  ra, arithmix
+    add  s1, s1, a0
+    ; Func_2: three multiplies
+    li   a0, 7
+    li   a1, -6
+    jal  ra, mulsum
+    add  s1, s1, a0
+    addi s0, s0, 1
+    li   t0, ITERS
+    blt  s0, t0, run
+    li   t0, CHK
+    sw   s1, 0(t0)
+    ebreak
+
+strcpy:                      ; copy STRLEN words from a0 to a1
+    li   t0, STRB+4*STRLEN   ; end of destination
+cpy1:
+    lw   t1, 0(a0)
+    sw   t1, 0(a1)
+    addi a0, a0, 4
+    addi a1, a1, 4
+    blt  a1, t0, cpy1
+    ret
+
+strcmp:                      ; a0 = 1 if STRLEN words match, else 0
+    li   t2, 1
+    li   t1, STRA+4*STRLEN   ; end of first string
+cmp1:
+    lw   t0, 0(a0)
+    addi a0, a0, 4
+    lw   a2, 0(a1)
+    addi a1, a1, 4
+    beq  t0, a2, cmp2
+    li   t2, 0
+cmp2:
+    blt  a0, t1, cmp1
+    add  a0, zero, t2
+    ret
+
+reccopy:                     ; copy RECLEN words from a0 to a1
+    li   t0, RECD+4*RECLEN
+rcp1:
+    lw   t1, 0(a0)
+    sw   t1, 0(a1)
+    addi a0, a0, 4
+    addi a1, a1, 4
+    blt  a1, t0, rcp1
+    ret
+
+arithmix:                    ; fold the record with add/slt feedback
+    li   t1, 0               ; acc
+    li   t2, RECD+4*RECLEN
+ar1:
+    lw   t0, 0(a0)
+    add  t1, t1, t0
+    slt  t0, t1, zero
+    add  t1, t1, t0
+    addi a0, a0, 4
+    blt  a0, t2, ar1
+    add  a0, zero, t1
+    ret
+
+mulsum:                      ; a0 = t0 + t1 + t2 over three products
+    mul  t0, a0, a1
+    mul  t1, t0, a1
+    mul  t2, t1, a0
+    add  a0, t0, t1
+    add  a0, a0, t2
+    ret
+)";
+
+    // Thumb-1 port with the same call structure (r0/r1 args, r2/r3/r4
+    // temps, r5 iteration counter, r6 checksum, r7 scratch).
+    s.thumb = std::string(R"(
+.equ ITERS, )") + std::to_string(kDhrystoneIterations) + R"(
+.equ STRLEN, )" + std::to_string(kStrLen) + R"(
+.equ RECLEN, )" + std::to_string(kRecLen) + R"(
+main:
+    movs r5, #0
+    movs r6, #0
+run:
+    movs r0, #125
+    lsls r0, r0, #2          ; STRA = 500
+    movs r1, #150
+    lsls r1, r1, #2          ; STRB = 600
+    bl   strcpy
+    movs r0, #125
+    lsls r0, r0, #2
+    movs r1, #150
+    lsls r1, r1, #2
+    bl   strcmp
+    movs r6, r0
+    movs r0, #175
+    lsls r0, r0, #2          ; RECS = 700
+    movs r1, #200
+    lsls r1, r1, #2          ; RECD = 800
+    bl   reccopy
+    movs r0, #200
+    lsls r0, r0, #2
+    bl   arithmix
+    adds r6, r6, r0
+    movs r0, #7
+    movs r1, #0
+    subs r1, r1, #6
+    bl   mulsum
+    adds r6, r6, r0
+    adds r5, r5, #1
+    cmp  r5, #ITERS
+    blt  run
+    movs r0, #100
+    lsls r0, r0, #2          ; CHK = 400
+    str  r6, [r0, #0]
+    nop
+
+strcpy:
+    movs r2, #STRLEN
+cpy1:
+    ldr  r3, [r0, #0]
+    str  r3, [r1, #0]
+    adds r0, r0, #4
+    adds r1, r1, #4
+    subs r2, r2, #1
+    bgt  cpy1
+    bx   lr
+
+strcmp:
+    movs r4, #1
+    movs r2, #STRLEN
+cmp1:
+    ldr  r3, [r0, #0]
+    ldr  r7, [r1, #0]
+    adds r0, r0, #4
+    adds r1, r1, #4
+    cmp  r3, r7
+    beq  cmp2
+    movs r4, #0
+cmp2:
+    subs r2, r2, #1
+    bgt  cmp1
+    movs r0, r4
+    bx   lr
+
+reccopy:
+    movs r2, #RECLEN
+rcp1:
+    ldr  r3, [r0, #0]
+    str  r3, [r1, #0]
+    adds r0, r0, #4
+    adds r1, r1, #4
+    subs r2, r2, #1
+    bgt  rcp1
+    bx   lr
+
+arithmix:
+    movs r2, #RECLEN
+    movs r3, #0              ; acc
+ar1:
+    ldr  r4, [r0, #0]
+    adds r3, r3, r4
+    bpl  ar2
+    adds r3, r3, #1
+ar2:
+    adds r0, r0, #4
+    subs r2, r2, #1
+    bgt  ar1
+    movs r0, r3
+    bx   lr
+
+mulsum:
+    movs r2, r0
+    muls r2, r1              ; t0
+    movs r3, r2
+    muls r3, r1              ; t1
+    movs r4, r3
+    muls r4, r0              ; t2
+    movs r0, r2
+    adds r0, r0, r3
+    adds r0, r0, r4
+    bx   lr
+.data
+str_a: )" + word_directive(string_a()) + R"(
+rec_src: )" + word_directive(record_src()) + "\n";
+    return s;
+  }();
+  return kSources;
+}
+
+}  // namespace art9::core

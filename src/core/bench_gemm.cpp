@@ -1,0 +1,140 @@
+// General matrix multiplication benchmark (paper Table III column 2).
+// C = A x B over kGemmN x kGemmN word matrices; exercises the framework's
+// `mul` expansion into the trit-serial __mul runtime routine.
+#include "core/benchmarks.hpp"
+
+namespace art9::core {
+
+std::vector<int32_t> gemm_a() {
+  return generated_values(21, static_cast<std::size_t>(kGemmN) * kGemmN, -12, 12);
+}
+std::vector<int32_t> gemm_b() {
+  return generated_values(22, static_cast<std::size_t>(kGemmN) * kGemmN, -12, 12);
+}
+
+std::vector<int32_t> gemm_expected() {
+  const std::vector<int32_t> a = gemm_a();
+  const std::vector<int32_t> b = gemm_b();
+  std::vector<int32_t> c(static_cast<std::size_t>(kGemmN) * kGemmN, 0);
+  for (int i = 0; i < kGemmN; ++i) {
+    for (int j = 0; j < kGemmN; ++j) {
+      int32_t acc = 0;
+      for (int k = 0; k < kGemmN; ++k) {
+        acc += a[static_cast<std::size_t>(i * kGemmN + k)] *
+               b[static_cast<std::size_t>(k * kGemmN + j)];
+      }
+      c[static_cast<std::size_t>(i * kGemmN + j)] = acc;
+    }
+  }
+  return c;
+}
+
+const BenchmarkSources& gemm() {
+  static const BenchmarkSources kSources = [] {
+    BenchmarkSources s;
+    s.name = "gemm";
+    s.iterations = 1;
+
+    // Row stride = 4*N = 20 bytes.  Registers: a0 i, a1 j, a2 pa, a3 pb,
+    // a4 acc, a5 k, t0/t1 scratch.
+    s.rv32 = std::string(R"(
+; C = A x B, N x N word matrices
+.equ N, )") + std::to_string(kGemmN) + R"(
+.equ APOS, )" + std::to_string(kGemmAAddr) + R"(
+.equ BPOS, )" + std::to_string(kGemmBAddr) + R"(
+.equ CPOS, )" + std::to_string(kGemmCAddr) + R"(
+.data
+.org APOS
+A: )" + word_directive(gemm_a()) + R"(
+.org BPOS
+B: )" + word_directive(gemm_b()) + R"(
+.org CPOS
+C: .zero N*N
+.text
+main:
+    li   a0, 0           ; i
+iloop:
+    li   a1, 0           ; j
+jloop:
+    slli a2, a0, 2
+    add  a2, a2, a0      ; 5i
+    slli a2, a2, 2       ; 20i
+    addi a2, a2, APOS    ; pa = &A[i][0]
+    slli a3, a1, 2
+    addi a3, a3, BPOS    ; pb = &B[0][j]
+    li   a4, 0           ; acc
+    li   a5, 0           ; k
+kloop:
+    lw   t0, 0(a2)
+    lw   t1, 0(a3)
+    mul  t0, t0, t1
+    add  a4, a4, t0
+    addi a2, a2, 4
+    addi a3, a3, 20
+    addi a5, a5, 1
+    li   t1, N
+    blt  a5, t1, kloop
+    slli t0, a0, 2
+    add  t0, t0, a0
+    slli t0, t0, 2       ; 20i
+    slli t1, a1, 2       ; 4j
+    add  t0, t0, t1
+    addi t0, t0, CPOS
+    sw   a4, 0(t0)
+    addi a1, a1, 1
+    li   t0, N
+    blt  a1, t0, jloop
+    addi a0, a0, 1
+    li   t0, N
+    blt  a0, t0, iloop
+    ebreak
+)";
+
+    // Thumb-1 port (r0 i, r1 j, r2 pa, r3 pb, r4 acc, r5 k, r6/r7 scratch).
+    s.thumb = std::string(R"(
+.equ N, )") + std::to_string(kGemmN) + R"(
+main:
+    movs r0, #0
+iloop:
+    movs r1, #0
+jloop:
+    lsls r2, r0, #2
+    adds r2, r2, r0
+    lsls r2, r2, #2      ; 20i = &A[i][0]
+    lsls r3, r1, #2
+    adds r3, #100    ; pb = &B[0][j]
+    movs r4, #0
+    movs r5, #0
+kloop:
+    ldr  r6, [r2, #0]
+    ldr  r7, [r3, #0]
+    muls r6, r7
+    adds r4, r4, r6
+    adds r2, r2, #4
+    adds r3, #20
+    adds r5, r5, #1
+    cmp  r5, #N
+    blt  kloop
+    lsls r6, r0, #2
+    adds r6, r6, r0
+    lsls r6, r6, #2
+    lsls r7, r1, #2
+    adds r6, r6, r7
+    adds r6, #200
+    str  r4, [r6, #0]
+    adds r1, r1, #1
+    cmp  r1, #N
+    blt  jloop
+    adds r0, r0, #1
+    cmp  r0, #N
+    blt  iloop
+    nop
+.data
+A: )" + word_directive(gemm_a()) + R"(
+B: )" + word_directive(gemm_b()) + "\n";
+    return s;
+  }();
+  return kSources;
+}
+
+}  // namespace art9::core

@@ -1,0 +1,204 @@
+// Sobel filter benchmark (paper Table III column 3): 3x3 gradient
+// magnitude (|Gx| + |Gy|) over a kSobelDim x kSobelDim word image.
+#include <cstdlib>
+
+#include "core/benchmarks.hpp"
+
+namespace art9::core {
+
+std::vector<int32_t> sobel_input() {
+  return generated_values(31, static_cast<std::size_t>(kSobelDim) * kSobelDim, 0, 40);
+}
+
+std::vector<int32_t> sobel_expected() {
+  const std::vector<int32_t> img = sobel_input();
+  const int d = kSobelDim;
+  auto at = [&](int r, int c) { return img[static_cast<std::size_t>(r * d + c)]; };
+  std::vector<int32_t> out;
+  out.reserve(static_cast<std::size_t>(d - 2) * static_cast<std::size_t>(d - 2));
+  for (int r = 1; r < d - 1; ++r) {
+    for (int c = 1; c < d - 1; ++c) {
+      const int gx = (at(r - 1, c + 1) + 2 * at(r, c + 1) + at(r + 1, c + 1)) -
+                     (at(r - 1, c - 1) + 2 * at(r, c - 1) + at(r + 1, c - 1));
+      const int gy = (at(r + 1, c - 1) + 2 * at(r + 1, c) + at(r + 1, c + 1)) -
+                     (at(r - 1, c - 1) + 2 * at(r - 1, c) + at(r - 1, c + 1));
+      out.push_back(std::abs(gx) + std::abs(gy));
+    }
+  }
+  return out;
+}
+
+const BenchmarkSources& sobel() {
+  static const BenchmarkSources kSources = [] {
+    BenchmarkSources s;
+    s.name = "sobel";
+    s.iterations = 1;
+
+    const int stride = 4 * kSobelDim;                 // 48 bytes per row
+    const int inner = kSobelDim - 2;                  // 10 interior columns
+    const int last_row0 = (kSobelDim - 3) * stride;   // 432: final top-row base
+
+    // Row-pointer walk keeps every memory offset within the 3-trit
+    // immediate range of the ternary LOAD/STORE after translation.
+    // Registers: s0/s1/s2 row pointers, s3 out pointer, t0 col,
+    // t1 gx, t2 gy, t3/t4 scratch.
+    s.rv32 = std::string(R"(
+; Sobel |Gx|+|Gy| over a DIM x DIM image, writing the interior
+.equ DIM, )") + std::to_string(kSobelDim) + R"(
+.equ STRIDE, )" + std::to_string(stride) + R"(
+.equ INNER, )" + std::to_string(inner) + R"(
+.equ OUT, )" + std::to_string(kSobelOutAddr) + R"(
+.equ ROWLIM, )" + std::to_string(last_row0 + stride) + R"(
+.data
+.org 0
+img: )" + word_directive(sobel_input()) + R"(
+.text
+main:
+    li   s0, 0            ; row r-1
+    li   s1, STRIDE       ; row r
+    li   s2, STRIDE+STRIDE ; row r+1
+    li   s3, OUT
+rowloop:
+    li   t0, 0            ; col counter
+    addi s0, s0, 4        ; start at column 1
+    addi s1, s1, 4
+    addi s2, s2, 4
+colloop:
+    ; gx = (right column) - (left column)
+    lw   t1, 4(s0)
+    lw   t3, 4(s1)
+    add  t1, t1, t3
+    add  t1, t1, t3
+    lw   t3, 4(s2)
+    add  t1, t1, t3
+    lw   t3, -4(s0)
+    sub  t1, t1, t3
+    lw   t4, -4(s1)
+    sub  t1, t1, t4
+    sub  t1, t1, t4
+    lw   t3, -4(s2)
+    sub  t1, t1, t3
+    ; gy = (bottom row) - (top row)
+    lw   t2, -4(s2)
+    lw   t3, 0(s2)
+    add  t2, t2, t3
+    add  t2, t2, t3
+    lw   t3, 4(s2)
+    add  t2, t2, t3
+    lw   t3, -4(s0)
+    sub  t2, t2, t3
+    lw   t3, 0(s0)
+    sub  t2, t2, t3
+    sub  t2, t2, t3
+    lw   t3, 4(s0)
+    sub  t2, t2, t3
+    ; |gx| + |gy|
+    bge  t1, zero, gxpos
+    sub  t1, zero, t1
+gxpos:
+    bge  t2, zero, gypos
+    sub  t2, zero, t2
+gypos:
+    add  t1, t1, t2
+    sw   t1, 0(s3)
+    addi s0, s0, 4
+    addi s1, s1, 4
+    addi s2, s2, 4
+    addi s3, s3, 4
+    addi t0, t0, 1
+    li   t3, INNER
+    blt  t0, t3, colloop
+    ; advance to the next row (pointers sit at column DIM-1)
+    addi s0, s0, 4
+    addi s1, s1, 4
+    addi s2, s2, 4
+    li   t3, ROWLIM
+    blt  s0, t3, rowloop
+    ebreak
+)";
+
+    // Thumb-1 port (r0/r1/r2 row pointers, r3 out, r4 gx, r5 gy,
+    // r6 scratch, r7 col).
+    s.thumb = std::string(R"(
+.equ STRIDE, )") + std::to_string(stride) + R"(
+.equ INNER, )" + std::to_string(inner) + R"(
+main:
+    movs r0, #0
+    movs r1, #STRIDE
+    movs r2, #STRIDE
+    adds r2, #STRIDE
+    movs r3, #150
+    lsls r3, r3, #2       ; OUT = 600
+rowloop:
+    movs r7, #0
+    adds r0, r0, #4
+    adds r1, r1, #4
+    adds r2, r2, #4
+colloop:
+    ldr  r4, [r0, #4]
+    ldr  r6, [r1, #4]
+    adds r4, r4, r6
+    adds r4, r4, r6
+    ldr  r6, [r2, #4]
+    adds r4, r4, r6
+    subs r0, r0, #4
+    ldr  r6, [r0, #0]
+    adds r0, r0, #4
+    subs r4, r4, r6
+    subs r1, r1, #4
+    ldr  r6, [r1, #0]
+    adds r1, r1, #4
+    subs r4, r4, r6
+    subs r4, r4, r6
+    subs r2, r2, #4
+    ldr  r6, [r2, #0]
+    subs r4, r4, r6
+    ldr  r5, [r2, #0]
+    ldr  r6, [r2, #4]
+    adds r2, r2, #4
+    adds r5, r5, r6
+    adds r5, r5, r6
+    ldr  r6, [r2, #4]
+    adds r5, r5, r6
+    subs r0, r0, #4
+    ldr  r6, [r0, #0]
+    subs r5, r5, r6
+    ldr  r6, [r0, #4]
+    adds r0, r0, #4
+    subs r5, r5, r6
+    subs r5, r5, r6
+    ldr  r6, [r0, #4]
+    subs r5, r5, r6
+    cmp  r4, #0
+    bge  gxpos
+    negs r4, r4
+gxpos:
+    cmp  r5, #0
+    bge  gypos
+    negs r5, r5
+gypos:
+    adds r4, r4, r5
+    str  r4, [r3, #0]
+    adds r0, r0, #4
+    adds r1, r1, #4
+    adds r2, r2, #4
+    adds r3, r3, #4
+    adds r7, r7, #1
+    cmp  r7, #INNER
+    blt  colloop
+    adds r0, r0, #4
+    adds r1, r1, #4
+    adds r2, r2, #4
+    movs r6, #120
+    lsls r6, r6, #2       ; ROWLIM = 480
+    cmp  r0, r6
+    blt  rowloop
+    nop
+.data
+img: )" + word_directive(sobel_input()) + "\n";
+    return s;
+  }();
+  return kSources;
+}
+
+}  // namespace art9::core

@@ -1,0 +1,33 @@
+#include "core/benchmarks.hpp"
+
+#include <sstream>
+
+namespace art9::core {
+
+std::vector<int32_t> generated_values(uint64_t seed, std::size_t count, int32_t lo, int32_t hi) {
+  std::vector<int32_t> out;
+  out.reserve(count);
+  uint64_t x = seed;
+  const auto span = static_cast<uint64_t>(hi - lo + 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    x = (x * 6364136223846793005ULL + 1442695040888963407ULL);
+    out.push_back(lo + static_cast<int32_t>((x >> 33) % span));
+  }
+  return out;
+}
+
+std::string word_directive(const std::vector<int32_t>& values) {
+  std::ostringstream os;
+  os << ".word ";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ", ";
+    os << values[i];
+  }
+  return os.str();
+}
+
+std::vector<const BenchmarkSources*> all_benchmarks() {
+  return {&bubble_sort(), &gemm(), &sobel(), &dhrystone()};
+}
+
+}  // namespace art9::core

@@ -1,0 +1,76 @@
+// The benchmark corpus of the paper's evaluation (§V-A): bubble sort,
+// general matrix multiplication (GEMM), Sobel filter, and a
+// Dhrystone-shaped kernel.
+//
+// Each benchmark ships as RV-32I(+M) assembly — the input the software
+// framework consumes, standing in for compiler output (DESIGN.md §2) — and
+// as an ARMv6-M Thumb-1 port used only for the Fig. 5 code-size bars.
+// The ART-9 version is produced by translating the rv32 source, exactly
+// as the paper converts its benchmarks.
+//
+// Host-side reference functions compute the expected architectural outputs
+// so integration tests can check all three implementations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace art9::core {
+
+struct BenchmarkSources {
+  std::string name;
+  std::string rv32;        // RV32I(+M) assembly text
+  std::string thumb;       // ARMv6-M subset assembly text
+  uint64_t iterations = 1; // dynamic repetitions encoded in the program
+};
+
+/// Bubble sort of kBubbleN words (in-place, ascending).
+[[nodiscard]] const BenchmarkSources& bubble_sort();
+inline constexpr int kBubbleN = 14;
+/// Expected sorted array.
+[[nodiscard]] std::vector<int32_t> bubble_expected();
+/// The unsorted input (shared by generators and tests).
+[[nodiscard]] std::vector<int32_t> bubble_input();
+/// Byte address of the array in the rv32 data layout.
+inline constexpr uint32_t kBubbleArrayAddr = 0;
+
+/// GEMM: C = A x B for kGemmN x kGemmN matrices.
+[[nodiscard]] const BenchmarkSources& gemm();
+inline constexpr int kGemmN = 5;
+[[nodiscard]] std::vector<int32_t> gemm_a();
+[[nodiscard]] std::vector<int32_t> gemm_b();
+[[nodiscard]] std::vector<int32_t> gemm_expected();
+inline constexpr uint32_t kGemmAAddr = 0;
+inline constexpr uint32_t kGemmBAddr = 100;
+inline constexpr uint32_t kGemmCAddr = 200;
+
+/// Sobel 3x3 gradient magnitude (|Gx| + |Gy|) over a kSobelDim^2 image,
+/// writing the (kSobelDim-2)^2 interior.
+[[nodiscard]] const BenchmarkSources& sobel();
+inline constexpr int kSobelDim = 12;
+[[nodiscard]] std::vector<int32_t> sobel_input();
+[[nodiscard]] std::vector<int32_t> sobel_expected();  // interior, row-major
+inline constexpr uint32_t kSobelImageAddr = 0;
+inline constexpr uint32_t kSobelOutAddr = 600;
+
+/// Dhrystone-shaped kernel: per iteration — word-string copy + compare,
+/// record assignment, call-heavy integer mix, three multiplies — running
+/// kDhrystoneIterations times and accumulating a checksum.
+[[nodiscard]] const BenchmarkSources& dhrystone();
+inline constexpr int kDhrystoneIterations = 100;
+[[nodiscard]] int32_t dhrystone_expected_checksum();
+inline constexpr uint32_t kDhrystoneChecksumAddr = 400;
+
+/// All four, in the paper's order.
+[[nodiscard]] std::vector<const BenchmarkSources*> all_benchmarks();
+
+/// Deterministic data generator shared by the sources and the reference
+/// implementations (LCG, values in [lo, hi]).
+[[nodiscard]] std::vector<int32_t> generated_values(uint64_t seed, std::size_t count, int32_t lo,
+                                                    int32_t hi);
+
+/// Renders a `.word v0, v1, ...` directive line.
+[[nodiscard]] std::string word_directive(const std::vector<int32_t>& values);
+
+}  // namespace art9::core

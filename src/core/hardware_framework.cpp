@@ -1,0 +1,27 @@
+#include "core/hardware_framework.hpp"
+
+namespace art9::core {
+
+EvaluationResult HardwareFramework::evaluate(const isa::Program& program,
+                                             uint64_t iterations) const {
+  EvaluationResult result;
+
+  sim::PipelineSimulator simulator(program, pipeline_);
+  result.sim = simulator.run();
+
+  tech::DatapathOptions datapath_options;
+  datapath_options.ex_forwarding = pipeline_.ex_forwarding;
+  datapath_options.branch_in_id = pipeline_.branch_in_id;
+  const tech::Art9Design design = tech::build_art9_design(datapath_options);
+
+  tech::GateLevelAnalyzer analyzer;
+  result.analysis = analyzer.analyze(design, technology_);
+
+  const uint64_t cycles_per_iteration =
+      iterations == 0 ? result.sim.cycles : result.sim.cycles / iterations;
+  tech::PerformanceEstimator estimator;
+  result.estimate = estimator.estimate(design, technology_, cycles_per_iteration);
+  return result;
+}
+
+}  // namespace art9::core

@@ -1,0 +1,47 @@
+// HardwareFramework — the paper's Fig. 3 flow as one API.
+//
+//   architecture description (PipelineConfig)  ─┐
+//   ternary assembly (isa::Program)            ─┼─> cycle-accurate simulator
+//   technology description (tech::Technology)  ─┼─> gate-level analyzer
+//                                               └─> performance estimator
+//
+// `evaluate` runs the program on the pipelined core, analyzes the matching
+// datapath netlist under the given technology, and fuses both into the
+// paper's metrics.
+#pragma once
+
+#include <optional>
+
+#include "isa/program.hpp"
+#include "sim/pipeline.hpp"
+#include "tech/datapath.hpp"
+#include "tech/estimator.hpp"
+
+namespace art9::core {
+
+struct EvaluationResult {
+  sim::SimStats sim;
+  tech::AnalysisReport analysis;
+  tech::PerformanceEstimate estimate;
+};
+
+class HardwareFramework {
+ public:
+  HardwareFramework(sim::PipelineConfig pipeline, tech::Technology technology)
+      : pipeline_(pipeline), technology_(std::move(technology)) {}
+
+  /// Runs `program` to completion and produces the combined report.
+  /// `iterations` scales the cycle count down to a per-iteration figure
+  /// for the Dhrystone-style DMIPS math (1 for plain kernels).
+  [[nodiscard]] EvaluationResult evaluate(const isa::Program& program,
+                                          uint64_t iterations = 1) const;
+
+  [[nodiscard]] const sim::PipelineConfig& pipeline_config() const noexcept { return pipeline_; }
+  [[nodiscard]] const tech::Technology& technology() const noexcept { return technology_; }
+
+ private:
+  sim::PipelineConfig pipeline_;
+  tech::Technology technology_;
+};
+
+}  // namespace art9::core

@@ -1,0 +1,304 @@
+#include "core/progen.hpp"
+
+#include <array>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "isa/encoding.hpp"
+#include "ternary/word.hpp"
+
+namespace art9::core {
+
+using isa::Instruction;
+using isa::Opcode;
+using ternary::kTritZ;
+using ternary::Trit;
+using ternary::Word9;
+
+namespace {
+
+int rand_int(std::mt19937_64& rng, int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(rng);
+}
+
+Trit rand_trit(std::mt19937_64& rng) { return Trit(rand_int(rng, -1, 1)); }
+
+}  // namespace
+
+isa::Program generate_art9_program(std::mt19937_64& rng, const Art9GenOptions& options) {
+  std::vector<Instruction> code;
+  const int target = rand_int(rng, options.min_length, options.max_length);
+
+  auto any_reg = [&] { return rand_int(rng, 0, 8); };
+
+  // Straight-line data op avoiding writes to the registers in `avoid`.
+  auto emit_data_op = [&](int avoid0, int avoid1) {
+    int ta = any_reg();
+    while (ta == avoid0 || ta == avoid1) ta = any_reg();
+    const int tb = any_reg();
+    switch (rand_int(rng, 0, 9)) {
+      case 0:
+        code.push_back({Opcode::kMv, ta, tb, kTritZ, 0});
+        break;
+      case 1:
+        code.push_back({static_cast<Opcode>(rand_int(rng, 1, 3)), ta, tb, kTritZ, 0});  // inverters
+        break;
+      case 2:
+        code.push_back({static_cast<Opcode>(rand_int(rng, 4, 11)), ta, tb, kTritZ, 0});  // R ops
+        break;
+      case 3:
+        code.push_back({Opcode::kAddi, ta, 0, kTritZ, rand_int(rng, -13, 13)});
+        break;
+      case 4:
+        code.push_back({Opcode::kAndi, ta, 0, kTritZ, rand_int(rng, -13, 13)});
+        break;
+      case 5:
+        code.push_back({rand_int(rng, 0, 1) ? Opcode::kSri : Opcode::kSli, ta, 0, kTritZ,
+                        rand_int(rng, 0, 8)});
+        break;
+      case 6:
+        code.push_back({Opcode::kLui, ta, 0, kTritZ, rand_int(rng, -40, 40)});
+        break;
+      case 7:
+        code.push_back({Opcode::kLi, ta, 0, kTritZ, rand_int(rng, -121, 121)});
+        break;
+      case 8:
+        if (options.with_memory_ops) {
+          code.push_back({Opcode::kLoad, ta, tb, kTritZ, rand_int(rng, -13, 13)});
+        } else {
+          code.push_back({Opcode::kAdd, ta, tb, kTritZ, 0});
+        }
+        break;
+      default:
+        if (options.with_memory_ops) {
+          // STORE writes no register, so `avoid` is irrelevant.
+          code.push_back({Opcode::kStore, any_reg(), tb, kTritZ, rand_int(rng, -13, 13)});
+        } else {
+          code.push_back({Opcode::kSub, ta, tb, kTritZ, 0});
+        }
+        break;
+    }
+  };
+
+  while (static_cast<int>(code.size()) < target) {
+    const int kind = rand_int(rng, 0, 9);
+    if (kind == 0 && options.with_branches) {
+      // Forward conditional branch over 1..4 instructions.
+      const int skip = rand_int(rng, 1, 4);
+      code.push_back({rand_int(rng, 0, 1) ? Opcode::kBeq : Opcode::kBne, 0, any_reg(),
+                      rand_trit(rng), skip + 1});
+      for (int i = 0; i < skip; ++i) emit_data_op(-1, -1);
+    } else if (kind == 1 && options.with_branches) {
+      // Forward JAL over 1..3 instructions.
+      const int skip = rand_int(rng, 1, 3);
+      code.push_back({Opcode::kJal, any_reg(), 0, kTritZ, skip + 1});
+      for (int i = 0; i < skip; ++i) emit_data_op(-1, -1);
+    } else if (kind == 2 && options.with_loops) {
+      // Counted loop: Tc iterations in 3..6, Tz held at zero.
+      int tc = any_reg();
+      int tz = any_reg();
+      while (tz == tc) tz = any_reg();
+      int tt = any_reg();
+      while (tt == tc || tt == tz) tt = any_reg();
+      code.push_back({Opcode::kLui, tc, 0, kTritZ, 0});
+      code.push_back({Opcode::kAddi, tc, 0, kTritZ, rand_int(rng, 3, 6)});
+      code.push_back({Opcode::kLui, tz, 0, kTritZ, 0});
+      const std::size_t body_start = code.size();
+      const int body_len = rand_int(rng, 2, 5);
+      for (int i = 0; i < body_len; ++i) emit_data_op(tc, tz);
+      code.push_back({Opcode::kAddi, tc, 0, kTritZ, -1});
+      code.push_back({Opcode::kMv, tt, tc, kTritZ, 0});
+      code.push_back({Opcode::kComp, tt, tz, kTritZ, 0});
+      const int back = -static_cast<int>(code.size() - body_start);
+      code.push_back({Opcode::kBne, 0, tt, kTritZ, back});
+    } else {
+      emit_data_op(-1, -1);
+    }
+  }
+  code.push_back(Instruction::halt());
+
+  isa::Program program;
+  program.entry = 0;
+  program.code = code;
+  for (const Instruction& inst : code) program.image.push_back(isa::encode(inst));
+  // A little random initialised data so early LOADs see non-zero words.
+  const int data_words = rand_int(rng, 0, 12);
+  for (int i = 0; i < data_words; ++i) {
+    program.data.push_back(isa::DataWord{
+        rand_int(rng, -40, 40),
+        Word9::from_int(rand_int(rng, -9841, 9841))});
+  }
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string generate_rv32_source(std::mt19937_64& rng, const Rv32GenOptions& options) {
+  static const std::array<const char*, 10> kPool = {"a0", "a1", "a2", "a3", "a4",
+                                                    "t0", "t1", "t2", "s2", "s3"};
+  const int nregs = std::min<int>(options.max_registers, static_cast<int>(kPool.size()));
+
+  std::ostringstream os;
+  os << "; generated rv32 program (translatable subset)\n.text\nmain:\n";
+
+  // Shadow state keeps every value inside the 9-trit range by
+  // construction; `boolean` marks registers holding 0/1 so that the
+  // and/or/xor boolean contract is honoured.
+  std::map<std::string, int32_t> shadow;
+  std::map<std::string, bool> boolean;
+  std::array<int32_t, 16> mem{};
+
+  auto reg = [&] { return std::string(kPool[static_cast<std::size_t>(rand_int(rng, 0, nregs - 1))]); };
+  auto emit_li = [&](const std::string& r, int32_t v) {
+    os << "    li   " << r << ", " << v << "\n";
+    shadow[r] = v;
+    boolean[r] = v == 0 || v == 1;
+  };
+
+  // Initialise every register.
+  for (int i = 0; i < nregs; ++i) emit_li(kPool[static_cast<std::size_t>(i)], rand_int(rng, -50, 50));
+
+  const int target = rand_int(rng, options.min_length, options.max_length);
+  int label_counter = 0;
+
+  auto emit_straight_op = [&](bool tracked) {
+    const std::string rd = reg();
+    const std::string rs1 = reg();
+    const std::string rs2 = reg();
+    switch (rand_int(rng, 0, options.with_div ? 9 : 8)) {
+      case 0: {
+        const int imm = rand_int(rng, -300, 300);
+        os << "    addi " << rd << ", " << rs1 << ", " << imm << "\n";
+        if (tracked) {
+          shadow[rd] = shadow[rs1] + imm;
+          boolean[rd] = shadow[rd] == 0 || shadow[rd] == 1;
+        }
+        break;
+      }
+      case 1:
+        os << "    add  " << rd << ", " << rs1 << ", " << rs2 << "\n";
+        if (tracked) {
+          shadow[rd] = shadow[rs1] + shadow[rs2];
+          boolean[rd] = false;
+        }
+        break;
+      case 2:
+        os << "    sub  " << rd << ", " << rs1 << ", " << rs2 << "\n";
+        if (tracked) {
+          shadow[rd] = shadow[rs1] - shadow[rs2];
+          boolean[rd] = false;
+        }
+        break;
+      case 3:
+        os << "    slt  " << rd << ", " << rs1 << ", " << rs2 << "\n";
+        if (tracked) {
+          shadow[rd] = shadow[rs1] < shadow[rs2] ? 1 : 0;
+          boolean[rd] = true;
+        }
+        break;
+      case 4: {
+        const int sh = rand_int(rng, 1, 2);
+        os << "    slli " << rd << ", " << rs1 << ", " << sh << "\n";
+        if (tracked) {
+          shadow[rd] = shadow[rs1] << sh;
+          boolean[rd] = false;
+        }
+        break;
+      }
+      case 5:
+        if (boolean[rs1] && boolean[rs2]) {
+          static const std::array<const char*, 3> kBool = {"and", "or", "xor"};
+          const char* op = kBool[static_cast<std::size_t>(rand_int(rng, 0, 2))];
+          os << "    " << op << "  " << rd << ", " << rs1 << ", " << rs2 << "\n";
+          if (tracked) {
+            const int32_t a = shadow[rs1];
+            const int32_t b = shadow[rs2];
+            shadow[rd] = op[0] == 'a' ? (a & b) : (op[0] == 'o' ? (a | b) : (a ^ b));
+            boolean[rd] = true;
+          }
+        } else {
+          os << "    slt  " << rd << ", " << rs1 << ", " << rs2 << "\n";
+          if (tracked) {
+            shadow[rd] = shadow[rs1] < shadow[rs2] ? 1 : 0;
+            boolean[rd] = true;
+          }
+        }
+        break;
+      case 6:
+        if (options.with_memory_ops) {
+          const int slot = rand_int(rng, 0, 15);
+          os << "    sw   " << rs1 << ", " << slot * 4 << "(zero)\n";
+          if (tracked) mem[static_cast<std::size_t>(slot)] = shadow[rs1];
+        }
+        break;
+      case 7:
+        if (options.with_memory_ops) {
+          const int slot = rand_int(rng, 0, 15);
+          os << "    lw   " << rd << ", " << slot * 4 << "(zero)\n";
+          if (tracked) {
+            shadow[rd] = mem[static_cast<std::size_t>(slot)];
+            boolean[rd] = shadow[rd] == 0 || shadow[rd] == 1;
+          }
+        }
+        break;
+      case 8:
+        if (options.with_mul) {
+          const int64_t product =
+              static_cast<int64_t>(shadow[rs1]) * static_cast<int64_t>(shadow[rs2]);
+          if (product >= -8000 && product <= 8000) {
+            os << "    mul  " << rd << ", " << rs1 << ", " << rs2 << "\n";
+            if (tracked) {
+              shadow[rd] = static_cast<int32_t>(product);
+              boolean[rd] = false;
+            }
+          }
+        }
+        break;
+      default:
+        if (options.with_div) {
+          const bool rem = rand_int(rng, 0, 1) == 1;
+          os << "    " << (rem ? "rem " : "div ") << " " << rd << ", " << rs1 << ", " << rs2
+             << "\n";
+          if (tracked) {
+            const int32_t a = shadow[rs1];
+            const int32_t b = shadow[rs2];
+            shadow[rd] = b == 0 ? (rem ? a : -1) : (rem ? a % b : a / b);
+            boolean[rd] = shadow[rd] == 0 || shadow[rd] == 1;
+          }
+        }
+        break;
+    }
+    // Rescale anything that drifted out of the 9-trit range.
+    if (tracked) {
+      for (int i = 0; i < nregs; ++i) {
+        const std::string r = kPool[static_cast<std::size_t>(i)];
+        if (shadow[r] < -8000 || shadow[r] > 8000) emit_li(r, rand_int(rng, -100, 100));
+      }
+    }
+  };
+
+  for (int n = 0; n < target; ++n) {
+    if (rand_int(rng, 0, 6) == 0) {
+      // Forward branch over a small skipped region.
+      const std::string rs1 = reg();
+      const std::string rs2 = reg();
+      static const std::array<const char*, 4> kBr = {"beq", "bne", "blt", "bge"};
+      const auto op = static_cast<std::size_t>(rand_int(rng, 0, 3));
+      const std::string label = "L" + std::to_string(label_counter++);
+      os << "    " << kBr[op] << "  " << rs1 << ", " << rs2 << ", " << label << "\n";
+      const int32_t a = shadow[rs1];
+      const int32_t b = shadow[rs2];
+      const bool taken = op == 0 ? a == b : op == 1 ? a != b : op == 2 ? a < b : a >= b;
+      const int skipped = rand_int(rng, 1, 3);
+      for (int i = 0; i < skipped; ++i) emit_straight_op(/*tracked=*/!taken);
+      os << label << ":\n";
+    } else {
+      emit_straight_op(true);
+    }
+  }
+  os << "    ebreak\n";
+  return os.str();
+}
+
+}  // namespace art9::core

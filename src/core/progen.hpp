@@ -1,0 +1,47 @@
+// Random program generators for the differential property tests:
+//  * random ART-9 programs (straight-line + bounded counted loops) checked
+//    pipeline-vs-functional;
+//  * random RV-32 programs from the translatable subset checked
+//    rv32-sim-vs-translated-ART-9-sim.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace art9::core {
+
+/// Knobs for the ART-9 generator.
+struct Art9GenOptions {
+  int min_length = 20;
+  int max_length = 120;
+  bool with_memory_ops = true;
+  bool with_branches = true;
+  bool with_loops = true;
+};
+
+/// Generates a random, always-terminating ART-9 program ending in HALT.
+/// Branches only jump forward; loops are counted via a dedicated register
+/// so every program halts within a bounded cycle count.
+[[nodiscard]] isa::Program generate_art9_program(std::mt19937_64& rng,
+                                                 const Art9GenOptions& options = {});
+
+/// Knobs for the rv32 generator (translatable subset only).
+struct Rv32GenOptions {
+  int min_length = 15;
+  int max_length = 80;
+  int max_registers = 8;  // > 5 exercises spilling
+  bool with_memory_ops = true;
+  bool with_mul = true;
+  bool with_div = false;
+};
+
+/// Generates random RV-32 assembly from the framework's mapping contract:
+/// values stay within the 9-trit range (every product/sum is rescaled by
+/// construction), data is word-granular, and the program ends with ebreak.
+[[nodiscard]] std::string generate_rv32_source(std::mt19937_64& rng,
+                                               const Rv32GenOptions& options = {});
+
+}  // namespace art9::core

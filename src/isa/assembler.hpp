@@ -1,0 +1,49 @@
+// Two-pass assembler for ART-9 assembly text.
+//
+// Syntax (one statement per line; ';' or '#' starts a comment):
+//
+//   .org <expr>            set the current section address
+//   .equ NAME, <expr>      define a constant
+//   .text / .data          switch section (code -> TIM, data -> TDM)
+//   .word <expr>[, ...]    emit initialised data words (data section)
+//   .zero <count>          emit zero-initialised words (data section)
+//   label:                 bind `label` to the current address
+//   MNEMONIC operands      one of the 24 Table-I instructions
+//
+// Operands: registers T0..T8; immediates as decimal constants, .equ names
+// or labels; branch/jump targets as labels (the assembler computes the
+// PC-relative offset) or explicit numeric offsets; memory operands as
+// `imm(Tb)` or `Ta, Tb, imm`.  The B operand of BEQ/BNE is '-', '0' or
+// '+' (also accepted: -1, 0, 1).
+//
+// Pseudo-instructions:
+//   NOP              -> ADDI T0, 0       (paper §IV-B)
+//   HALT             -> JAL  T0, 0       (self-jump; simulators stop)
+//   LIMM Ta, <expr>  -> LUI Ta, hi4 ; LI Ta, lo5   (full 9-trit constant)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace art9::isa {
+
+/// Assembly diagnostics carry the 1-based source line.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Assembles `source` into a program.  Throws AsmError on the first
+/// diagnostic.
+[[nodiscard]] Program assemble(std::string_view source);
+
+}  // namespace art9::isa

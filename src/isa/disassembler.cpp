@@ -1,0 +1,29 @@
+#include "isa/disassembler.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "isa/encoding.hpp"
+
+namespace art9::isa {
+
+std::string disassemble_word(const ternary::Word9& word) {
+  if (auto inst = try_decode(word)) return to_string(*inst);
+  return ".invalid " + word.to_string();
+}
+
+std::string disassemble(const Program& program) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < program.image.size(); ++i) {
+    const int64_t addr = program.entry + static_cast<int64_t>(i);
+    // Annotate addresses that carry labels.
+    for (const auto& [name, value] : program.symbols) {
+      if (value == addr) os << name << ":\n";
+    }
+    os << std::setw(6) << addr << "  " << program.image[i].to_string() << "  "
+       << disassemble_word(program.image[i]) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace art9::isa

@@ -1,0 +1,18 @@
+// Disassembler: machine words back to assembly text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace art9::isa {
+
+/// Renders one word; invalid encodings render as ".invalid <trits>".
+[[nodiscard]] std::string disassemble_word(const ternary::Word9& word);
+
+/// Renders a whole program listing with addresses and raw trits, one
+/// instruction per line (useful for debugging translated benchmarks).
+[[nodiscard]] std::string disassemble(const Program& program);
+
+}  // namespace art9::isa

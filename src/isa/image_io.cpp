@@ -1,0 +1,126 @@
+#include "isa/image_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "isa/encoding.hpp"
+
+namespace art9::isa {
+
+using ternary::Word9;
+
+std::string save_image(const Program& program) {
+  std::ostringstream os;
+  save_image(program, os);
+  return os.str();
+}
+
+void save_image(const Program& program, std::ostream& os) {
+  os << ".t9 1\n";
+  os << "entry " << program.entry << "\n";
+  for (std::size_t i = 0; i < program.image.size(); ++i) {
+    os << "code " << program.entry + static_cast<int64_t>(i) << ' '
+       << program.image[i].to_string() << "\n";
+  }
+  for (const DataWord& d : program.data) {
+    os << "data " << d.address << ' ' << d.value.to_string() << "\n";
+  }
+  for (const auto& [name, value] : program.symbols) {
+    os << "symbol " << name << ' ' << value << "\n";
+  }
+}
+
+Program load_image(const std::string& text) {
+  std::istringstream is(text);
+  return load_image(is);
+}
+
+Program load_image(std::istream& is) {
+  std::string line;
+  int line_no = 0;
+  bool header_seen = false;
+  std::map<int64_t, Word9> code_words;
+  Program program;
+  auto fail = [&](const std::string& message) {
+    throw ImageError("line " + std::to_string(line_no) + ": " + message);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+
+    if (keyword == ".t9") {
+      int version = 0;
+      if (!(ls >> version) || version != 1) fail("unsupported .t9 version");
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) fail("missing .t9 header");
+
+    if (keyword == "entry") {
+      if (!(ls >> program.entry)) fail("malformed entry");
+    } else if (keyword == "code" || keyword == "data") {
+      int64_t addr = 0;
+      std::string trits;
+      if (!(ls >> addr >> trits) || trits.size() != 9) fail("malformed " + keyword + " record");
+      Word9 word;
+      try {
+        word = Word9::parse(trits);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+      if (keyword == "code") {
+        if (!code_words.emplace(addr, word).second) fail("duplicate code address");
+      } else {
+        program.data.push_back(DataWord{addr, word});
+      }
+    } else if (keyword == "symbol") {
+      std::string name;
+      int64_t value = 0;
+      if (!(ls >> name >> value)) fail("malformed symbol record");
+      program.symbols[name] = value;
+    } else {
+      fail("unknown record '" + keyword + "'");
+    }
+  }
+  if (!header_seen) throw ImageError("missing .t9 header");
+
+  // Code must be contiguous from the entry point.
+  if (!code_words.empty()) {
+    int64_t expected = program.entry;
+    for (const auto& [addr, word] : code_words) {
+      if (addr != expected) {
+        throw ImageError("code is not contiguous at address " + std::to_string(addr));
+      }
+      ++expected;
+      program.image.push_back(word);
+      try {
+        program.code.push_back(decode(word));
+      } catch (const DecodeError& e) {
+        throw ImageError("invalid instruction at address " + std::to_string(addr) + ": " +
+                         e.what());
+      }
+    }
+  }
+  return program;
+}
+
+void write_image_file(const Program& program, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw ImageError("cannot open '" + path + "' for writing");
+  save_image(program, os);
+  if (!os) throw ImageError("write to '" + path + "' failed");
+}
+
+Program read_image_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ImageError("cannot open '" + path + "'");
+  return load_image(is);
+}
+
+}  // namespace art9::isa

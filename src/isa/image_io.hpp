@@ -1,0 +1,44 @@
+// Program image serialisation — the ".t9" format.
+//
+// A portable, human-auditable container for assembled ART-9 programs:
+// the TIM image as raw trit strings, the TDM initialisation, the symbol
+// table and the entry point.  Produced by the assembler / translator CLI
+// tools and loaded by the simulator CLI, so binaries can move between
+// machines (or be checked into test fixtures) without re-assembling.
+//
+// Format (line oriented, '#' comments, sections in any order):
+//
+//   .t9 1                 header + version
+//   entry <balanced-addr>
+//   code <addr> <9 trit chars MST-first>     (one word per line)
+//   data <addr> <9 trit chars>
+//   symbol <name> <balanced-addr>
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace art9::isa {
+
+class ImageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Renders `program` in .t9 form.
+[[nodiscard]] std::string save_image(const Program& program);
+void save_image(const Program& program, std::ostream& os);
+
+/// Parses a .t9 image.  Decodes every code word (throws ImageError on
+/// invalid encodings, bad trit characters, or non-contiguous code).
+[[nodiscard]] Program load_image(const std::string& text);
+[[nodiscard]] Program load_image(std::istream& is);
+
+/// File helpers (throw ImageError on I/O failure).
+void write_image_file(const Program& program, const std::string& path);
+[[nodiscard]] Program read_image_file(const std::string& path);
+
+}  // namespace art9::isa

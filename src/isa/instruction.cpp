@@ -1,0 +1,117 @@
+#include "isa/instruction.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace art9::isa {
+namespace {
+
+// Immediate ranges: imm3 = +/-13, imm4 = +/-40, imm5 = +/-121 (balanced);
+// shift amounts are unsigned 2-trit values 0..8.
+constexpr int kImm3 = 13;
+constexpr int kImm4 = 40;
+constexpr int kImm5 = 121;
+
+constexpr OpcodeSpec kSpecs[kNumOpcodes] = {
+    // mnemonic, format, imm_min, imm_max, rTa, rTb, wTa, br, jmp, ld, st
+    {"MV", Format::kRUnary, 0, 0, false, true, true, false, false, false, false},
+    {"PTI", Format::kRUnary, 0, 0, false, true, true, false, false, false, false},
+    {"NTI", Format::kRUnary, 0, 0, false, true, true, false, false, false, false},
+    {"STI", Format::kRUnary, 0, 0, false, true, true, false, false, false, false},
+    {"AND", Format::kRBinary, 0, 0, true, true, true, false, false, false, false},
+    {"OR", Format::kRBinary, 0, 0, true, true, true, false, false, false, false},
+    {"XOR", Format::kRBinary, 0, 0, true, true, true, false, false, false, false},
+    {"ADD", Format::kRBinary, 0, 0, true, true, true, false, false, false, false},
+    {"SUB", Format::kRBinary, 0, 0, true, true, true, false, false, false, false},
+    {"SR", Format::kRBinary, 0, 0, true, true, true, false, false, false, false},
+    {"SL", Format::kRBinary, 0, 0, true, true, true, false, false, false, false},
+    {"COMP", Format::kRBinary, 0, 0, true, true, true, false, false, false, false},
+    {"ANDI", Format::kImm3, -kImm3, kImm3, true, false, true, false, false, false, false},
+    {"ADDI", Format::kImm3, -kImm3, kImm3, true, false, true, false, false, false, false},
+    {"SRI", Format::kShiftImm, 0, 8, true, false, true, false, false, false, false},
+    {"SLI", Format::kShiftImm, 0, 8, true, false, true, false, false, false, false},
+    {"LUI", Format::kLui, -kImm4, kImm4, false, false, true, false, false, false, false},
+    {"LI", Format::kLi, -kImm5, kImm5, true, false, true, false, false, false, false},
+    {"BEQ", Format::kBranch, -kImm4, kImm4, false, true, false, true, false, false, false},
+    {"BNE", Format::kBranch, -kImm4, kImm4, false, true, false, true, false, false, false},
+    {"JAL", Format::kJal, -kImm5, kImm5, false, false, true, false, true, false, false},
+    {"JALR", Format::kJalr, -kImm3, kImm3, false, true, true, false, true, false, false},
+    {"LOAD", Format::kMem, -kImm3, kImm3, false, true, true, false, false, true, false},
+    {"STORE", Format::kMem, -kImm3, kImm3, true, true, false, false, false, false, true},
+};
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+const OpcodeSpec& spec(Opcode op) { return kSpecs[static_cast<int>(op)]; }
+
+std::string_view mnemonic(Opcode op) { return spec(op).mnemonic; }
+
+Opcode opcode_from_mnemonic(std::string_view name) {
+  static const std::unordered_map<std::string, Opcode> kByName = [] {
+    std::unordered_map<std::string, Opcode> m;
+    for (int i = 0; i < kNumOpcodes; ++i) {
+      m.emplace(std::string(kSpecs[i].mnemonic), static_cast<Opcode>(i));
+    }
+    return m;
+  }();
+  auto it = kByName.find(upper(name));
+  if (it == kByName.end()) {
+    throw std::invalid_argument("unknown ART-9 mnemonic: " + std::string(name));
+  }
+  return it->second;
+}
+
+std::string to_string(const Instruction& inst) {
+  const OpcodeSpec& s = spec(inst.op);
+  std::ostringstream os;
+  os << s.mnemonic << ' ';
+  switch (s.format) {
+    case Format::kRBinary:
+    case Format::kRUnary:
+      os << 'T' << inst.ta << ", T" << inst.tb;
+      break;
+    case Format::kImm3:
+    case Format::kShiftImm:
+    case Format::kLui:
+    case Format::kLi:
+      os << 'T' << inst.ta << ", " << inst.imm;
+      break;
+    case Format::kBranch:
+      os << 'T' << inst.tb << ", " << inst.bcond.to_char() << ", " << inst.imm;
+      break;
+    case Format::kJal:
+      os << 'T' << inst.ta << ", " << inst.imm;
+      break;
+    case Format::kJalr:
+      os << 'T' << inst.ta << ", T" << inst.tb << ", " << inst.imm;
+      break;
+    case Format::kMem:
+      os << 'T' << inst.ta << ", " << inst.imm << "(T" << inst.tb << ')';
+      break;
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Instruction& inst) {
+  return os << to_string(inst);
+}
+
+const std::array<Opcode, kNumOpcodes>& all_opcodes() {
+  static const std::array<Opcode, kNumOpcodes> kAll = [] {
+    std::array<Opcode, kNumOpcodes> a{};
+    for (int i = 0; i < kNumOpcodes; ++i) a[static_cast<size_t>(i)] = static_cast<Opcode>(i);
+    return a;
+  }();
+  return kAll;
+}
+
+}  // namespace art9::isa

@@ -1,0 +1,134 @@
+// The ART-9 instruction set (paper Table I): 24 ternary instructions over
+// four formats (R, I, B, M), 9-trit fixed-length encoding, nine
+// general-purpose ternary registers T0..T8 addressed by 2-trit unsigned
+// indices.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "ternary/trit.hpp"
+#include "ternary/word.hpp"
+
+namespace art9::isa {
+
+/// Number of general-purpose ternary registers (TRF entries).
+inline constexpr int kNumRegisters = 9;
+
+/// All 24 ART-9 opcodes, in Table I order.
+enum class Opcode : uint8_t {
+  // R-type: logical / arithmetic on TRF operands.
+  kMv,
+  kPti,
+  kNti,
+  kSti,
+  kAnd,
+  kOr,
+  kXor,
+  kAdd,
+  kSub,
+  kSr,
+  kSl,
+  kComp,
+  // I-type: immediate forms.
+  kAndi,
+  kAddi,
+  kSri,
+  kSli,
+  kLui,
+  kLi,
+  // B-type: branches and jump-and-links.
+  kBeq,
+  kBne,
+  kJal,
+  kJalr,
+  // M-type: memory access.
+  kLoad,
+  kStore,
+};
+
+inline constexpr int kNumOpcodes = 24;
+
+/// Operand shape of an instruction (finer-grained than the paper's four
+/// letter classes, because encoding/hazard logic needs the exact fields).
+enum class Format : uint8_t {
+  kRBinary,  // op Ta, Tb      : reads Ta & Tb, writes Ta (AND..COMP)
+  kRUnary,   // op Ta, Tb      : reads Tb only, writes Ta (MV/PTI/NTI/STI)
+  kImm3,     // op Ta, imm3    : reads & writes Ta (ANDI/ADDI, balanced imm)
+  kShiftImm, // op Ta, sh      : reads & writes Ta (SRI/SLI, unsigned 0..8)
+  kLui,      // LUI Ta, imm4   : writes Ta = {imm[3:0], 00000}
+  kLi,       // LI  Ta, imm5   : writes Ta = {Ta[8:5], imm[4:0]}
+  kBranch,   // op Tb, B, imm4 : reads Tb[0], PC-relative offset
+  kJal,      // JAL Ta, imm5   : writes Ta = PC+1, PC += imm
+  kJalr,     // JALR Ta,Tb,imm3: writes Ta = PC+1, PC = Tb + imm
+  kMem,      // LOAD/STORE Ta, imm3(Tb)
+};
+
+/// One decoded ART-9 instruction.
+///
+/// `imm` stores the *balanced* immediate value for every format except
+/// kShiftImm, where it stores the unsigned shift amount 0..8 (shift
+/// amounts, like register indices, live in the paper's unsigned domain).
+struct Instruction {
+  Opcode op = Opcode::kAddi;
+  int ta = 0;                       // Ta field (0..8)
+  int tb = 0;                       // Tb field (0..8)
+  ternary::Trit bcond;              // B operand of BEQ/BNE
+  int imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+
+  /// Canonical NOP: ADDI T0, 0 (paper §IV-B — no dedicated NOP encoding).
+  static Instruction nop() { return Instruction{Opcode::kAddi, 0, 0, ternary::kTritZ, 0}; }
+
+  /// Canonical HALT convention: `JAL T0, 0` jumps to itself; simulators
+  /// stop when they execute it.  (The paper defines no halt; a
+  /// self-branch is the usual bare-metal idle idiom.)
+  static Instruction halt() { return Instruction{Opcode::kJal, 0, 0, ternary::kTritZ, 0}; }
+};
+
+/// Static description of one opcode.
+struct OpcodeSpec {
+  std::string_view mnemonic;
+  Format format;
+  // Immediate range (balanced value, or unsigned for kShiftImm).
+  int imm_min = 0;
+  int imm_max = 0;
+  // Register usage for hazard detection / liveness.
+  bool reads_ta = false;
+  bool reads_tb = false;
+  bool writes_ta = false;
+  bool is_branch = false;  // conditional branch (BEQ/BNE)
+  bool is_jump = false;    // JAL/JALR
+  bool is_load = false;
+  bool is_store = false;
+};
+
+/// Lookup of the static spec for `op`.
+[[nodiscard]] const OpcodeSpec& spec(Opcode op);
+
+/// Mnemonic (upper-case, as in Table I).
+[[nodiscard]] std::string_view mnemonic(Opcode op);
+
+/// Reverse lookup; throws std::invalid_argument for unknown mnemonics.
+/// Case-insensitive.
+[[nodiscard]] Opcode opcode_from_mnemonic(std::string_view name);
+
+/// True if `op` may redirect the PC (branch or jump).
+[[nodiscard]] inline bool changes_control_flow(Opcode op) {
+  const OpcodeSpec& s = spec(op);
+  return s.is_branch || s.is_jump;
+}
+
+/// Human-readable one-line rendering, e.g. "ADD T1, T2" / "BEQ T3, +, -5".
+[[nodiscard]] std::string to_string(const Instruction& inst);
+
+std::ostream& operator<<(std::ostream& os, const Instruction& inst);
+
+/// All opcodes, for sweep tests.
+[[nodiscard]] const std::array<Opcode, kNumOpcodes>& all_opcodes();
+
+}  // namespace art9::isa

@@ -1,0 +1,58 @@
+// An assembled ART-9 program: the TIM image (code), the TDM initial image
+// (data) and the symbol table.
+//
+// Addressing convention used throughout this repository: software-visible
+// addresses (labels, PC values, pointers) are *balanced* 9-trit values.
+// The memory hardware decodes a 9-trit address pattern to a row via the
+// unsigned digit interpretation (paper §II-A); since pattern <-> row is a
+// bijection, the choice is invisible to software, and balanced addresses
+// let base+offset arithmetic reuse the one balanced adder.  Address 0 is
+// the reset PC.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "ternary/word.hpp"
+
+namespace art9::isa {
+
+/// One initialised TDM word.
+struct DataWord {
+  int64_t address;        // balanced address
+  ternary::Word9 value;
+
+  friend bool operator==(const DataWord&, const DataWord&) = default;
+};
+
+/// A fully assembled program.
+struct Program {
+  /// Decoded instructions, contiguous from `entry`.
+  std::vector<Instruction> code;
+  /// Encoded machine words (same order as `code`).
+  std::vector<ternary::Word9> image;
+  /// Initialised data words for the TDM.
+  std::vector<DataWord> data;
+  /// Label -> balanced address (code and data labels share one namespace).
+  std::map<std::string, int64_t> symbols;
+  /// Balanced address of the first instruction (reset PC).
+  int64_t entry = 0;
+
+  /// Number of ternary memory cells (trits) the program occupies — the
+  /// quantity Fig. 5 compares (9 trits per instruction word plus 9 per
+  /// initialised data word).
+  [[nodiscard]] int64_t memory_cells() const {
+    return static_cast<int64_t>(code.size() + data.size()) * 9;
+  }
+
+  /// Code-only trit count.
+  [[nodiscard]] int64_t code_trits() const { return static_cast<int64_t>(code.size()) * 9; }
+
+  /// Address of the label, or throws std::out_of_range.
+  [[nodiscard]] int64_t symbol(const std::string& name) const { return symbols.at(name); }
+};
+
+}  // namespace art9::isa

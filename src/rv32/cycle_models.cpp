@@ -1,0 +1,90 @@
+#include "rv32/cycle_models.hpp"
+
+namespace art9::rv32 {
+
+void PicoRv32CycleModel::observe(const Rv32Retired& retired) {
+  ++instructions_;
+  const Rv32Spec& s = spec(retired.inst.op);
+  switch (s.klass) {
+    case Rv32Class::kAlu:
+      cycles_ += costs_.alu;
+      break;
+    case Rv32Class::kLoad:
+      cycles_ += costs_.load;
+      break;
+    case Rv32Class::kStore:
+      cycles_ += costs_.store;
+      break;
+    case Rv32Class::kBranch:
+      cycles_ += retired.taken ? costs_.branch_taken : costs_.branch_not_taken;
+      break;
+    case Rv32Class::kJump:
+      cycles_ += retired.inst.op == Rv32Op::kJalr ? costs_.jalr : costs_.jal;
+      break;
+    case Rv32Class::kMul:
+      cycles_ += costs_.mul;
+      break;
+    case Rv32Class::kDiv:
+      cycles_ += costs_.div;
+      break;
+    case Rv32Class::kSystem:
+      cycles_ += costs_.system;
+      break;
+  }
+}
+
+void VexRiscvCycleModel::observe(const Rv32Retired& retired) {
+  ++instructions_;
+  ++cycles_;  // base throughput of the pipeline
+  const Rv32Instruction& inst = retired.inst;
+  const Rv32Spec& s = spec(inst.op);
+
+  // Load-use interlock: does this instruction read the register a load
+  // produced last cycle?
+  if (pending_load_rd_ != 0) {
+    bool uses = false;
+    switch (s.format) {
+      case Rv32Format::kR:
+        uses = inst.rs1 == pending_load_rd_ || inst.rs2 == pending_load_rd_;
+        break;
+      case Rv32Format::kI:
+      case Rv32Format::kIShift:
+        uses = inst.rs1 == pending_load_rd_;
+        break;
+      case Rv32Format::kS:
+      case Rv32Format::kB:
+        uses = inst.rs1 == pending_load_rd_ || inst.rs2 == pending_load_rd_;
+        break;
+      case Rv32Format::kU:
+      case Rv32Format::kJ:
+      case Rv32Format::kSystem:
+        uses = false;
+        break;
+    }
+    if (uses) {
+      cycles_ += costs_.load_use_stall;
+      ++load_use_stalls_;
+    }
+  }
+  pending_load_rd_ = (s.klass == Rv32Class::kLoad && inst.rd != 0) ? inst.rd : 0;
+
+  switch (s.klass) {
+    case Rv32Class::kBranch:
+    case Rv32Class::kJump:
+      if (retired.taken) {
+        cycles_ += costs_.taken_branch_penalty;
+        ++branch_penalties_;
+      }
+      break;
+    case Rv32Class::kMul:
+      cycles_ += costs_.mul_extra;
+      break;
+    case Rv32Class::kDiv:
+      cycles_ += costs_.div_extra;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace art9::rv32

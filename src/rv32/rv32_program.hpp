@@ -1,0 +1,40 @@
+// Assembled RV32 program image (Harvard layout mirroring the ART-9 setup:
+// instruction store + byte-addressable data RAM).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rv32/rv32_isa.hpp"
+
+namespace art9::rv32 {
+
+struct Rv32DataWord {
+  uint32_t address;  // byte address, 4-aligned
+  uint32_t value;
+
+  friend bool operator==(const Rv32DataWord&, const Rv32DataWord&) = default;
+};
+
+struct Rv32Program {
+  std::vector<Rv32Instruction> code;
+  std::vector<uint32_t> image;         // encoded words, parallel to `code`
+  std::vector<Rv32DataWord> data;
+  std::map<std::string, int64_t> symbols;
+  uint32_t entry = 0;                  // byte address of the first instruction
+
+  /// Number of binary memory cells (bits) the program occupies — the
+  /// RV-32I bar of Fig. 5 (32 bits per instruction + 32 per initialised
+  /// data word).
+  [[nodiscard]] int64_t memory_cells() const {
+    return static_cast<int64_t>(code.size() + data.size()) * 32;
+  }
+
+  [[nodiscard]] int64_t code_bits() const { return static_cast<int64_t>(code.size()) * 32; }
+
+  [[nodiscard]] int64_t symbol(const std::string& name) const { return symbols.at(name); }
+};
+
+}  // namespace art9::rv32

@@ -1,0 +1,69 @@
+// Functional RV32I(+M) simulator with a retired-instruction observer hook.
+//
+// The observer stream feeds the instruction-level timing models of
+// PicoRV32 and VexRiscv (src/rv32/cycle_models.*), which is how Tables II
+// and III obtain baseline cycle counts without the cores' RTL.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "rv32/rv32_program.hpp"
+
+namespace art9::rv32 {
+
+class Rv32SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One retired instruction, as seen by timing models.
+struct Rv32Retired {
+  Rv32Instruction inst;
+  uint32_t pc = 0;
+  bool taken = false;  // for branches: condition true
+};
+
+struct Rv32RunStats {
+  uint64_t instructions = 0;
+  bool halted = false;  // reached ecall/ebreak
+};
+
+class Rv32Simulator {
+ public:
+  using Observer = std::function<void(const Rv32Retired&)>;
+
+  explicit Rv32Simulator(const Rv32Program& program, std::size_t ram_bytes = 1u << 20);
+
+  /// Executes one instruction; false when ECALL/EBREAK retires (halt
+  /// convention, mirroring the ART-9 self-jump).
+  bool step();
+
+  Rv32RunStats run(uint64_t max_instructions = 100'000'000, const Observer& observer = {});
+
+  [[nodiscard]] uint32_t reg(int index) const { return regs_.at(static_cast<std::size_t>(index)); }
+  void set_reg(int index, uint32_t value) {
+    if (index != 0) regs_.at(static_cast<std::size_t>(index)) = value;
+  }
+  [[nodiscard]] uint32_t pc() const noexcept { return pc_; }
+
+  [[nodiscard]] uint32_t load_word(uint32_t address) const;
+  void store_word(uint32_t address, uint32_t value);
+  [[nodiscard]] uint8_t load_byte(uint32_t address) const;
+
+ private:
+  const Rv32Instruction& fetch() const;
+  [[nodiscard]] uint32_t ram_at(uint32_t address, uint32_t size) const;
+
+  std::vector<Rv32Instruction> code_;
+  uint32_t entry_;
+  std::vector<uint8_t> ram_;
+  std::array<uint32_t, 32> regs_{};
+  uint32_t pc_ = 0;
+  Observer observer_;
+};
+
+}  // namespace art9::rv32

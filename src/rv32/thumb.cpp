@@ -1,0 +1,477 @@
+#include "rv32/thumb.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace art9::rv32 {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool is_ident(std::string_view tok) {
+  tok = trim(tok);
+  if (tok.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(tok.front())) && tok.front() != '_') return false;
+  for (char c : tok) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+struct Stmt {
+  int line = 0;
+  int64_t address = 0;  // halfword address (code) or word index (data)
+  bool in_data = false;
+  std::string head;
+  std::vector<std::string> operands;
+};
+
+/// Splits on commas outside brackets/braces.
+std::vector<std::string_view> split_operands(std::string_view s) {
+  std::vector<std::string_view> out;
+  s = trim(s);
+  if (s.empty()) return out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '[' || s[i] == '{') ++depth;
+    if (s[i] == ']' || s[i] == '}') --depth;
+    if (s[i] == ',' && depth == 0) {
+      out.push_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  out.push_back(trim(s.substr(start)));
+  return out;
+}
+
+class ThumbAssembler {
+ public:
+  ThumbProgram run(std::string_view source) {
+    parse(source);
+    layout();
+    emit();
+    return std::move(program_);
+  }
+
+ private:
+  void parse(std::string_view source) {
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      std::size_t eol = source.find('\n', pos);
+      std::string_view line =
+          source.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+      pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+      ++line_no;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ';' || line[i] == '@' || line[i] == '#' ) {
+          // '#' only starts a comment at the beginning (it prefixes
+          // immediates elsewhere).
+          if (line[i] == '#' && i != 0) continue;
+          line = line.substr(0, i);
+          break;
+        }
+      }
+      line = trim(line);
+      while (!line.empty()) {
+        std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) break;
+        std::string_view label = trim(line.substr(0, colon));
+        if (!is_ident(label)) throw ThumbAsmError(line_no, "bad label");
+        pending_.emplace_back(line_no, std::string(label));
+        line = trim(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+      Stmt st;
+      st.line = line_no;
+      std::size_t sp = 0;
+      while (sp < line.size() && !std::isspace(static_cast<unsigned char>(line[sp]))) ++sp;
+      st.head = lower(line.substr(0, sp));
+      for (std::string_view rest = trim(line.substr(sp)); std::string_view tok : split_operands(rest)) {
+        st.operands.emplace_back(tok);
+      }
+      for (auto& p : pending_) labels_for_stmt_[stmts_.size()].push_back(p);
+      pending_.clear();
+      stmts_.push_back(std::move(st));
+    }
+    if (!pending_.empty()) {
+      Stmt st;
+      st.line = pending_.front().first;
+      st.head = ".end_labels";
+      for (auto& p : pending_) labels_for_stmt_[stmts_.size()].push_back(p);
+      pending_.clear();
+      stmts_.push_back(std::move(st));
+    }
+  }
+
+  static int64_t size_halfwords(const Stmt& st) {
+    if (st.head.empty() || st.head[0] == '.') return 0;
+    return st.head == "bl" ? 2 : 1;
+  }
+
+  void layout() {
+    int64_t code_hw = 0;   // halfword index
+    int64_t data_words = 0;
+    bool in_data = false;
+    for (std::size_t i = 0; i < stmts_.size(); ++i) {
+      Stmt& st = stmts_[i];
+      if (st.head == ".data") {
+        in_data = true;
+        continue;
+      }
+      if (st.head == ".text") {
+        in_data = false;
+        continue;
+      }
+      st.in_data = in_data;
+      auto it = labels_for_stmt_.find(i);
+      if (it != labels_for_stmt_.end()) {
+        for (auto& [line, name] : it->second) {
+          if (program_.symbols.contains(name)) throw ThumbAsmError(line, "duplicate symbol");
+          // Code labels are byte addresses (like real Thumb); data labels
+          // are word indices.
+          program_.symbols[name] = in_data ? data_words : code_hw * 2;
+        }
+      }
+      if (in_data) {
+        st.address = data_words;
+        if (st.head == ".word") data_words += static_cast<int64_t>(st.operands.size());
+        if (st.head == ".zero") data_words += std::stoll(st.operands.at(0));
+      } else {
+        st.address = code_hw * 2;  // byte address
+        code_hw += size_halfwords(st);
+      }
+    }
+  }
+
+  int reg(const Stmt& st, std::string_view tok) const {
+    std::string t = lower(trim(tok));
+    if (t == "sp") return 13;
+    if (t == "lr") return 14;
+    if (t == "pc") return 15;
+    if (t.size() >= 2 && t[0] == 'r') {
+      const int n = std::stoi(t.substr(1));
+      if (n >= 0 && n <= 15) return n;
+    }
+    throw ThumbAsmError(st.line, "bad register '" + std::string(tok) + "'");
+  }
+
+  int low_reg(const Stmt& st, std::string_view tok) const {
+    const int r = reg(st, tok);
+    if (r > 7) throw ThumbAsmError(st.line, "register must be r0..r7");
+    return r;
+  }
+
+  int64_t imm(const Stmt& st, std::string_view tok) const {
+    std::string t(trim(tok));
+    if (!t.empty() && t[0] == '#') t = t.substr(1);
+    t = std::string(trim(t));
+    if (t.empty()) throw ThumbAsmError(st.line, "empty immediate");
+    if (is_ident(t)) {
+      auto it = program_.symbols.find(t);
+      if (it == program_.symbols.end()) throw ThumbAsmError(st.line, "undefined symbol " + t);
+      return it->second;
+    }
+    try {
+      return std::stoll(t, nullptr, 0);
+    } catch (const std::exception&) {
+      throw ThumbAsmError(st.line, "bad immediate '" + std::string(tok) + "'");
+    }
+  }
+
+  int64_t imm_range(const Stmt& st, std::string_view tok, int64_t lo, int64_t hi) const {
+    const int64_t v = imm(st, tok);
+    if (v < lo || v > hi) {
+      throw ThumbAsmError(st.line, "immediate " + std::to_string(v) + " outside [" +
+                                       std::to_string(lo) + "," + std::to_string(hi) + "]");
+    }
+    return v;
+  }
+
+  int64_t label_addr(const Stmt& st, std::string_view tok) const {
+    std::string t(trim(tok));
+    auto it = program_.symbols.find(t);
+    if (it == program_.symbols.end()) throw ThumbAsmError(st.line, "undefined label " + t);
+    return it->second;
+  }
+
+  void put(uint16_t hw) { program_.halfwords.push_back(hw); }
+
+  /// [rn, #off] / [rn] / [rn, rm] memory operand.
+  struct MemOp {
+    int rn;
+    std::optional<int> rm;
+    int64_t offset = 0;
+  };
+  MemOp mem_operand(const Stmt& st, std::size_t first_index) const {
+    // Operands were split on top-level commas; the bracketed part may span
+    // one or two operand tokens: "[rn" + "#off]" or "[rn]" (brackets keep
+    // commas inside one token thanks to split_operands' depth tracking).
+    std::string text;
+    for (std::size_t i = first_index; i < st.operands.size(); ++i) {
+      if (i > first_index) text += ',';
+      text += st.operands[i];
+    }
+    std::string_view s = trim(text);
+    if (s.size() < 2 || s.front() != '[' || s.back() != ']') {
+      throw ThumbAsmError(st.line, "expected [reg, #off] operand");
+    }
+    s = s.substr(1, s.size() - 2);
+    MemOp out{0, std::nullopt, 0};
+    auto parts = split_operands(s);
+    out.rn = reg(st, parts.at(0));
+    if (parts.size() == 2) {
+      std::string_view p = trim(parts[1]);
+      if (!p.empty() && (p[0] == '#' || std::isdigit(static_cast<unsigned char>(p[0])) || p[0] == '-')) {
+        out.offset = imm(st, p);
+      } else {
+        out.rm = reg(st, p);
+      }
+    } else if (parts.size() > 2) {
+      throw ThumbAsmError(st.line, "malformed memory operand");
+    }
+    return out;
+  }
+
+  uint16_t reglist(const Stmt& st, std::string_view tok, bool allow_lr, bool allow_pc) const {
+    std::string_view s = trim(tok);
+    if (s.size() < 2 || s.front() != '{' || s.back() != '}') {
+      throw ThumbAsmError(st.line, "expected {reglist}");
+    }
+    uint16_t bits = 0;
+    for (std::string_view part : split_operands(s.substr(1, s.size() - 2))) {
+      const int r = reg(st, part);
+      if (r <= 7) {
+        bits |= static_cast<uint16_t>(1u << r);
+      } else if (r == 14 && allow_lr) {
+        bits |= 1u << 8;
+      } else if (r == 15 && allow_pc) {
+        bits |= 1u << 8;
+      } else {
+        throw ThumbAsmError(st.line, "register not allowed in reglist");
+      }
+    }
+    return bits;
+  }
+
+  void emit() {
+    for (const Stmt& st : stmts_) {
+      if (st.head.empty() || st.head == ".end_labels" || st.head == ".text" || st.head == ".data") {
+        continue;
+      }
+      if (st.head == ".word") {
+        for (const std::string& o : st.operands) {
+          program_.data_words.push_back(static_cast<uint32_t>(imm(st, o)));
+        }
+        continue;
+      }
+      if (st.head == ".zero") {
+        const int64_t n = imm(st, st.operands.at(0));
+        for (int64_t k = 0; k < n; ++k) program_.data_words.push_back(0);
+        continue;
+      }
+      if (st.head == ".equ") {
+        program_.symbols[std::string(trim(st.operands.at(0)))] = imm(st, st.operands.at(1));
+        continue;
+      }
+      if (st.head[0] == '.') throw ThumbAsmError(st.line, "unknown directive " + st.head);
+      encode_instruction(st);
+    }
+  }
+
+  void encode_instruction(const Stmt& st) {
+    const std::string& h = st.head;
+    auto u16 = [](uint32_t v) { return static_cast<uint16_t>(v); };
+
+    if (h == "nop") {
+      put(0xBF00);
+      return;
+    }
+    if (h == "movs" && st.operands.size() == 2 && trim(st.operands[1]).front() == '#') {
+      put(u16(0b00100u << 11 | static_cast<uint32_t>(low_reg(st, st.operands[0])) << 8 |
+              static_cast<uint32_t>(imm_range(st, st.operands[1], 0, 255))));
+      return;
+    }
+    if ((h == "movs" || h == "mov") && st.operands.size() == 2) {
+      // MOVS Rd, Rm encoded as LSLS Rd, Rm, #0; MOV high-register form for
+      // sp/lr copies.
+      const int rd = reg(st, st.operands[0]);
+      const int rm = reg(st, st.operands[1]);
+      if (rd <= 7 && rm <= 7 && h == "movs") {
+        put(u16(static_cast<uint32_t>(rm) << 3 | static_cast<uint32_t>(rd)));
+      } else {
+        put(u16(0b01000110u << 8 | (static_cast<uint32_t>(rd >> 3) & 1u) << 7 |
+                static_cast<uint32_t>(rm) << 3 | (static_cast<uint32_t>(rd) & 7u)));
+      }
+      return;
+    }
+    if (h == "adds" || h == "subs") {
+      const bool sub = h == "subs";
+      if (st.operands.size() == 3 && trim(st.operands[2]).front() == '#') {
+        put(u16((sub ? 0b0001111u : 0b0001110u) << 9 |
+                static_cast<uint32_t>(imm_range(st, st.operands[2], 0, 7)) << 6 |
+                static_cast<uint32_t>(low_reg(st, st.operands[1])) << 3 |
+                static_cast<uint32_t>(low_reg(st, st.operands[0]))));
+      } else if (st.operands.size() == 3) {
+        put(u16((sub ? 0b0001101u : 0b0001100u) << 9 |
+                static_cast<uint32_t>(low_reg(st, st.operands[2])) << 6 |
+                static_cast<uint32_t>(low_reg(st, st.operands[1])) << 3 |
+                static_cast<uint32_t>(low_reg(st, st.operands[0]))));
+      } else {
+        put(u16((sub ? 0b00111u : 0b00110u) << 11 |
+                static_cast<uint32_t>(low_reg(st, st.operands[0])) << 8 |
+                static_cast<uint32_t>(imm_range(st, st.operands[1], 0, 255))));
+      }
+      return;
+    }
+    if (h == "cmp") {
+      if (trim(st.operands[1]).front() == '#') {
+        put(u16(0b00101u << 11 | static_cast<uint32_t>(low_reg(st, st.operands[0])) << 8 |
+                static_cast<uint32_t>(imm_range(st, st.operands[1], 0, 255))));
+      } else {
+        put(u16(0b0100001010u << 6 | static_cast<uint32_t>(low_reg(st, st.operands[1])) << 3 |
+                static_cast<uint32_t>(low_reg(st, st.operands[0]))));
+      }
+      return;
+    }
+    static const std::map<std::string, uint32_t> kDp = {
+        {"ands", 0b0000}, {"eors", 0b0001}, {"adcs", 0b0101}, {"sbcs", 0b0110},
+        {"rors", 0b0111}, {"tst", 0b1000},  {"negs", 0b1001}, {"cmn", 0b1011},
+        {"orrs", 0b1100}, {"muls", 0b1101}, {"bics", 0b1110}, {"mvns", 0b1111},
+    };
+    if (auto it = kDp.find(h); it != kDp.end()) {
+      put(u16(0b010000u << 10 | it->second << 6 |
+              static_cast<uint32_t>(low_reg(st, st.operands[1])) << 3 |
+              static_cast<uint32_t>(low_reg(st, st.operands[0]))));
+      return;
+    }
+    if (h == "lsls" || h == "lsrs" || h == "asrs") {
+      if (st.operands.size() == 3) {
+        const uint32_t op = h == "lsls" ? 0b000u : (h == "lsrs" ? 0b001u : 0b010u);
+        put(u16(op << 11 | static_cast<uint32_t>(imm_range(st, st.operands[2], 0, 31)) << 6 |
+                static_cast<uint32_t>(low_reg(st, st.operands[1])) << 3 |
+                static_cast<uint32_t>(low_reg(st, st.operands[0]))));
+      } else {
+        const uint32_t op = h == "lsls" ? 0b0010u : (h == "lsrs" ? 0b0011u : 0b0100u);
+        put(u16(0b010000u << 10 | op << 6 |
+                static_cast<uint32_t>(low_reg(st, st.operands[1])) << 3 |
+                static_cast<uint32_t>(low_reg(st, st.operands[0]))));
+      }
+      return;
+    }
+    if (h == "ldr" || h == "str" || h == "ldrb" || h == "strb") {
+      const int rt = low_reg(st, st.operands.at(0));
+      const MemOp m = mem_operand(st, 1);
+      const bool byte = h.back() == 'b';
+      const bool load = h[0] == 'l';
+      if (m.rm) {
+        // register offset: 0101 LB0 Rm Rn Rt (load/byte select bits)
+        if (*m.rm > 7 || m.rn > 7) throw ThumbAsmError(st.line, "registers must be r0..r7");
+        uint32_t op = load ? (byte ? 0b0101110u : 0b0101100u) : (byte ? 0b0101010u : 0b0101000u);
+        put(u16(op << 9 | static_cast<uint32_t>(*m.rm) << 6 |
+                static_cast<uint32_t>(m.rn) << 3 | static_cast<uint32_t>(rt)));
+      } else if (m.rn == 13) {
+        if (byte) throw ThumbAsmError(st.line, "no SP-relative byte access in Thumb-1");
+        const int64_t off = m.offset;
+        if (off % 4 != 0 || off < 0 || off > 1020) throw ThumbAsmError(st.line, "bad SP offset");
+        put(u16((load ? 0b10011u : 0b10010u) << 11 | static_cast<uint32_t>(rt) << 8 |
+                static_cast<uint32_t>(off / 4)));
+      } else {
+        const int rn = m.rn;
+        if (rn > 7) throw ThumbAsmError(st.line, "base must be r0..r7 or sp");
+        if (byte) {
+          if (m.offset < 0 || m.offset > 31) throw ThumbAsmError(st.line, "bad byte offset");
+          put(u16((load ? 0b01111u : 0b01110u) << 11 |
+                  static_cast<uint32_t>(m.offset) << 6 | static_cast<uint32_t>(rn) << 3 |
+                  static_cast<uint32_t>(rt)));
+        } else {
+          if (m.offset % 4 != 0 || m.offset < 0 || m.offset > 124) {
+            throw ThumbAsmError(st.line, "bad word offset");
+          }
+          put(u16((load ? 0b01101u : 0b01100u) << 11 |
+                  static_cast<uint32_t>(m.offset / 4) << 6 | static_cast<uint32_t>(rn) << 3 |
+                  static_cast<uint32_t>(rt)));
+        }
+      }
+      return;
+    }
+    static const std::map<std::string, uint32_t> kCond = {
+        {"beq", 0b0000}, {"bne", 0b0001}, {"bhs", 0b0010}, {"blo", 0b0011},
+        {"bmi", 0b0100}, {"bpl", 0b0101}, {"bvs", 0b0110}, {"bvc", 0b0111},
+        {"bhi", 0b1000}, {"bls", 0b1001}, {"bge", 0b1010}, {"blt", 0b1011},
+        {"bgt", 0b1100}, {"ble", 0b1101},
+    };
+    if (auto it = kCond.find(h); it != kCond.end()) {
+      const int64_t target = label_addr(st, st.operands.at(0));
+      const int64_t off = target - (st.address + 4);  // PC reads as addr+4
+      if (off % 2 != 0 || off < -256 || off > 254) throw ThumbAsmError(st.line, "bcond out of range");
+      put(u16(0b1101u << 12 | it->second << 8 | (static_cast<uint32_t>(off >> 1) & 0xffu)));
+      return;
+    }
+    if (h == "b") {
+      const int64_t target = label_addr(st, st.operands.at(0));
+      const int64_t off = target - (st.address + 4);
+      if (off % 2 != 0 || off < -2048 || off > 2046) throw ThumbAsmError(st.line, "b out of range");
+      put(u16(0b11100u << 11 | (static_cast<uint32_t>(off >> 1) & 0x7ffu)));
+      return;
+    }
+    if (h == "bl") {
+      const int64_t target = label_addr(st, st.operands.at(0));
+      const int64_t off = target - (st.address + 4);
+      if (off % 2 != 0 || off < -(1 << 22) || off >= (1 << 22)) {
+        throw ThumbAsmError(st.line, "bl out of range");
+      }
+      const auto v = static_cast<uint32_t>(off >> 1);
+      put(u16(0b11110u << 11 | ((v >> 11) & 0x7ffu)));
+      put(u16(0b11111u << 11 | (v & 0x7ffu)));
+      return;
+    }
+    if (h == "bx") {
+      put(u16(0b010001110u << 7 | static_cast<uint32_t>(reg(st, st.operands.at(0))) << 3));
+      return;
+    }
+    if (h == "push" || h == "pop") {
+      const bool pop = h == "pop";
+      const uint16_t list = reglist(st, st.operands.at(0), /*allow_lr=*/!pop, /*allow_pc=*/pop);
+      put(u16((pop ? 0b1011110u : 0b1011010u) << 9 | list));
+      return;
+    }
+    if (h == "add" && lower(trim(st.operands.at(0))) == "sp") {
+      put(u16(0b101100000u << 7 |
+              static_cast<uint32_t>(imm_range(st, st.operands.at(1), 0, 508) / 4)));
+      return;
+    }
+    if (h == "sub" && lower(trim(st.operands.at(0))) == "sp") {
+      put(u16(0b101100001u << 7 |
+              static_cast<uint32_t>(imm_range(st, st.operands.at(1), 0, 508) / 4)));
+      return;
+    }
+    throw ThumbAsmError(st.line, "unsupported thumb instruction '" + h + "'");
+  }
+
+  ThumbProgram program_;
+  std::vector<Stmt> stmts_;
+  std::vector<std::pair<int, std::string>> pending_;
+  std::map<std::size_t, std::vector<std::pair<int, std::string>>> labels_for_stmt_;
+};
+
+}  // namespace
+
+ThumbProgram assemble_thumb(std::string_view source) {
+  ThumbAssembler assembler;
+  return assembler.run(source);
+}
+
+}  // namespace art9::rv32

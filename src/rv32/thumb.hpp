@@ -1,0 +1,53 @@
+// ARMv6-M (Thumb-1) subset assembler — code-size baseline of Fig. 5.
+//
+// The paper compares the ART-9 program footprint (trits) against ARMv6-M
+// (16-bit Thumb instructions).  This assembler covers the Thumb-1 subset
+// the benchmark ports use, with real T16 encodings (BL is the one 32-bit
+// encoding).  Counting memory cells only needs sizes, but encoding for
+// real keeps the baseline honest and testable.
+//
+// Supported syntax (labels/.org/.equ/.data/.word/.zero as elsewhere):
+//   movs rd, #imm8        adds/subs rd, rn, rm | rd, rn, #imm3 | rd, #imm8
+//   mov rd, rm            ands/orrs/eors/bics/mvns/negs (2-reg forms)
+//   lsls/lsrs/asrs rd, rm, #imm5        muls rd, rm
+//   cmp rn, #imm8 | cmp rn, rm
+//   ldr/str rt, [rn, #off] | [rn, rm]   ldrb/strb rt, [rn, #off]
+//   b label | b<cond> label (eq ne lt ge gt le lo hs) | bl label | bx lr
+//   push {reglist} / pop {reglist}      nop
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace art9::rv32 {
+
+class ThumbAsmError : public std::runtime_error {
+ public:
+  ThumbAsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message) {}
+};
+
+struct ThumbProgram {
+  std::vector<uint16_t> halfwords;  // encoded instruction stream
+  std::vector<uint32_t> data_words; // initialised data (32-bit words)
+  std::map<std::string, int64_t> symbols;
+
+  /// Binary memory cells (bits): 16 per instruction halfword plus 32 per
+  /// initialised data word — the ARMv6-M bar of Fig. 5.
+  [[nodiscard]] int64_t memory_cells() const {
+    return static_cast<int64_t>(halfwords.size()) * 16 +
+           static_cast<int64_t>(data_words.size()) * 32;
+  }
+
+  [[nodiscard]] int64_t code_bits() const {
+    return static_cast<int64_t>(halfwords.size()) * 16;
+  }
+};
+
+[[nodiscard]] ThumbProgram assemble_thumb(std::string_view source);
+
+}  // namespace art9::rv32

@@ -1,0 +1,93 @@
+#include "sim/functional_sim.hpp"
+
+#include "sim/talu.hpp"
+
+namespace art9::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+using ternary::Word9;
+
+FunctionalSimulator::FunctionalSimulator(const isa::Program& program)
+    : tim_(static_cast<std::size_t>(TernaryMemory::kRows)),
+      tim_valid_(static_cast<std::size_t>(TernaryMemory::kRows), false) {
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const std::size_t row = TernaryMemory::row_of(program.entry + static_cast<int64_t>(i));
+    tim_[row] = program.code[i];
+    tim_valid_[row] = true;
+  }
+  load_data(program, state_);
+}
+
+const Instruction& FunctionalSimulator::fetch(int64_t pc) const {
+  const std::size_t row = TernaryMemory::row_of(pc);
+  if (!tim_valid_[row]) {
+    throw SimError("fetch from uninitialised TIM address " + std::to_string(pc));
+  }
+  return tim_[row];
+}
+
+bool FunctionalSimulator::step() {
+  const Instruction& inst = fetch(state_.pc);
+  const isa::OpcodeSpec& s = isa::spec(inst.op);
+  int64_t next_pc = ArchState::wrap(state_.pc + 1);
+
+  switch (inst.op) {
+    case Opcode::kBeq:
+    case Opcode::kBne: {
+      const ternary::Trit lst = state_.trf.read(inst.tb).lst();
+      const bool eq = lst == inst.bcond;
+      const bool taken = inst.op == Opcode::kBeq ? eq : !eq;
+      if (taken) next_pc = ArchState::wrap(state_.pc + inst.imm);
+      break;
+    }
+    case Opcode::kJal: {
+      if (inst.imm == 0) return false;  // HALT convention
+      state_.trf.write(inst.ta, Word9::from_int_wrapped(state_.pc + 1));
+      next_pc = ArchState::wrap(state_.pc + inst.imm);
+      break;
+    }
+    case Opcode::kJalr: {
+      const int64_t target = ArchState::wrap(state_.trf.read(inst.tb).to_int() + inst.imm);
+      if (target == state_.pc) return false;  // self-jump = halt (no link write)
+      state_.trf.write(inst.ta, Word9::from_int_wrapped(state_.pc + 1));
+      next_pc = target;
+      break;
+    }
+    case Opcode::kLoad: {
+      const int64_t addr = state_.trf.read(inst.tb).to_int() + inst.imm;
+      state_.trf.write(inst.ta, state_.tdm.read(addr));
+      break;
+    }
+    case Opcode::kStore: {
+      const int64_t addr = state_.trf.read(inst.tb).to_int() + inst.imm;
+      state_.tdm.write(addr, state_.trf.read(inst.ta));
+      break;
+    }
+    default: {
+      const Word9& a = state_.trf.read(inst.ta);
+      const Word9& b = state_.trf.read(inst.tb);
+      if (s.writes_ta) state_.trf.write(inst.ta, execute(inst, a, b));
+      break;
+    }
+  }
+  state_.pc = next_pc;
+  return true;
+}
+
+SimStats FunctionalSimulator::run(uint64_t max_instructions) {
+  SimStats stats;
+  while (stats.instructions < max_instructions) {
+    if (!step()) {
+      stats.halt = HaltReason::kHalted;
+      stats.cycles = stats.instructions;
+      return stats;
+    }
+    ++stats.instructions;
+  }
+  stats.halt = HaltReason::kMaxCycles;
+  stats.cycles = stats.instructions;
+  return stats;
+}
+
+}  // namespace art9::sim

@@ -1,0 +1,40 @@
+// Functional (instruction-at-a-time) ART-9 simulator — the golden model
+// that the cycle-accurate pipeline is differentially tested against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/machine.hpp"
+
+namespace art9::sim {
+
+class FunctionalSimulator {
+ public:
+  explicit FunctionalSimulator(const isa::Program& program);
+
+  /// Executes one instruction.  Returns false when the HALT convention
+  /// (self-jump) executes — state.pc then rests on the halt instruction.
+  bool step();
+
+  /// Runs until HALT or `max_instructions`.
+  SimStats run(uint64_t max_instructions = 100'000'000);
+
+  [[nodiscard]] const ArchState& state() const noexcept { return state_; }
+  [[nodiscard]] ArchState& state() noexcept { return state_; }
+
+  /// Convenience accessors.
+  [[nodiscard]] const ternary::Word9& reg(int index) const { return state_.trf.read(index); }
+  [[nodiscard]] int64_t reg_int(int index) const { return state_.trf.read(index).to_int(); }
+
+ private:
+  const isa::Instruction& fetch(int64_t pc) const;
+
+  ArchState state_;
+  // Pre-decoded TIM rows (self-modifying code unsupported, by design).
+  std::vector<isa::Instruction> tim_;
+  std::vector<bool> tim_valid_;
+};
+
+}  // namespace art9::sim

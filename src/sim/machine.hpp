@@ -1,0 +1,68 @@
+// Shared simulator types: architectural state, halt reasons, statistics.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hpp"
+#include "sim/memory.hpp"
+#include "sim/regfile.hpp"
+
+namespace art9::sim {
+
+/// Raised on architectural errors (fetch from uninitialised TIM, invalid
+/// encoding reached the decoder, cycle budget exhausted).
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Why a run() returned.
+enum class HaltReason {
+  kHalted,       // executed the HALT convention (self-jump)
+  kMaxCycles,    // budget exhausted before halting
+};
+
+/// Architectural state shared by the functional and pipelined simulators.
+/// Differential tests compare these field-by-field.
+struct ArchState {
+  RegFile trf;
+  TernaryMemory tdm;
+  int64_t pc = 0;  // balanced 9-trit value
+
+  /// Wraps a balanced value into the 9-trit range (what the PC register and
+  /// address adders do on overflow).
+  [[nodiscard]] static int64_t wrap(int64_t value) noexcept {
+    return ternary::Word9::from_int_wrapped(value).to_int();
+  }
+};
+
+/// Run statistics.  The pipeline model fills every field; the functional
+/// model only counts retired instructions (its "cycles" equal instructions).
+struct SimStats {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;       // retired, excluding squashed bubbles
+  uint64_t stall_load_use = 0;     // cycles lost to load-use interlocks
+  uint64_t stall_branch_hazard = 0;  // cycles lost waiting for branch/JALR operands
+  uint64_t stall_raw = 0;          // cycles lost to RAW interlocks when forwarding is off
+  uint64_t flush_taken_branch = 0;   // wrong-path fetches squashed by taken branches/jumps
+  uint64_t predictions_correct = 0;  // static-prediction hits (no bubble paid)
+  uint64_t predictions_wrong = 0;    // mispredictions (bubble paid as usual)
+  HaltReason halt = HaltReason::kHalted;
+
+  /// Cycles per retired instruction.
+  [[nodiscard]] double cpi() const {
+    return instructions == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(instructions);
+  }
+};
+
+/// Loads `program` into instruction storage + TDM and resets `state`.
+/// (TIM is modelled as pre-decoded instruction rows — see simulator
+/// classes; self-modifying code is out of scope and documented as such.)
+inline void load_data(const isa::Program& program, ArchState& state) {
+  for (const isa::DataWord& d : program.data) state.tdm.poke(d.address, d.value);
+  state.pc = program.entry;
+}
+
+}  // namespace art9::sim

@@ -1,0 +1,62 @@
+// Ternary memory model shared by TIM and TDM.
+//
+// The hardware decodes a 9-trit address pattern to one of 3^9 = 19683 rows
+// using the unsigned digit interpretation (paper §II-A).  Software-visible
+// addresses in this repository are balanced values; the bijection is
+// row = balanced + 9841 (mod 19683).  Reads/writes are counted so cycle
+// models and power estimators can charge per-access energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ternary/word.hpp"
+
+namespace art9::sim {
+
+class TernaryMemory {
+ public:
+  /// Full 9-trit address space.
+  static constexpr int64_t kRows = ternary::Word9::kStates;  // 19683
+
+  TernaryMemory() : rows_(static_cast<std::size_t>(kRows)) {}
+
+  /// Row index for a balanced address (wraps modulo 3^9).
+  [[nodiscard]] static std::size_t row_of(int64_t balanced_address) noexcept {
+    int64_t r = (balanced_address + ternary::Word9::kMaxValue) % kRows;
+    if (r < 0) r += kRows;
+    return static_cast<std::size_t>(r);
+  }
+
+  [[nodiscard]] const ternary::Word9& read(int64_t balanced_address) {
+    ++reads_;
+    return rows_[row_of(balanced_address)];
+  }
+
+  /// Read without bumping the access counters (debug/bench inspection).
+  [[nodiscard]] const ternary::Word9& peek(int64_t balanced_address) const {
+    return rows_[row_of(balanced_address)];
+  }
+
+  void write(int64_t balanced_address, const ternary::Word9& value) {
+    ++writes_;
+    rows_[row_of(balanced_address)] = value;
+  }
+
+  /// Direct initialisation (program load) — not counted as an access.
+  void poke(int64_t balanced_address, const ternary::Word9& value) {
+    rows_[row_of(balanced_address)] = value;
+  }
+
+  [[nodiscard]] uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] uint64_t writes() const noexcept { return writes_; }
+
+  void reset_counters() noexcept { reads_ = writes_ = 0; }
+
+ private:
+  std::vector<ternary::Word9> rows_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace art9::sim

@@ -1,0 +1,137 @@
+// Cycle-accurate simulator of the 5-stage pipelined ART-9 core
+// (paper Fig. 4): IF -> ID -> EX -> MEM -> WB.
+//
+// Modelled microarchitecture (paper §IV-B):
+//  * synchronous single-port TIM and TDM; TRF with two asynchronous read
+//    ports and one synchronous write port;
+//  * hazard detection unit (HDU) in ID;
+//  * forwarding multiplexers feeding the TALU from the EX/MEM and MEM/WB
+//    pipeline registers (ALU-use hazards never stall);
+//  * branch-target calculator + condition checker in ID, with a dedicated
+//    one-trit forwarding path for the condition (so a COMP immediately
+//    before its branch costs no stall);
+//  * the only hardware-inserted stalls are load-use interlocks and the
+//    single squashed fetch after a taken branch/jump — exactly the two
+//    cases the paper reports.
+//
+// Every mechanism has an ablation switch in PipelineConfig so the
+// ablation bench can price each design decision.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "ternary/word.hpp"
+
+namespace art9::sim {
+
+struct PipelineConfig {
+  /// EX/MEM + MEM/WB -> TALU operand bypass.  Off: RAW hazards stall in ID.
+  bool ex_forwarding = true;
+  /// One-trit condition bypass (EX combinational + EX/MEM + MEM/WB) into
+  /// the ID condition checker, and 9-trit EX/MEM + MEM/WB bypass for the
+  /// JALR base.  Off: branches/JALR stall until the producer retires.
+  bool id_forwarding = true;
+  /// TRF write in WB is visible to ID reads in the same cycle
+  /// (read-during-write bypass inside the register file).  Off: the HDU
+  /// must also interlock distance-3 RAW hazards for one cycle (the write
+  /// lands at the clock edge, after the ID read).
+  bool regfile_write_through = true;
+  /// Resolve branches in ID (paper's design, 1 taken-branch bubble).
+  /// Off: resolve in EX (2 bubbles) — the ablation baseline.
+  bool branch_in_id = true;
+  /// Extension (not in the paper): static prediction in IF — backward
+  /// conditional branches predict taken and JAL targets are folded into
+  /// the fetch, removing the bubble when the prediction holds.  Requires
+  /// branch_in_id (ignored otherwise).
+  bool static_prediction = false;
+  /// Cycle budget for run().
+  uint64_t max_cycles = 50'000'000;
+};
+
+class PipelineSimulator {
+ public:
+  explicit PipelineSimulator(const isa::Program& program, PipelineConfig config = {});
+
+  /// Advances one clock cycle.  Returns false on the cycle the HALT
+  /// instruction retires (that cycle is included in the statistics).
+  bool step();
+
+  /// Runs to halt or the cycle budget.
+  SimStats run();
+
+  [[nodiscard]] const ArchState& state() const noexcept { return state_; }
+  [[nodiscard]] ArchState& state() noexcept { return state_; }
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] const ternary::Word9& reg(int index) const { return state_.trf.read(index); }
+  [[nodiscard]] int64_t reg_int(int index) const { return state_.trf.read(index).to_int(); }
+
+  /// Streams a CycleTrace per clock to `observer` (pass nullptr to stop).
+  void set_tracer(TraceObserver observer) { tracer_ = std::move(observer); }
+
+ private:
+  struct IfId {
+    bool valid = false;
+    bool poisoned = false;  // fetched from uninitialised TIM (wrong path)
+    bool predicted_taken = false;  // static prediction applied at fetch
+    isa::Instruction inst;
+    int64_t pc = 0;
+  };
+  struct IdEx {
+    bool valid = false;
+    bool is_halt = false;  // recognised halt convention; performs no writes
+    isa::Instruction inst;
+    int64_t pc = 0;
+    ternary::Word9 a;  // TRF[Ta] as read in ID
+    ternary::Word9 b;  // TRF[Tb] as read in ID
+  };
+  struct ExMem {
+    bool valid = false;
+    bool is_halt = false;
+    isa::Instruction inst;
+    int64_t pc = 0;
+    ternary::Word9 result;     // ALU result / link value / memory address
+    ternary::Word9 store_val;  // STORE data
+  };
+  struct MemWb {
+    bool valid = false;
+    bool is_halt = false;
+    isa::Instruction inst;
+    int64_t pc = 0;
+    ternary::Word9 result;  // value for the TRF write port
+  };
+
+  [[nodiscard]] static bool is_halt_jal(const isa::Instruction& inst) {
+    return inst.op == isa::Opcode::kJal && inst.imm == 0;
+  }
+  /// True if `inst` writes a TRF register when it retires (the JAL-encoded
+  /// halt never does).
+  [[nodiscard]] static bool writes_reg(const isa::Instruction& inst) {
+    return isa::spec(inst.op).writes_ta && !is_halt_jal(inst);
+  }
+
+  const isa::Instruction& fetch(int64_t pc, bool& ok) const;
+
+  ArchState state_;
+  PipelineConfig config_;
+  SimStats stats_;
+
+  std::vector<isa::Instruction> tim_;
+  std::vector<bool> tim_valid_;
+
+  IfId ifid_;
+  IdEx idex_;
+  ExMem exmem_;
+  MemWb memwb_;
+
+  bool fetch_stopped_ = false;
+  bool halted_ = false;
+  TraceObserver tracer_;
+};
+
+}  // namespace art9::sim

@@ -1,0 +1,39 @@
+// The ternary register file (TRF): nine general-purpose 9-trit registers,
+// two asynchronous read ports and one synchronous write port (paper §IV-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "isa/instruction.hpp"
+#include "ternary/word.hpp"
+
+namespace art9::sim {
+
+class RegFile {
+ public:
+  [[nodiscard]] const ternary::Word9& read(int index) const {
+    return regs_.at(check(index));
+  }
+
+  void write(int index, const ternary::Word9& value) { regs_.at(check(index)) = value; }
+
+  [[nodiscard]] const std::array<ternary::Word9, isa::kNumRegisters>& all() const noexcept {
+    return regs_;
+  }
+
+  friend bool operator==(const RegFile&, const RegFile&) = default;
+
+ private:
+  static std::size_t check(int index) {
+    if (index < 0 || index >= isa::kNumRegisters) {
+      throw std::out_of_range("TRF index out of range: " + std::to_string(index));
+    }
+    return static_cast<std::size_t>(index);
+  }
+
+  std::array<ternary::Word9, isa::kNumRegisters> regs_{};
+};
+
+}  // namespace art9::sim

@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace art9::sim {
+
+const char* event_name(CycleEvent event) {
+  switch (event) {
+    case CycleEvent::kNone: return "";
+    case CycleEvent::kLoadUseStall: return "load-use stall";
+    case CycleEvent::kBranchHazardStall: return "branch-hazard stall";
+    case CycleEvent::kRawStall: return "raw stall";
+    case CycleEvent::kTakenBranchFlush: return "flush";
+    case CycleEvent::kHaltSeen: return "halt";
+  }
+  return "";
+}
+
+std::string render_trace(const CycleTrace& t) {
+  std::ostringstream os;
+  os.width(6);
+  os << t.cycle << " |";
+  if (t.fetch_active) {
+    os << " IF@" << t.fetch_pc;
+  } else {
+    os << " IF--";
+  }
+  static const char* kNames[4] = {"ID", "EX", "MEM", "WB"};
+  for (std::size_t i = 0; i < t.stages.size(); ++i) {
+    os << " | " << kNames[i] << ' ';
+    if (t.stages[i].valid) {
+      os << t.stages[i].pc << ':' << isa::to_string(t.stages[i].inst);
+    } else {
+      os << "-";
+    }
+  }
+  if (t.event != CycleEvent::kNone) os << "  <" << event_name(t.event) << '>';
+  return os.str();
+}
+
+}  // namespace art9::sim

@@ -1,0 +1,55 @@
+// Pipeline execution tracing: a per-cycle snapshot of the five stages and
+// the hazard events, streamed to an observer.  The renderer produces the
+// classic one-line-per-cycle pipeline diagram used by `art9-run --trace`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace art9::sim {
+
+/// What one stage holds during a cycle.
+struct StageTrace {
+  bool valid = false;
+  int64_t pc = 0;
+  isa::Instruction inst;
+};
+
+/// Hazard/control events of one cycle.
+enum class CycleEvent : uint8_t {
+  kNone,
+  kLoadUseStall,
+  kBranchHazardStall,
+  kRawStall,
+  kTakenBranchFlush,
+  kHaltSeen,
+};
+
+/// Snapshot of one clock cycle (stage order: IF, ID, EX, MEM, WB).
+struct CycleTrace {
+  uint64_t cycle = 0;
+  int64_t fetch_pc = 0;
+  bool fetch_active = false;
+  std::array<StageTrace, 4> stages;  // ID, EX, MEM, WB
+  CycleEvent event = CycleEvent::kNone;
+
+  [[nodiscard]] const StageTrace& id() const { return stages[0]; }
+  [[nodiscard]] const StageTrace& ex() const { return stages[1]; }
+  [[nodiscard]] const StageTrace& mem() const { return stages[2]; }
+  [[nodiscard]] const StageTrace& wb() const { return stages[3]; }
+};
+
+using TraceObserver = std::function<void(const CycleTrace&)>;
+
+/// One-line rendering, e.g.
+/// "  42 | IF@7      | ID 6:BNE T3,0,-4 | EX 5:COMP ... | flush".
+[[nodiscard]] std::string render_trace(const CycleTrace& trace);
+
+/// Event name for logs ("load-use", "flush", ...).
+[[nodiscard]] const char* event_name(CycleEvent event);
+
+}  // namespace art9::sim

@@ -1,0 +1,63 @@
+#include "tech/analyzer.hpp"
+
+namespace art9::tech {
+namespace {
+
+double area_of(const Netlist& n, const Technology& tech) {
+  double area = 0.0;
+  for (CellType t : all_cell_types()) {
+    const CellParams& p = tech.cell(t);
+    area += n.count(t) * (tech.fabric() == Fabric::kTernaryGates ? p.gate_equivalents : p.alms);
+  }
+  return area;
+}
+
+double power_of(const Netlist& n, const Technology& tech) {
+  double nw = 0.0;
+  for (CellType t : all_cell_types()) nw += n.count(t) * tech.cell(t).power_nw;
+  return nw * 1e-9;
+}
+
+}  // namespace
+
+AnalysisReport GateLevelAnalyzer::analyze(const Art9Design& design, const Technology& tech) const {
+  AnalysisReport report;
+  report.technology = tech.name();
+  report.voltage_v = tech.voltage();
+
+  const Netlist& dp = design.datapath;
+  for (const Netlist& child : dp.children()) {
+    report.module_area[child.name()] = area_of(child, tech);
+  }
+
+  // Critical path.
+  for (const auto& [cell, stages] : dp.critical_path()) {
+    report.critical_delay_ps += stages * tech.cell(cell).delay_ps;
+  }
+  if (report.critical_delay_ps > 0.0) {
+    report.max_clock_mhz = 1e6 / report.critical_delay_ps;  // ps -> MHz
+  }
+  if (tech.clock_cap_mhz() > 0.0 && (report.max_clock_mhz == 0.0 ||
+                                     report.max_clock_mhz > tech.clock_cap_mhz())) {
+    report.max_clock_mhz = tech.clock_cap_mhz();
+  }
+
+  const int64_t total_words = design.tim_words + design.tdm_words;
+  if (tech.fabric() == Fabric::kTernaryGates) {
+    report.total_gates = area_of(dp, tech);
+    report.power_w = power_of(dp, tech);
+  } else {
+    report.alms = area_of(dp, tech) + 2 * tech.memory().alms_per_port;
+    report.ff_bits =
+        static_cast<int64_t>(design.state_trits * tech.cell(CellType::kTdff).ff_bits) +
+        design.binary_state_bits;
+    report.ram_bits = static_cast<int64_t>(static_cast<double>(total_words) * 9.0 *
+                                           tech.memory().bits_per_trit);
+    report.power_w = tech.static_power_w() + power_of(dp, tech) +
+                     report.alms * tech.alm_power_nw() * 1e-9 +
+                     static_cast<double>(total_words) * tech.memory().power_nw_per_word * 1e-9;
+  }
+  return report;
+}
+
+}  // namespace art9::tech

@@ -1,0 +1,40 @@
+// Gate-level analyzer (paper Fig. 3): composes a Technology's per-cell
+// characteristics over the ART-9 design to estimate gate count, critical
+// delay, achievable clock, power, and — for the binary-emulation fabric —
+// ALM / register / RAM-bit resources.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tech/netlist.hpp"
+
+namespace art9::tech {
+
+struct AnalysisReport {
+  std::string technology;
+  double voltage_v = 0.0;
+
+  // Ternary-gate fabric (Table IV).
+  double total_gates = 0.0;       // standard-ternary-gate equivalents
+  double power_w = 0.0;           // datapath power
+  // Binary-emulation fabric (Table V).
+  double alms = 0.0;
+  int64_t ff_bits = 0;            // "Registers"
+  int64_t ram_bits = 0;
+
+  // Timing.
+  double critical_delay_ps = 0.0;
+  double max_clock_mhz = 0.0;     // after any fabric clock cap
+
+  /// Per-module gate-equivalent (or ALM) breakdown.
+  std::map<std::string, double> module_area;
+};
+
+class GateLevelAnalyzer {
+ public:
+  [[nodiscard]] AnalysisReport analyze(const Art9Design& design, const Technology& tech) const;
+};
+
+}  // namespace art9::tech

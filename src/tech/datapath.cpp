@@ -1,0 +1,134 @@
+#include "tech/datapath.hpp"
+
+namespace art9::tech {
+namespace {
+
+constexpr int kW = 9;  // datapath width in trits
+
+/// TALU (EX stage): adder, subtract negation row, logic rows, inverter
+/// rows, two-digit barrel shifter, comparator, result/immediate muxing.
+Netlist build_talu() {
+  Netlist talu("TALU");
+
+  Netlist adder("adder");  // 9-trit balanced ripple adder
+  adder.add(CellType::kTfa, kW);
+  talu.add(adder);
+
+  Netlist negate("sub-negate");  // STI row on operand B for SUB
+  negate.add(CellType::kSti, kW);
+  talu.add(negate);
+
+  Netlist logic("logic-unit");  // AND / OR / XOR rows
+  logic.add(CellType::kTand2, kW);
+  logic.add(CellType::kTor2, kW);
+  logic.add(CellType::kTxor2, kW);
+  talu.add(logic);
+
+  Netlist inverters("inverter-unit");  // STI / NTI / PTI rows
+  inverters.add(CellType::kSti, kW);
+  inverters.add(CellType::kNti, kW);
+  inverters.add(CellType::kPti, kW);
+  talu.add(inverters);
+
+  Netlist shifter("shifter");  // 2 ternary-digit stages x 2 directions
+  shifter.add(CellType::kTmux3, 4 * kW);
+  talu.add(shifter);
+
+  Netlist comparator("comparator");  // per-trit compare + priority chain
+  comparator.add(CellType::kTcmp, kW);
+  comparator.add(CellType::kTor2, kW - 1);
+  talu.add(comparator);
+
+  Netlist result_mux("result-mux");  // 6-way select, two TMUX3 levels
+  result_mux.add(CellType::kTmux3, 3 * kW);
+  talu.add(result_mux);
+
+  Netlist imm_insert("imm-insert");  // LUI/LI field insertion
+  imm_insert.add(CellType::kTmux3, kW);
+  talu.add(imm_insert);
+
+  return talu;
+}
+
+Netlist build_decoder() {
+  // Main decoder (ID stage): major/minor opcode field matches plus a few
+  // combine gates for the control signals.
+  Netlist dec("main-decoder");
+  dec.add(CellType::kTdec, 24);
+  dec.add(CellType::kTand2, 3);
+  dec.add(CellType::kSti, 3);
+  return dec;
+}
+
+Netlist build_hdu() {
+  // Hazard detection unit: register-index equality (2-trit compares
+  // against the in-flight destinations) and stall combine logic.
+  Netlist hdu("hazard-detection");
+  hdu.add(CellType::kTcmp, 8);
+  hdu.add(CellType::kTor2, 3);
+  return hdu;
+}
+
+Netlist build_forwarding() {
+  // Forwarding multiplexers: two 9-trit operands, two bypass levels each.
+  Netlist fwd("forwarding-mux");
+  fwd.add(CellType::kTmux3, 4 * kW);
+  return fwd;
+}
+
+Netlist build_branch_unit() {
+  // ID-stage branch-target calculator (dedicated 9-trit adder) and the
+  // one-trit condition checker.
+  Netlist branch("branch-unit");
+  branch.add(CellType::kTfa, kW);
+  branch.add(CellType::kTcmp, 1);
+  return branch;
+}
+
+Netlist build_pc_logic() {
+  // PC incrementer (half-adder chain) and the next-PC select muxes.
+  Netlist pc("pc-logic");
+  pc.add(CellType::kTha, kW);
+  pc.add(CellType::kTmux3, 2 * kW);
+  return pc;
+}
+
+}  // namespace
+
+Art9Design build_art9_design(const DatapathOptions& options) {
+  Art9Design design;
+  Netlist top("art9-datapath");
+  top.add(build_talu());
+  top.add(build_decoder());
+  top.add(build_hdu());
+  if (options.ex_forwarding) top.add(build_forwarding());
+  if (options.branch_in_id) top.add(build_branch_unit());
+  top.add(build_pc_logic());
+
+  // Critical path: EX stage — forwarding mux, SUB negate, ripple carry
+  // through the 9-trit adder, result mux (paper §IV-B: the branch path is
+  // kept off the critical path by the one-trit condition forwarding).
+  std::vector<std::pair<CellType, int>> path;
+  if (options.ex_forwarding) path.emplace_back(CellType::kTmux3, 2);
+  path.emplace_back(CellType::kSti, 1);
+  path.emplace_back(CellType::kTfa, kW);
+  path.emplace_back(CellType::kTmux3, 2);
+  top.set_critical_path(std::move(path));
+
+  design.datapath = top;
+
+  // Sequential state (trits):
+  //   TRF                 9 regs x 9     = 81
+  //   PC                                 =  9
+  //   IF/ID   instr 9 + pc 9             = 18
+  //   ID/EX   a 9 + b 9 + imm 5 + ctl 4  = 27
+  //   EX/MEM  result 9 + store 9 + ctl 2 = 20
+  //   MEM/WB  result 9 + dest 2 + ctl 3  = 14
+  design.state_trits = 81 + 9 + 18 + 27 + 20 + 14;  // = 169
+  design.binary_state_bits = 1;                     // pipeline valid flag
+  design.tim_words = options.memory_words;
+  design.tdm_words = options.memory_words;
+  return design;
+}
+
+}  // namespace art9::tech

@@ -1,0 +1,24 @@
+// Structural model of the 5-stage ART-9 datapath (paper Fig. 4), expressed
+// as a hierarchy of standard-ternary-gate netlists.  Module inventories
+// follow the microarchitecture of src/sim/pipeline.cpp; per-module cell
+// counts are documented inline and unit-tested against the Table IV total
+// (652 standard ternary gates).
+#pragma once
+
+#include "tech/netlist.hpp"
+
+namespace art9::tech {
+
+/// Options mirroring the pipeline ablation switches — disabling forwarding
+/// removes the forwarding multiplexers from the netlist, etc.
+struct DatapathOptions {
+  bool ex_forwarding = true;
+  bool branch_in_id = true;
+  /// FPGA-prototype memory depth (words per memory, Table V: 256).
+  int memory_words = 256;
+};
+
+/// Builds the full design (datapath netlist + state + memories).
+[[nodiscard]] Art9Design build_art9_design(const DatapathOptions& options = {});
+
+}  // namespace art9::tech

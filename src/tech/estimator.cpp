@@ -1,0 +1,40 @@
+#include "tech/estimator.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace art9::tech {
+
+PerformanceEstimate PerformanceEstimator::estimate(const Art9Design& design,
+                                                   const Technology& tech,
+                                                   uint64_t dhrystone_cycles_per_iteration) const {
+  PerformanceEstimate est;
+  GateLevelAnalyzer analyzer;
+  est.analysis = analyzer.analyze(design, tech);
+  est.dhrystone_cycles_per_iteration = dhrystone_cycles_per_iteration;
+  if (dhrystone_cycles_per_iteration > 0) {
+    est.dmips_per_mhz = 1.0e6 / 1757.0 / static_cast<double>(dhrystone_cycles_per_iteration);
+  }
+  est.clock_mhz = est.analysis.max_clock_mhz;
+  est.dmips = est.dmips_per_mhz * est.clock_mhz;
+  if (est.analysis.power_w > 0.0) {
+    est.dmips_per_watt = est.dmips / est.analysis.power_w;
+  }
+  return est;
+}
+
+std::string summarize(const PerformanceEstimate& e) {
+  std::ostringstream os;
+  os << e.analysis.technology << " @" << e.analysis.voltage_v << "V: ";
+  if (e.analysis.total_gates > 0.0) {
+    os << e.analysis.total_gates << " ternary gates, ";
+  } else {
+    os << e.analysis.alms << " ALMs, " << e.analysis.ff_bits << " registers, "
+       << e.analysis.ram_bits << " RAM bits, ";
+  }
+  os << e.analysis.power_w * 1e6 << " uW, " << e.clock_mhz << " MHz, " << e.dmips_per_mhz
+     << " DMIPS/MHz, " << e.dmips_per_watt << " DMIPS/W";
+  return os.str();
+}
+
+}  // namespace art9::tech

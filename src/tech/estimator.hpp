@@ -1,0 +1,36 @@
+// Performance estimator (paper Fig. 3, final box): fuses the cycle-accurate
+// simulator's output (Dhrystone cycles per iteration) with the gate-level
+// analysis into the paper's headline metrics — DMIPS/MHz, DMIPS and
+// DMIPS/W for a given technology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tech/analyzer.hpp"
+
+namespace art9::tech {
+
+struct PerformanceEstimate {
+  AnalysisReport analysis;
+  uint64_t dhrystone_cycles_per_iteration = 0;
+  double dmips_per_mhz = 0.0;
+  double clock_mhz = 0.0;
+  double dmips = 0.0;
+  double dmips_per_watt = 0.0;
+};
+
+class PerformanceEstimator {
+ public:
+  /// `dhrystone_cycles_per_iteration` comes from the cycle-accurate
+  /// simulator; DMIPS uses the Dhrystone convention of 1757
+  /// iterations-per-second per DMIPS.
+  [[nodiscard]] PerformanceEstimate estimate(const Art9Design& design, const Technology& tech,
+                                             uint64_t dhrystone_cycles_per_iteration) const;
+};
+
+/// Renders the paper-style one-line summary, e.g.
+/// "CNTFET-32nm @0.9V: 652 gates, 42.7 uW, 316 MHz, 3.1e6 DMIPS/W".
+[[nodiscard]] std::string summarize(const PerformanceEstimate& estimate);
+
+}  // namespace art9::tech

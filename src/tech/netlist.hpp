@@ -1,0 +1,79 @@
+// Structural netlists: cell inventories plus a critical-path chain.
+//
+// The gate-level analyzer multiplies these inventories by a Technology's
+// per-cell data.  Netlists compose hierarchically, so the ART-9 datapath
+// model (datapath.cpp) is a tree of named modules mirroring Fig. 4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tech/technology.hpp"
+
+namespace art9::tech {
+
+/// A (cell, count) inventory plus the worst combinational chain.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Adds `count` instances of `type`.
+  void add(CellType type, int count) { counts_[static_cast<std::size_t>(type)] += count; }
+
+  /// Merges a submodule's cells (and records it in the breakdown).
+  void add(const Netlist& sub) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += sub.counts_[i];
+    children_.push_back(sub);
+  }
+
+  /// Declares the critical path as a chain of (cell, stages) hops.
+  void set_critical_path(std::vector<std::pair<CellType, int>> chain) {
+    critical_path_ = std::move(chain);
+  }
+  [[nodiscard]] const std::vector<std::pair<CellType, int>>& critical_path() const noexcept {
+    return critical_path_;
+  }
+
+  [[nodiscard]] int count(CellType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+
+  [[nodiscard]] const std::vector<Netlist>& children() const noexcept { return children_; }
+
+  /// Total combinational cell instances (TDFF excluded).
+  [[nodiscard]] int combinational_cells() const {
+    int total = 0;
+    for (CellType t : all_cell_types()) {
+      if (t != CellType::kTdff) total += count(t);
+    }
+    return total;
+  }
+
+ private:
+  std::string name_;
+  std::array<int, kNumCellTypes> counts_{};
+  std::vector<std::pair<CellType, int>> critical_path_;
+  std::vector<Netlist> children_;
+};
+
+/// The full ART-9 design: combinational datapath netlist, sequential
+/// state, and the two memories.
+struct Art9Design {
+  Netlist datapath;
+  /// Architectural + pipeline state in trits (TRF 81, PC 9, latches ...).
+  int state_trits = 0;
+  /// One extra binary-only control bit (pipeline valid flag) that exists
+  /// even in the binary emulation.
+  int binary_state_bits = 0;
+  int tim_words = 0;
+  int tdm_words = 0;
+};
+
+}  // namespace art9::tech

@@ -1,0 +1,103 @@
+#include "tech/technology.hpp"
+
+#include <stdexcept>
+
+namespace art9::tech {
+
+const std::array<CellType, kNumCellTypes>& all_cell_types() {
+  static const std::array<CellType, kNumCellTypes> kAll = {
+      CellType::kSti,  CellType::kNti,  CellType::kPti,  CellType::kTand2,
+      CellType::kTor2, CellType::kTxor2, CellType::kTmux3, CellType::kTha,
+      CellType::kTfa,  CellType::kTcmp, CellType::kTdec, CellType::kTdff,
+  };
+  return kAll;
+}
+
+const char* cell_name(CellType type) {
+  switch (type) {
+    case CellType::kSti: return "STI";
+    case CellType::kNti: return "NTI";
+    case CellType::kPti: return "PTI";
+    case CellType::kTand2: return "TAND2";
+    case CellType::kTor2: return "TOR2";
+    case CellType::kTxor2: return "TXOR2";
+    case CellType::kTmux3: return "TMUX3";
+    case CellType::kTha: return "THA";
+    case CellType::kTfa: return "TFA";
+    case CellType::kTcmp: return "TCMP";
+    case CellType::kTdec: return "TDEC";
+    case CellType::kTdff: return "TDFF";
+  }
+  return "?";
+}
+
+Technology::Technology(std::string name, Fabric fabric, double voltage_v)
+    : name_(std::move(name)), fabric_(fabric), voltage_v_(voltage_v) {}
+
+void Technology::set_cell(CellType type, CellParams params) {
+  cells_[static_cast<std::size_t>(type)] = params;
+}
+
+const CellParams& Technology::cell(CellType type) const {
+  return cells_[static_cast<std::size_t>(type)];
+}
+
+Technology Technology::cntfet32() {
+  // 32 nm CNTFET standard ternary gates at 0.9 V, simplified models without
+  // parasitic capacitance (paper §V-B referencing [8]).  Per-cell powers
+  // are calibrated so the 652-gate datapath draws 42.7 uW in total
+  // (65.5 nW per gate equivalent on average).
+  Technology t("CNTFET-32nm", Fabric::kTernaryGates, 0.9);
+  constexpr double kNwPerGate = 42.7e3 / 652.0;  // 65.49 nW
+  auto cell = [&](double geq, double delay_ps) {
+    return CellParams{delay_ps, geq * kNwPerGate, geq, 0.0, 0.0};
+  };
+  t.set_cell(CellType::kSti, cell(1.0, 40.0));
+  t.set_cell(CellType::kNti, cell(1.0, 36.0));
+  t.set_cell(CellType::kPti, cell(1.0, 36.0));
+  t.set_cell(CellType::kTand2, cell(2.0, 62.0));
+  t.set_cell(CellType::kTor2, cell(2.0, 62.0));
+  t.set_cell(CellType::kTxor2, cell(3.0, 95.0));
+  t.set_cell(CellType::kTmux3, cell(2.0, 60.0));
+  t.set_cell(CellType::kTha, cell(4.0, 180.0));
+  t.set_cell(CellType::kTfa, cell(8.0, 320.0));
+  t.set_cell(CellType::kTcmp, cell(3.0, 110.0));
+  t.set_cell(CellType::kTdec, cell(1.5, 55.0));
+  // Sequential cells sit outside the 652-gate combinational budget.
+  t.set_cell(CellType::kTdff, CellParams{120.0, 0.0, 0.0, 0.0, 0.0});
+  t.set_memory(MemoryParams{0.0, 0.0, 0.0});  // native ternary SRAM macro
+  return t;
+}
+
+Technology Technology::fpga_binary_emulation() {
+  // Binary-encoded ternary emulation on a Stratix-V-class FPGA at 0.9 V,
+  // 150 MHz (paper Table V).  One trit occupies two bits, so a 9-trit
+  // word costs 18 flip-flops / RAM bits; per-cell ALM figures follow the
+  // two-bit-plane expressions of src/ternary/bct.hpp.
+  Technology t("FPGA-binary-encoded", Fabric::kBinaryEmulation, 0.9);
+  auto cell = [](double alms, double delay_ps) {
+    return CellParams{delay_ps, 0.0, 0.0, alms, 0.0};
+  };
+  t.set_cell(CellType::kSti, cell(0.0, 0.0));  // plane swap: wiring only
+  t.set_cell(CellType::kNti, cell(1.0, 400.0));
+  t.set_cell(CellType::kPti, cell(1.0, 400.0));
+  t.set_cell(CellType::kTand2, cell(1.5, 420.0));
+  t.set_cell(CellType::kTor2, cell(1.5, 420.0));
+  t.set_cell(CellType::kTxor2, cell(2.0, 420.0));
+  t.set_cell(CellType::kTmux3, cell(2.5, 380.0));
+  t.set_cell(CellType::kTha, cell(5.0, 540.0));
+  t.set_cell(CellType::kTfa, cell(11.0, 540.0));
+  t.set_cell(CellType::kTcmp, cell(4.0, 480.0));
+  t.set_cell(CellType::kTdec, cell(2.5, 420.0));
+  t.set_cell(CellType::kTdff, CellParams{0.0, 0.0, 0.0, 0.0, 2.0});  // 2 FF bits per trit
+  // Two synchronous memories draw ~35 uW per word of capacity; each
+  // occupied ALM ~152 uW at 150 MHz; the Stratix-V static + clock-tree
+  // baseline dominates (calibrated to the 1.09 W of Table V).
+  t.set_memory(MemoryParams{2.0, 35000.0, 14.5});
+  t.set_alm_power_nw(152000.0);
+  t.set_static_power_w(0.95);
+  t.set_clock_cap_mhz(150.0);
+  return t;
+}
+
+}  // namespace art9::tech

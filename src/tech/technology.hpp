@@ -1,0 +1,112 @@
+// Technology descriptions — the "property description of the design
+// technology" input of the hardware-level evaluation framework (paper
+// Fig. 3).  A Technology carries per-primitive delay/power/area data; the
+// gate-level analyzer composes these over the datapath netlist.
+//
+// Two built-in technologies reproduce the paper's two implementation
+// targets:
+//  * cntfet32(): 32 nm CNTFET standard ternary gates at 0.9 V (per-gate
+//    figures calibrated to the published totals of [Kim et al. 2020],
+//    paper Table IV: 652 gates / 42.7 uW; see DESIGN.md §2);
+//  * fpga_binary_emulation(): binary-encoded ternary modules on a
+//    Stratix-V-class FPGA at 0.9 V / 150 MHz (paper Table V: one trit
+//    costs two bits; ALM/register/RAM-bit costs per primitive).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace art9::tech {
+
+/// Primitive ternary cells of the standard-gate library.
+enum class CellType : uint8_t {
+  kSti,    // standard ternary inverter
+  kNti,    // negative ternary inverter
+  kPti,    // positive ternary inverter
+  kTand2,  // 2-input min
+  kTor2,   // 2-input max
+  kTxor2,  // 2-input negated product
+  kTmux3,  // one-trit 3:1 multiplexer (select is a trit)
+  kTha,    // one-trit half adder (sum + carry)
+  kTfa,    // one-trit full adder
+  kTcmp,   // one-trit compare cell (sign of a-b with chain-in)
+  kTdec,   // decoder slice (opcode field match)
+  kTdff,   // one-trit D flip-flop (sequential; counted separately)
+};
+
+inline constexpr int kNumCellTypes = 12;
+
+/// All cell types, for iteration.
+[[nodiscard]] const std::array<CellType, kNumCellTypes>& all_cell_types();
+
+/// Short display name.
+[[nodiscard]] const char* cell_name(CellType type);
+
+/// Per-cell characteristics in one technology.
+struct CellParams {
+  /// Propagation delay through the cell (worst arc), picoseconds.
+  double delay_ps = 0.0;
+  /// Average power at the technology's reference voltage and activity,
+  /// nanowatts.
+  double power_nw = 0.0;
+  /// "Standard ternary gate" equivalents (Table IV counts these).
+  double gate_equivalents = 1.0;
+  /// FPGA resources when a trit is emulated with two bits (Table V).
+  double alms = 0.0;
+  double ff_bits = 0.0;  // flip-flop bits (kTdff only)
+};
+
+/// What kind of implementation fabric a technology describes.
+enum class Fabric { kTernaryGates, kBinaryEmulation };
+
+class Technology {
+ public:
+  Technology(std::string name, Fabric fabric, double voltage_v);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Fabric fabric() const noexcept { return fabric_; }
+  [[nodiscard]] double voltage() const noexcept { return voltage_v_; }
+
+  void set_cell(CellType type, CellParams params);
+  [[nodiscard]] const CellParams& cell(CellType type) const;
+
+  /// Memory macro model: bits-per-trit-cell and per-word access energy are
+  /// folded into a flat per-word power/area figure.
+  struct MemoryParams {
+    double bits_per_trit = 0.0;      // binary emulation: 2; native: 0 (trit cells)
+    double power_nw_per_word = 0.0;  // average operating power contribution
+    double alms_per_port = 0.0;      // address/control logic on FPGA
+  };
+  void set_memory(MemoryParams params) { memory_ = params; }
+  [[nodiscard]] const MemoryParams& memory() const noexcept { return memory_; }
+
+  /// Static (leakage / fabric baseline) power in watts — dominant for the
+  /// FPGA target.
+  void set_static_power_w(double watts) { static_power_w_ = watts; }
+  [[nodiscard]] double static_power_w() const noexcept { return static_power_w_; }
+
+  /// Average dynamic power per occupied ALM (binary-emulation fabric only).
+  void set_alm_power_nw(double nanowatts) { alm_power_nw_ = nanowatts; }
+  [[nodiscard]] double alm_power_nw() const noexcept { return alm_power_nw_; }
+
+  /// Hard clock constraint (MHz), if the fabric pins one (FPGA: 150 MHz).
+  void set_clock_cap_mhz(double mhz) { clock_cap_mhz_ = mhz; }
+  [[nodiscard]] double clock_cap_mhz() const noexcept { return clock_cap_mhz_; }
+
+  /// The paper's two targets.
+  static Technology cntfet32();
+  static Technology fpga_binary_emulation();
+
+ private:
+  std::string name_;
+  Fabric fabric_;
+  double voltage_v_;
+  std::array<CellParams, kNumCellTypes> cells_{};
+  MemoryParams memory_{};
+  double static_power_w_ = 0.0;
+  double alm_power_nw_ = 0.0;
+  double clock_cap_mhz_ = 0.0;
+};
+
+}  // namespace art9::tech

@@ -1,0 +1,76 @@
+// Extended balanced-ternary arithmetic used as the *reference* for the
+// software-expanded routines of the compiling framework (multiplication,
+// division) and for host-side checks.  The ART-9 ISA itself has no MUL/DIV
+// instruction (paper Table II: "Multiplier X"); the translator expands
+// binary `mul`/`div` into primitive ART-9 sequences whose behaviour must
+// match these functions.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "ternary/word.hpp"
+
+namespace art9::ternary {
+
+/// Trit-serial multiplication (shift-and-add over the multiplier's trits,
+/// MST first), wrapping modulo 3^N — exactly the algorithm of the
+/// translator's __mul runtime routine.  Equals
+/// Word<N>::from_int_wrapped(a.to_int() * b.to_int()).
+template <std::size_t N>
+[[nodiscard]] constexpr Word<N> multiply(const Word<N>& a, const Word<N>& b) noexcept {
+  Word<N> acc;
+  for (std::size_t i = N; i-- > 0;) {
+    acc = acc.shl(1);
+    switch (b[i].value()) {
+      case +1:
+        acc = acc + a;
+        break;
+      case -1:
+        acc = acc - a;
+        break;
+      default:
+        break;
+    }
+  }
+  return acc;
+}
+
+/// Quotient/remainder pair for host-side division references.
+struct DivModResult {
+  int64_t quotient;
+  int64_t remainder;
+};
+
+/// Truncating division (C semantics: quotient rounds toward zero,
+/// remainder takes the dividend's sign).  Throws on division by zero.
+[[nodiscard]] constexpr DivModResult divmod_trunc(int64_t a, int64_t b) {
+  if (b == 0) throw std::domain_error("divmod_trunc: division by zero");
+  return DivModResult{a / b, a % b};
+}
+
+/// Balanced-ternary "shift-right" division: dividing by 3^k via shr rounds
+/// to the *nearest* integer (ties broken toward the value whose dropped
+/// digits sum negative/positive — i.e. exact balanced truncation).  This
+/// helper computes that rounding on the host for property tests.
+[[nodiscard]] constexpr int64_t div_pow3_nearest(int64_t value, std::size_t k) noexcept {
+  int64_t q = value;
+  for (std::size_t i = 0; i < k; ++i) {
+    // Balanced one-digit shift: q' = round(q / 3) with balanced remainder.
+    int64_t r = q % 3;
+    q /= 3;
+    if (r > 1) ++q;
+    if (r < -1) --q;
+  }
+  return q;
+}
+
+/// Number of non-zero trits (useful for cost models of trit-serial ops).
+template <std::size_t N>
+[[nodiscard]] constexpr int popcount_nonzero(const Word<N>& w) noexcept {
+  int n = 0;
+  for (std::size_t i = 0; i < N; ++i) n += !w[i].is_zero();
+  return n;
+}
+
+}  // namespace art9::ternary

@@ -1,0 +1,27 @@
+#include "ternary/bct.hpp"
+
+namespace art9::ternary {
+
+BctWord9 BctWord9::add(const BctWord9& a, const BctWord9& b) noexcept {
+  BctWord9 out;
+  int carry = 0;
+  for (std::size_t i = 0; i < kTrits; ++i) {
+    const uint32_t bit = 1u << i;
+    const int av = ((a.pos_ & bit) ? 1 : 0) - ((a.neg_ & bit) ? 1 : 0);
+    const int bv = ((b.pos_ & bit) ? 1 : 0) - ((b.neg_ & bit) ? 1 : 0);
+    int s = av + bv + carry;
+    carry = 0;
+    if (s > 1) {
+      s -= 3;
+      carry = 1;
+    } else if (s < -1) {
+      s += 3;
+      carry = -1;
+    }
+    if (s > 0) out.pos_ |= bit;
+    if (s < 0) out.neg_ |= bit;
+  }
+  return out;
+}
+
+}  // namespace art9::ternary

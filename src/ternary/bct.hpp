@@ -1,0 +1,135 @@
+// Binary-coded (balanced) ternary — the encoding the paper uses for the
+// FPGA verification platform (paper §V-B, "all the ternary-based building
+// blocks are emulated with the binary modules, adopting the binary-encoded
+// ternary number system [Frieder & Luk 1975]").
+//
+// Each trit is held in two bit-planes: a POS bit and a NEG bit.
+//   (neg, pos) = (0,0) -> 0,  (0,1) -> +1,  (1,0) -> -1,  (1,1) invalid.
+// One 9-trit word therefore costs 18 flip-flops / RAM bits — which is why
+// the FPGA prototype's two 256-word memories occupy 2 * 256 * 18 = 9216
+// bits (Table V).
+//
+// All Fig. 1 logic gates become 2-gate-level binary expressions on the
+// planes; the equivalences against the reference `Trit` operations are
+// asserted exhaustively in tests/ternary/bct_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "ternary/word.hpp"
+
+namespace art9::ternary {
+
+/// A 9-trit word in binary-coded ternary form (two 9-bit planes).
+class BctWord9 {
+ public:
+  static constexpr std::size_t kTrits = 9;
+  static constexpr uint32_t kMask = (1u << kTrits) - 1;
+  /// Storage cost of one word in the binary emulation.
+  static constexpr int kBitsPerWord = 2 * static_cast<int>(kTrits);
+
+  /// Zero word (both planes clear).
+  constexpr BctWord9() noexcept = default;
+
+  /// Constructs from raw planes.  Throws std::invalid_argument if any trit
+  /// position has both NEG and POS set (the unused fourth code).
+  static constexpr BctWord9 from_planes(uint32_t neg, uint32_t pos) {
+    if ((neg & pos) != 0 || (neg | pos) > kMask) {
+      throw std::invalid_argument("BctWord9: invalid plane encoding");
+    }
+    BctWord9 w;
+    w.neg_ = neg;
+    w.pos_ = pos;
+    return w;
+  }
+
+  /// Encodes a ternary word.
+  static constexpr BctWord9 encode(const Word9& w) noexcept {
+    BctWord9 out;
+    for (std::size_t i = 0; i < kTrits; ++i) {
+      if (w[i] == kTritP) out.pos_ |= 1u << i;
+      if (w[i] == kTritN) out.neg_ |= 1u << i;
+    }
+    return out;
+  }
+
+  /// Decodes back to the reference representation.
+  [[nodiscard]] constexpr Word9 decode() const noexcept {
+    Word9 out;
+    for (std::size_t i = 0; i < kTrits; ++i) {
+      if (pos_ & (1u << i)) {
+        out.set(i, kTritP);
+      } else if (neg_ & (1u << i)) {
+        out.set(i, kTritN);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] constexpr uint32_t neg_plane() const noexcept { return neg_; }
+  [[nodiscard]] constexpr uint32_t pos_plane() const noexcept { return pos_; }
+
+  constexpr friend bool operator==(const BctWord9&, const BctWord9&) noexcept = default;
+
+  // --- Fig. 1 gates on bit-planes (2 binary gate levels each) -----------
+
+  /// STI: negate every trit = swap the planes.
+  [[nodiscard]] constexpr BctWord9 sti() const noexcept {
+    BctWord9 out;
+    out.neg_ = pos_;
+    out.pos_ = neg_;
+    return out;
+  }
+
+  /// NTI: +1 where input was -1, else -1.
+  [[nodiscard]] constexpr BctWord9 nti() const noexcept {
+    BctWord9 out;
+    out.pos_ = neg_;
+    out.neg_ = ~neg_ & kMask;
+    return out;
+  }
+
+  /// PTI: -1 where input was +1, else +1.
+  [[nodiscard]] constexpr BctWord9 pti() const noexcept {
+    BctWord9 out;
+    out.neg_ = pos_;
+    out.pos_ = ~pos_ & kMask;
+    return out;
+  }
+
+  /// AND = tritwise min.
+  [[nodiscard]] static constexpr BctWord9 tand(const BctWord9& a, const BctWord9& b) noexcept {
+    BctWord9 out;
+    out.neg_ = a.neg_ | b.neg_;
+    out.pos_ = a.pos_ & b.pos_ & ~out.neg_;
+    return out;
+  }
+
+  /// OR = tritwise max.
+  [[nodiscard]] static constexpr BctWord9 tor(const BctWord9& a, const BctWord9& b) noexcept {
+    BctWord9 out;
+    out.pos_ = a.pos_ | b.pos_;
+    out.neg_ = a.neg_ & b.neg_ & ~out.pos_;
+    return out;
+  }
+
+  /// XOR = negated tritwise product.
+  [[nodiscard]] static constexpr BctWord9 txor(const BctWord9& a, const BctWord9& b) noexcept {
+    BctWord9 out;
+    // product is +1 when signs agree (and both non-zero), -1 when they
+    // differ; XOR negates that.
+    out.neg_ = (a.pos_ & b.pos_) | (a.neg_ & b.neg_);
+    out.pos_ = (a.pos_ & b.neg_) | (a.neg_ & b.pos_);
+    return out;
+  }
+
+  /// Ripple addition over the planes (the binary-emulated balanced adder).
+  [[nodiscard]] static BctWord9 add(const BctWord9& a, const BctWord9& b) noexcept;
+
+ private:
+  uint32_t neg_ = 0;
+  uint32_t pos_ = 0;
+};
+
+}  // namespace art9::ternary

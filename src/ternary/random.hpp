@@ -1,0 +1,35 @@
+// Deterministic random generators for trits and words — the backbone of the
+// property-based tests and the random-program differential tests.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "ternary/trit.hpp"
+#include "ternary/word.hpp"
+
+namespace art9::ternary {
+
+/// Uniform random trit.
+template <typename Rng>
+[[nodiscard]] Trit random_trit(Rng& rng) {
+  std::uniform_int_distribution<int> dist(-1, 1);
+  return Trit(dist(rng));
+}
+
+/// Uniform random N-trit word (uniform over all 3^N states).
+template <std::size_t N, typename Rng>
+[[nodiscard]] Word<N> random_word(Rng& rng) {
+  Word<N> w;
+  for (std::size_t i = 0; i < N; ++i) w.set(i, random_trit(rng));
+  return w;
+}
+
+/// Random balanced value in a sub-range, as a word.
+template <std::size_t N, typename Rng>
+[[nodiscard]] Word<N> random_word_in(Rng& rng, int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return Word<N>::from_int(dist(rng));
+}
+
+}  // namespace art9::ternary

@@ -1,0 +1,157 @@
+// Balanced-ternary digit ("trit") and the tritwise logic operations of the
+// ART-9 processor (paper Fig. 1).
+//
+// A trit carries one of three physical levels (GND, VDD/2, VDD).  The paper
+// uses two interpretations of those levels (paper §II-A):
+//   * balanced (signed):  {-1, 0, +1} — used for data arithmetic, and
+//   * unsigned digit:     { 0, 1,  2} — used for register indices, shift
+//     amounts and memory addresses.
+// This type stores the balanced value; `level()` gives the unsigned digit
+// (`value + 1`).  The two views name the same wire, so conversion is free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace art9::ternary {
+
+/// One balanced-ternary digit: -1, 0 or +1.
+class Trit {
+ public:
+  /// Default-constructs a zero trit.
+  constexpr Trit() noexcept = default;
+
+  /// Constructs from a balanced value in {-1, 0, +1}.
+  /// Out-of-range values are a precondition violation (checked construct
+  /// available via `from_value`).
+  constexpr explicit Trit(int value) noexcept : value_(static_cast<int8_t>(value)) {}
+
+  /// Checked construction from a balanced value; throws std::out_of_range.
+  static Trit from_value(int value) {
+    if (value < -1 || value > 1) {
+      throw std::out_of_range("Trit value must be -1, 0 or +1, got " + std::to_string(value));
+    }
+    return Trit(value);
+  }
+
+  /// Checked construction from an unsigned digit ("level") in {0, 1, 2}.
+  static Trit from_level(int level) {
+    if (level < 0 || level > 2) {
+      throw std::out_of_range("Trit level must be 0, 1 or 2, got " + std::to_string(level));
+    }
+    return Trit(level - 1);
+  }
+
+  /// Balanced value in {-1, 0, +1}.
+  [[nodiscard]] constexpr int value() const noexcept { return value_; }
+
+  /// Unsigned digit in {0, 1, 2} (the paper's unsigned interpretation).
+  [[nodiscard]] constexpr int level() const noexcept { return value_ + 1; }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return value_ == 0; }
+
+  constexpr friend bool operator==(Trit a, Trit b) noexcept = default;
+  constexpr friend auto operator<=>(Trit a, Trit b) noexcept = default;
+
+  /// Canonical character: '-' for -1, '0' for 0, '+' for +1.
+  [[nodiscard]] char to_char() const noexcept;
+
+  /// Parses '-', '0', '+' (also accepts 'N'/'n', 'Z'/'z', 'P'/'p').
+  /// Throws std::invalid_argument on anything else.
+  static Trit from_char(char c);
+
+ private:
+  int8_t value_ = 0;
+};
+
+/// The three trit constants.
+inline constexpr Trit kTritN{-1};
+inline constexpr Trit kTritZ{0};
+inline constexpr Trit kTritP{+1};
+
+// --- Fig. 1 logic operations -------------------------------------------------
+//
+// The balanced-ternary logic family used by the ART-9 TALU.  AND/OR are the
+// usual min/max lattice operations; the three inverters STI/NTI/PTI are the
+// fundamental single-input gates of balanced ternary logic, and XOR is the
+// negated product, which coincides with the two-input min/max expansion
+// max(min(a, STI(b)), min(STI(a), b)) on all nine input pairs (see
+// tests/ternary/trit_test.cpp for the proof-by-exhaustion).
+
+/// Ternary AND: min(a, b).
+[[nodiscard]] constexpr Trit tand(Trit a, Trit b) noexcept {
+  return a.value() < b.value() ? a : b;
+}
+
+/// Ternary OR: max(a, b).
+[[nodiscard]] constexpr Trit tor(Trit a, Trit b) noexcept {
+  return a.value() > b.value() ? a : b;
+}
+
+/// Standard ternary inverter: STI(x) = -x.
+[[nodiscard]] constexpr Trit sti(Trit a) noexcept { return Trit(-a.value()); }
+
+/// Negative ternary inverter: NTI(-1) = +1, NTI(0) = NTI(+1) = -1.
+[[nodiscard]] constexpr Trit nti(Trit a) noexcept {
+  return a.value() == -1 ? kTritP : kTritN;
+}
+
+/// Positive ternary inverter: PTI(+1) = -1, PTI(0) = PTI(-1) = +1.
+[[nodiscard]] constexpr Trit pti(Trit a) noexcept {
+  return a.value() == +1 ? kTritN : kTritP;
+}
+
+/// Ternary XOR: -(a * b).  Equals max(min(a,-b), min(-a,b)).
+[[nodiscard]] constexpr Trit txor(Trit a, Trit b) noexcept {
+  return Trit(-(a.value() * b.value()));
+}
+
+/// Trit product (the MUL gate of ternary multiplier arrays).
+[[nodiscard]] constexpr Trit tmul(Trit a, Trit b) noexcept {
+  return Trit(a.value() * b.value());
+}
+
+/// Result of a balanced one-trit full addition: sum digit plus carry digit.
+struct TritSum {
+  Trit sum;
+  Trit carry;
+
+  constexpr friend bool operator==(const TritSum&, const TritSum&) noexcept = default;
+};
+
+/// Balanced-ternary full adder over three trits (a + b + carry-in).
+/// The raw sum lies in [-3, 3]; it is re-expressed as sum + 3*carry with
+/// sum in {-1,0,+1} and carry in {-1,0,+1}.
+[[nodiscard]] constexpr TritSum tadd_full(Trit a, Trit b, Trit cin) noexcept {
+  int s = a.value() + b.value() + cin.value();
+  int carry = 0;
+  if (s > 1) {
+    s -= 3;
+    carry = 1;
+  } else if (s < -1) {
+    s += 3;
+    carry = -1;
+  }
+  return TritSum{Trit(s), Trit(carry)};
+}
+
+/// Balanced-ternary half adder (a + b).
+[[nodiscard]] constexpr TritSum tadd_half(Trit a, Trit b) noexcept {
+  return tadd_full(a, b, kTritZ);
+}
+
+/// sign(a - b) as a trit: 0 if equal, +1 if a > b, -1 if a < b.
+/// This is the per-trit compare cell used by the COMP instruction.
+[[nodiscard]] constexpr Trit tcmp(Trit a, Trit b) noexcept {
+  return Trit((a.value() > b.value()) - (a.value() < b.value()));
+}
+
+/// All three trits in ascending order, for exhaustive sweeps.
+inline constexpr std::array<Trit, 3> kAllTrits{kTritN, kTritZ, kTritP};
+
+std::ostream& operator<<(std::ostream& os, Trit t);
+
+}  // namespace art9::ternary

@@ -1,0 +1,135 @@
+// Unbalanced (3's-complement) ternary numbers — the alternative signed
+// system the paper rejects (§II-A: "Compared to the unbalanced approaches
+// in [13], it is reported that the arithmetic operations in balanced
+// ternary numbers can be simplified according to the conversion-based
+// negation property").
+//
+// This module implements the unbalanced system so the claim can be
+// *measured*: an UnbalancedWord9 holds digits in {0,1,2}; a signed value
+// uses 3's complement (negate = invert every digit to 2-d, then add 1 —
+// which needs a full carry chain, unlike the balanced system's carry-free
+// tritwise STI).  bench_ablation_numbersys prices both negations with the
+// gate-level library.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "ternary/word.hpp"
+
+namespace art9::ternary {
+
+/// A 9-digit unsigned/3's-complement ternary word.
+class UnbalancedWord9 {
+ public:
+  static constexpr std::size_t kDigits = 9;
+  static constexpr int64_t kStates = 19683;
+  /// With an odd radix the complement range is symmetric (encodings
+  /// 9842..19682 hold -9841..-1) — unlike two's complement.  The system's
+  /// real costs against balanced ternary are the negation carry chain and
+  /// sign detection (which needs a magnitude compare, not one digit).
+  static constexpr int64_t kMaxValue = (kStates - 1) / 2;   // +9841
+  static constexpr int64_t kMinValue = -(kStates - 1) / 2;  // -9841
+
+  constexpr UnbalancedWord9() noexcept = default;
+
+  /// Encodes a signed value in 3's complement.
+  static constexpr UnbalancedWord9 from_int(int64_t value) {
+    if (value < kMinValue || value > kMaxValue) {
+      throw std::out_of_range("UnbalancedWord9::from_int: out of range");
+    }
+    UnbalancedWord9 w;
+    int64_t u = value < 0 ? value + kStates : value;
+    for (std::size_t i = 0; i < kDigits; ++i) {
+      w.digits_[i] = static_cast<int8_t>(u % 3);
+      u /= 3;
+    }
+    return w;
+  }
+
+  /// Encodes an unsigned digit-string value in [0, 3^9).
+  static constexpr UnbalancedWord9 from_unsigned(int64_t value) {
+    if (value < 0 || value >= kStates) {
+      throw std::out_of_range("UnbalancedWord9::from_unsigned: out of range");
+    }
+    UnbalancedWord9 w;
+    for (std::size_t i = 0; i < kDigits; ++i) {
+      w.digits_[i] = static_cast<int8_t>(value % 3);
+      value /= 3;
+    }
+    return w;
+  }
+
+  /// 3's-complement signed reading.
+  [[nodiscard]] constexpr int64_t to_int() const noexcept {
+    const int64_t u = to_unsigned();
+    return u > kMaxValue ? u - kStates : u;
+  }
+
+  /// Plain digit-string reading.
+  [[nodiscard]] constexpr int64_t to_unsigned() const noexcept {
+    int64_t v = 0;
+    for (std::size_t i = kDigits; i-- > 0;) v = v * 3 + digits_[i];
+    return v;
+  }
+
+  [[nodiscard]] constexpr int digit(std::size_t i) const { return digits_[i]; }
+
+  constexpr friend bool operator==(const UnbalancedWord9&, const UnbalancedWord9&) noexcept =
+      default;
+
+  /// Digit-wise inversion d -> 2-d (one STI row; NOT yet a negation).
+  [[nodiscard]] constexpr UnbalancedWord9 invert() const noexcept {
+    UnbalancedWord9 out;
+    for (std::size_t i = 0; i < kDigits; ++i) out.digits_[i] = static_cast<int8_t>(2 - digits_[i]);
+    return out;
+  }
+
+  /// Ripple addition modulo 3^9 (digit carry in {0, 1}).
+  [[nodiscard]] static constexpr UnbalancedWord9 add(const UnbalancedWord9& a,
+                                                     const UnbalancedWord9& b) noexcept {
+    UnbalancedWord9 out;
+    int carry = 0;
+    for (std::size_t i = 0; i < kDigits; ++i) {
+      int s = a.digits_[i] + b.digits_[i] + carry;
+      carry = s >= 3 ? 1 : 0;
+      out.digits_[i] = static_cast<int8_t>(s % 3);
+    }
+    return out;
+  }
+
+  /// 3's-complement negation: invert THEN increment — the full carry
+  /// chain the balanced system avoids.
+  [[nodiscard]] constexpr UnbalancedWord9 negate() const noexcept {
+    return add(invert(), from_unsigned(1));
+  }
+
+  constexpr friend UnbalancedWord9 operator+(const UnbalancedWord9& a,
+                                             const UnbalancedWord9& b) noexcept {
+    return add(a, b);
+  }
+
+  constexpr friend UnbalancedWord9 operator-(const UnbalancedWord9& a,
+                                             const UnbalancedWord9& b) noexcept {
+    return add(a, b.negate());
+  }
+
+  /// True iff the signed reading is negative — note this is a *magnitude
+  /// comparison* against (3^9-1)/2, not a single-digit test as in the
+  /// balanced system (where sign() just reads the most significant
+  /// non-zero trit).
+  [[nodiscard]] constexpr bool is_negative() const noexcept {
+    return to_unsigned() > kMaxValue;
+  }
+
+  /// Converts to the balanced representation of the same signed value.
+  [[nodiscard]] Word9 to_balanced() const { return Word9::from_int(to_int()); }
+
+  /// Converts a balanced word to the unbalanced encoding of its value.
+  static UnbalancedWord9 from_balanced(const Word9& w) { return from_int(w.to_int()); }
+
+ private:
+  int8_t digits_[kDigits] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+};
+
+}  // namespace art9::ternary

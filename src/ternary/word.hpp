@@ -1,0 +1,335 @@
+// Fixed-width balanced-ternary words.
+//
+// `Word<N>` models an N-trit register/bus value.  Trit 0 is the least
+// significant trit (LST), trit N-1 the most significant (MST).  Like the
+// hardware it models, a word is just N three-level wires; *interpretation*
+// (balanced signed vs unsigned digit string, paper §II-A) is chosen at the
+// call site via `to_int()` / `to_unsigned()`.
+//
+// Arithmetic follows the balanced-ternary adder/shifter cells of the ART-9
+// TALU: addition is a ripple of `tadd_full` cells and wraps modulo 3^N;
+// shifting left inserts zero LSTs (multiply by 3); shifting right drops
+// LSTs (divide by 3 *rounding to nearest* — a classic balanced-ternary
+// property asserted in the test-suite).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ternary/trit.hpp"
+
+namespace art9::ternary {
+
+/// 3^k for host-side range computations.
+[[nodiscard]] constexpr int64_t pow3(std::size_t k) noexcept {
+  int64_t p = 1;
+  for (std::size_t i = 0; i < k; ++i) p *= 3;
+  return p;
+}
+
+template <std::size_t N>
+class Word {
+  static_assert(N >= 1 && N <= 39, "Word<N> requires 1 <= N <= 39 to fit int64 math");
+
+ public:
+  /// Number of trits.
+  static constexpr std::size_t kTrits = N;
+  /// Number of representable states, 3^N.
+  static constexpr int64_t kStates = pow3(N);
+  /// Largest balanced value, (3^N - 1) / 2.
+  static constexpr int64_t kMaxValue = (kStates - 1) / 2;
+  /// Smallest balanced value, -(3^N - 1) / 2.
+  static constexpr int64_t kMinValue = -kMaxValue;
+  /// Largest unsigned value, 3^N - 1.
+  static constexpr int64_t kMaxUnsigned = kStates - 1;
+
+  /// Zero word.
+  constexpr Word() noexcept = default;
+
+  /// Word with every trit equal to `t`.
+  static constexpr Word filled(Trit t) noexcept {
+    Word w;
+    w.trits_.fill(t);
+    return w;
+  }
+
+  /// Builds from trits given least-significant first.
+  static constexpr Word from_trits_lsb(std::span<const Trit> trits) {
+    if (trits.size() != N) throw std::invalid_argument("from_trits_lsb: wrong trit count");
+    Word w;
+    for (std::size_t i = 0; i < N; ++i) w.trits_[i] = trits[i];
+    return w;
+  }
+
+  /// Balanced conversion: encodes `value`, which must lie in
+  /// [kMinValue, kMaxValue].  Throws std::out_of_range otherwise.
+  static constexpr Word from_int(int64_t value) {
+    if (value < kMinValue || value > kMaxValue) {
+      throw std::out_of_range("Word::from_int: value out of range");
+    }
+    return from_int_wrapped(value);
+  }
+
+  /// Balanced conversion with modular wrap-around: any int64 is reduced
+  /// modulo 3^N into [kMinValue, kMaxValue] first (what an N-trit datapath
+  /// does on overflow).
+  static constexpr Word from_int_wrapped(int64_t value) noexcept {
+    int64_t v = value % kStates;
+    if (v > kMaxValue) v -= kStates;
+    if (v < kMinValue) v += kStates;
+    Word w;
+    for (std::size_t i = 0; i < N; ++i) {
+      // Balanced remainder in {-1, 0, +1}.
+      int64_t r = v % 3;
+      v /= 3;
+      if (r > 1) {
+        r -= 3;
+        ++v;
+      } else if (r < -1) {
+        r += 3;
+        --v;
+      }
+      w.trits_[i] = Trit(static_cast<int>(r));
+    }
+    return w;
+  }
+
+  /// Unsigned-digit conversion: encodes `value` in [0, 3^N - 1] using digit
+  /// levels.  Throws std::out_of_range otherwise.
+  static constexpr Word from_unsigned(int64_t value) {
+    if (value < 0 || value > kMaxUnsigned) {
+      throw std::out_of_range("Word::from_unsigned: value out of range");
+    }
+    Word w;
+    for (std::size_t i = 0; i < N; ++i) {
+      w.trits_[i] = Trit(static_cast<int>(value % 3) - 1);
+      value /= 3;
+    }
+    return w;
+  }
+
+  /// Unsigned-digit conversion with wrap-around modulo 3^N.
+  static constexpr Word from_unsigned_wrapped(int64_t value) noexcept {
+    int64_t v = value % kStates;
+    if (v < 0) v += kStates;
+    Word w;
+    for (std::size_t i = 0; i < N; ++i) {
+      w.trits_[i] = Trit(static_cast<int>(v % 3) - 1);
+      v /= 3;
+    }
+    return w;
+  }
+
+  /// Parses an MST-first string of '+', '0', '-' (e.g. "+0-" == 9 - 1 = +8
+  /// for N == 3).  Throws std::invalid_argument on bad input.
+  static Word parse(std::string_view text) {
+    if (text.size() != N) throw std::invalid_argument("Word::parse: wrong length");
+    Word w;
+    for (std::size_t i = 0; i < N; ++i) w.trits_[N - 1 - i] = Trit::from_char(text[i]);
+    return w;
+  }
+
+  /// Trit access, index 0 = least significant.
+  [[nodiscard]] constexpr Trit operator[](std::size_t i) const noexcept { return trits_[i]; }
+
+  /// Replaces trit `i`.
+  constexpr void set(std::size_t i, Trit t) noexcept { trits_[i] = t; }
+
+  /// Least-significant trit (what the COMP/branch machinery looks at).
+  [[nodiscard]] constexpr Trit lst() const noexcept { return trits_[0]; }
+
+  /// Most-significant trit.
+  [[nodiscard]] constexpr Trit mst() const noexcept { return trits_[N - 1]; }
+
+  /// Balanced (signed) value.
+  [[nodiscard]] constexpr int64_t to_int() const noexcept {
+    int64_t v = 0;
+    for (std::size_t i = N; i-- > 0;) v = v * 3 + trits_[i].value();
+    return v;
+  }
+
+  /// Unsigned digit-string value.
+  [[nodiscard]] constexpr int64_t to_unsigned() const noexcept {
+    int64_t v = 0;
+    for (std::size_t i = N; i-- > 0;) v = v * 3 + trits_[i].level();
+    return v;
+  }
+
+  /// MST-first textual form, e.g. "+0-" for +8 with N == 3.
+  [[nodiscard]] std::string to_string() const {
+    std::string s(N, '0');
+    for (std::size_t i = 0; i < N; ++i) s[i] = trits_[N - 1 - i].to_char();
+    return s;
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
+    for (Trit t : trits_) {
+      if (!t.is_zero()) return false;
+    }
+    return true;
+  }
+
+  /// Sign of the balanced value as a trit (sign of the most significant
+  /// non-zero trit — another balanced-ternary convenience).
+  [[nodiscard]] constexpr Trit sign() const noexcept {
+    for (std::size_t i = N; i-- > 0;) {
+      if (!trits_[i].is_zero()) return trits_[i];
+    }
+    return kTritZ;
+  }
+
+  /// Extracts `M` trits starting at `lsb` (word[lsb + M - 1 : lsb]).
+  template <std::size_t M>
+  [[nodiscard]] constexpr Word<M> slice(std::size_t lsb) const {
+    if (lsb + M > N) throw std::out_of_range("Word::slice: out of range");
+    Word<M> out;
+    for (std::size_t i = 0; i < M; ++i) out.set(i, trits_[lsb + i]);
+    return out;
+  }
+
+  /// Replaces trits [lsb + M - 1 : lsb] with `part`.
+  template <std::size_t M>
+  constexpr void insert(std::size_t lsb, const Word<M>& part) {
+    if (lsb + M > N) throw std::out_of_range("Word::insert: out of range");
+    for (std::size_t i = 0; i < M; ++i) trits_[lsb + i] = part[i];
+  }
+
+  constexpr friend bool operator==(const Word&, const Word&) noexcept = default;
+
+  // --- datapath operations ---------------------------------------------
+
+  /// Ripple-carry balanced addition; returns the sum word and carry-out.
+  struct AddResult {
+    Word sum;
+    Trit carry_out;
+  };
+  [[nodiscard]] static constexpr AddResult add_with_carry(const Word& a, const Word& b,
+                                                          Trit carry_in) noexcept {
+    Word out;
+    Trit carry = carry_in;
+    for (std::size_t i = 0; i < N; ++i) {
+      TritSum s = tadd_full(a[i], b[i], carry);
+      out.trits_[i] = s.sum;
+      carry = s.carry;
+    }
+    return AddResult{out, carry};
+  }
+
+  constexpr friend Word operator+(const Word& a, const Word& b) noexcept {
+    return add_with_carry(a, b, kTritZ).sum;
+  }
+
+  /// Negation is a tritwise STI — the conversion-based negation property
+  /// that makes balanced ternary cheap (paper §II-A).
+  constexpr Word operator-() const noexcept {
+    Word out;
+    for (std::size_t i = 0; i < N; ++i) out.trits_[i] = sti(trits_[i]);
+    return out;
+  }
+
+  constexpr friend Word operator-(const Word& a, const Word& b) noexcept { return a + (-b); }
+
+  /// Logical shift left by `amount` trits: multiplies by 3^amount (mod 3^N).
+  [[nodiscard]] constexpr Word shl(std::size_t amount) const noexcept {
+    Word out;
+    if (amount >= N) return out;
+    for (std::size_t i = N; i-- > amount;) out.trits_[i] = trits_[i - amount];
+    return out;
+  }
+
+  /// Shift right by `amount` trits: divides by 3^amount rounding to the
+  /// nearest integer (zero trits enter at the MST end).
+  [[nodiscard]] constexpr Word shr(std::size_t amount) const noexcept {
+    Word out;
+    if (amount >= N) return out;
+    for (std::size_t i = 0; i + amount < N; ++i) out.trits_[i] = trits_[i + amount];
+    return out;
+  }
+
+  /// Numeric comparison of balanced values: sign(a - b) as a trit.
+  [[nodiscard]] static constexpr Trit compare(const Word& a, const Word& b) noexcept {
+    for (std::size_t i = N; i-- > 0;) {
+      Trit c = tcmp(a[i], b[i]);
+      if (!c.is_zero()) return c;
+    }
+    return kTritZ;
+  }
+
+  /// Tritwise map over one word.
+  template <typename F>
+  [[nodiscard]] constexpr Word map(F&& f) const {
+    Word out;
+    for (std::size_t i = 0; i < N; ++i) out.trits_[i] = f(trits_[i]);
+    return out;
+  }
+
+  /// Tritwise zip over two words.
+  template <typename F>
+  [[nodiscard]] static constexpr Word zip(const Word& a, const Word& b, F&& f) {
+    Word out;
+    for (std::size_t i = 0; i < N; ++i) out.trits_[i] = f(a[i], b[i]);
+    return out;
+  }
+
+ private:
+  std::array<Trit, N> trits_{};
+};
+
+/// Tritwise AND (min).
+template <std::size_t N>
+[[nodiscard]] constexpr Word<N> tand(const Word<N>& a, const Word<N>& b) noexcept {
+  return Word<N>::zip(a, b, [](Trit x, Trit y) { return tand(x, y); });
+}
+
+/// Tritwise OR (max).
+template <std::size_t N>
+[[nodiscard]] constexpr Word<N> tor(const Word<N>& a, const Word<N>& b) noexcept {
+  return Word<N>::zip(a, b, [](Trit x, Trit y) { return tor(x, y); });
+}
+
+/// Tritwise XOR (negated product).
+template <std::size_t N>
+[[nodiscard]] constexpr Word<N> txor(const Word<N>& a, const Word<N>& b) noexcept {
+  return Word<N>::zip(a, b, [](Trit x, Trit y) { return txor(x, y); });
+}
+
+/// Tritwise standard ternary inverter.
+template <std::size_t N>
+[[nodiscard]] constexpr Word<N> sti(const Word<N>& a) noexcept {
+  return a.map([](Trit x) { return sti(x); });
+}
+
+/// Tritwise negative ternary inverter.
+template <std::size_t N>
+[[nodiscard]] constexpr Word<N> nti(const Word<N>& a) noexcept {
+  return a.map([](Trit x) { return nti(x); });
+}
+
+/// Tritwise positive ternary inverter.
+template <std::size_t N>
+[[nodiscard]] constexpr Word<N> pti(const Word<N>& a) noexcept {
+  return a.map([](Trit x) { return pti(x); });
+}
+
+template <std::size_t N>
+std::ostream& operator<<(std::ostream& os, const Word<N>& w) {
+  return os << w.to_string();
+}
+
+/// The ART-9 machine word: 9 trits, balanced range [-9841, +9841],
+/// unsigned range [0, 19682].
+using Word9 = Word<9>;
+
+/// 2-trit field (register indices, short shift amounts).
+using Word2 = Word<2>;
+
+/// 3-trit field (short immediates).
+using Word3 = Word<3>;
+
+}  // namespace art9::ternary

@@ -1,0 +1,164 @@
+#include "xlat/emit.hpp"
+
+#include <map>
+#include <string>
+
+#include "isa/encoding.hpp"
+#include "xlat/regalloc.hpp"
+
+namespace art9::xlat {
+
+using isa::Instruction;
+using isa::Opcode;
+using ternary::kTritZ;
+using ternary::Word9;
+
+namespace {
+
+constexpr int kBranchRange = 40;  // imm4
+constexpr int kJalRange = 121;    // imm5
+constexpr int kMaxRelaxationRounds = 16;
+
+Opcode invert_branch(Opcode op) {
+  return op == Opcode::kBeq ? Opcode::kBne : Opcode::kBeq;
+}
+
+struct Resolver {
+  std::map<std::string, int64_t> label_addr;
+
+  void index(const XProgram& p, int64_t entry) {
+    label_addr.clear();
+    int64_t addr = entry;
+    for (const XInst& x : p.code) {
+      for (const std::string& l : x.labels) label_addr[l] = addr;
+      ++addr;
+    }
+  }
+
+  [[nodiscard]] int64_t address_of(const std::string& label) const {
+    auto it = label_addr.find(label);
+    if (it == label_addr.end()) throw TranslationError("unresolved label '" + label + "'");
+    return it->second;
+  }
+};
+
+}  // namespace
+
+EmitResult emit_program(const XProgram& input, int64_t entry) {
+  XProgram p = input;
+  Resolver resolver;
+  EmitResult result;
+  int skip_counter = 0;
+
+  // Relaxation loop: rewrite out-of-range control transfers until stable.
+  for (int round = 0;; ++round) {
+    if (round >= kMaxRelaxationRounds) {
+      throw TranslationError("branch relaxation did not converge");
+    }
+    resolver.index(p, entry);
+    bool rewrote = false;
+    XProgram next;
+    next.data = p.data;
+    std::vector<std::string> pending;  // labels for the next emitted instruction
+    auto push = [&](XInst x) {
+      x.labels.insert(x.labels.end(), pending.begin(), pending.end());
+      pending.clear();
+      next.code.push_back(std::move(x));
+    };
+    int64_t addr = entry;  // address in the *input* layout (what resolver indexed)
+    for (const XInst& x : p.code) {
+      const Instruction& inst = x.inst;
+      if (x.target.empty() || x.target.starts_with("@abs_")) {
+        push(x);
+        ++addr;
+        continue;
+      }
+      const int64_t delta = resolver.address_of(x.target) - addr;
+      if (inst.op == Opcode::kBeq || inst.op == Opcode::kBne) {
+        // Keep a safety margin: earlier instructions' relaxations can move
+        // the target a few more words in later rounds.
+        if (delta >= -(kBranchRange - 8) && delta <= (kBranchRange - 8)) {
+          push(x);
+          ++addr;
+          continue;
+        }
+        rewrote = true;
+        ++result.relaxed_branches;
+        const std::string skip = "@sk" + std::to_string(skip_counter++);
+        XInst inverted(Instruction{invert_branch(inst.op), inst.ta, inst.tb, inst.bcond, 0},
+                       skip);
+        inverted.labels = x.labels;
+        push(inverted);
+        push(XInst(Instruction{Opcode::kJal, kScratch0, 0, kTritZ, 0}, x.target));
+        pending.push_back(skip);
+        ++addr;
+        continue;
+      }
+      if (inst.op == Opcode::kJal) {
+        if (delta >= -(kJalRange - 8) && delta <= (kJalRange - 8)) {
+          push(x);
+          ++addr;
+          continue;
+        }
+        rewrote = true;
+        ++result.relaxed_branches;
+        const int link = inst.ta == kScratch0 ? kScratch1 : inst.ta;
+        XInst lui(Instruction{Opcode::kLui, kScratch0, 0, kTritZ, 0});
+        lui.target = "@abs_hi:" + x.target;
+        lui.labels = x.labels;
+        XInst li(Instruction{Opcode::kLi, kScratch0, 0, kTritZ, 0});
+        li.target = "@abs_lo:" + x.target;
+        push(lui);
+        push(li);
+        push(XInst(Instruction{Opcode::kJalr, link, kScratch0, kTritZ, 0}));
+        ++addr;
+        continue;
+      }
+      push(x);
+      ++addr;
+    }
+    if (!pending.empty()) {
+      // A skip label fell off the end: bind it to an appended HALT.
+      XInst halt(Instruction::halt());
+      halt.labels = pending;
+      next.code.push_back(std::move(halt));
+    }
+    p = std::move(next);
+    if (!rewrote) break;
+  }
+
+  // Final resolution and encoding.
+  resolver.index(p, entry);
+  isa::Program& out = result.program;
+  out.entry = entry;
+  out.data = p.data;
+  for (const auto& [label, address] : resolver.label_addr) {
+    if (!label.starts_with("@")) out.symbols[label] = address;
+  }
+  int64_t addr = entry;
+  for (const XInst& x : p.code) {
+    Instruction inst = x.inst;
+    if (!x.target.empty()) {
+      if (x.target.starts_with("@abs_hi:")) {
+        const Word9 w = Word9::from_int(resolver.address_of(x.target.substr(8)));
+        inst.imm = static_cast<int>(w.slice<4>(5).to_int());
+      } else if (x.target.starts_with("@abs_lo:")) {
+        const Word9 w = Word9::from_int(resolver.address_of(x.target.substr(8)));
+        inst.imm = static_cast<int>(w.slice<5>(0).to_int());
+      } else {
+        inst.imm = static_cast<int>(resolver.address_of(x.target) - addr);
+      }
+    }
+    try {
+      out.image.push_back(isa::encode(inst));
+    } catch (const isa::EncodeError& e) {
+      throw TranslationError("emission produced an unencodable instruction at address " +
+                             std::to_string(addr) + ": " + e.what());
+    }
+    out.code.push_back(inst);
+    ++addr;
+  }
+  return result;
+}
+
+}  // namespace art9::xlat

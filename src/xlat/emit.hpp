@@ -1,0 +1,30 @@
+// Final emission: resolves XIR labels to PC-relative offsets, applying
+// long-branch relaxation where a target exceeds the instruction's
+// immediate range, and packages the result as an assembled isa::Program.
+//
+// Relaxation forms (scratch registers are dead at statement boundaries, so
+// the rewrites are safe):
+//   conditional branch out of +/-40:
+//     B<cc> Tb,B,L   ->  B<!cc> Tb,B,+2 ; JAL T0,L
+//     (and if L also exceeds JAL's +/-121:
+//     B<!cc> Tb,B,+4 ; LUI T0,hi ; LI T0,lo ; JALR T1,T0,0)
+//   JAL out of +/-121:
+//     JAL Ta,L       ->  LUI T0,hi ; LI T0,lo ; JALR Ta,T0,0
+//     (for Ta == T0 the link retargets to T1)
+#pragma once
+
+#include "isa/program.hpp"
+#include "xlat/xir.hpp"
+
+namespace art9::xlat {
+
+struct EmitResult {
+  isa::Program program;
+  std::size_t relaxed_branches = 0;
+};
+
+/// Resolves and encodes.  `entry` is the balanced address of the first
+/// instruction (0 by convention).
+[[nodiscard]] EmitResult emit_program(const XProgram& input, int64_t entry = 0);
+
+}  // namespace art9::xlat

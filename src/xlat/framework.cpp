@@ -1,0 +1,56 @@
+#include "xlat/framework.hpp"
+
+#include <sstream>
+
+#include "rv32/rv32_assembler.hpp"
+#include "xlat/emit.hpp"
+#include "xlat/mapping.hpp"
+#include "xlat/redundancy.hpp"
+
+namespace art9::xlat {
+
+TranslationResult SoftwareFramework::translate(const rv32::Rv32Program& input) const {
+  TranslationResult result;
+  result.registers = RegisterMap::build(input);
+  result.stats.rv32_instructions = input.code.size();
+  result.stats.spilled_registers = result.registers.spilled_count();
+
+  MappingResult mapped = map_program(input, result.registers);
+  result.stats.mapped_instructions = mapped.program.code.size();
+
+  if (options_.redundancy_checking) {
+    const RedundancyStats red = remove_redundancies(mapped.program);
+    result.stats.removed_redundant = red.removed + red.combined;
+  }
+
+  EmitResult emitted = emit_program(mapped.program, options_.entry);
+  result.stats.relaxed_branches = emitted.relaxed_branches;
+  result.stats.final_instructions = emitted.program.code.size();
+  result.program = std::move(emitted.program);
+  return result;
+}
+
+TranslationResult SoftwareFramework::translate_source(std::string_view rv32_source) const {
+  return translate(rv32::assemble_rv32(rv32_source));
+}
+
+std::string to_assembly_text(const isa::Program& program) {
+  std::ostringstream os;
+  os << "; ART-9 assembly emitted by the software-level compiling framework\n";
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const int64_t addr = program.entry + static_cast<int64_t>(i);
+    for (const auto& [name, value] : program.symbols) {
+      if (value == addr) os << name << ":\n";
+    }
+    os << "    " << isa::to_string(program.code[i]) << '\n';
+  }
+  if (!program.data.empty()) {
+    os << ".data\n";
+    for (const isa::DataWord& d : program.data) {
+      os << ".org " << d.address << "\n.word " << d.value.to_int() << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace art9::xlat

@@ -1,0 +1,55 @@
+// SoftwareFramework — the paper's Fig. 2 pipeline as one API:
+//   RV-32I assembly/program
+//     -> instruction mapping        (mapping.cpp)
+//     -> operand conversion         (immediates + register renaming)
+//     -> redundancy checking        (redundancy.cpp, optional for ablation)
+//     -> label resolution/emission  (emit.cpp)
+//   => assembled ART-9 program + statistics.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+#include "rv32/rv32_program.hpp"
+#include "xlat/regalloc.hpp"
+#include "xlat/xir.hpp"
+
+namespace art9::xlat {
+
+struct TranslationResult {
+  isa::Program program;
+  TranslationStats stats;
+  RegisterMap registers;
+
+  /// ART-9 location of an rv32 register after renaming (differential tests
+  /// use this to compare architectural state across the two ISAs).
+  [[nodiscard]] const Location& location(int rv_reg) const { return registers.location(rv_reg); }
+};
+
+struct SoftwareFrameworkOptions {
+  /// Disable the redundancy-checking stage (ablation bench).
+  bool redundancy_checking = true;
+  /// Entry address of the emitted program.
+  int64_t entry = 0;
+};
+
+class SoftwareFramework {
+ public:
+  explicit SoftwareFramework(SoftwareFrameworkOptions options = {}) : options_(options) {}
+
+  /// Translates an assembled rv32 program.
+  [[nodiscard]] TranslationResult translate(const rv32::Rv32Program& input) const;
+
+  /// Convenience: assemble rv32 text, then translate.
+  [[nodiscard]] TranslationResult translate_source(std::string_view rv32_source) const;
+
+ private:
+  SoftwareFrameworkOptions options_;
+};
+
+/// Renders an assembled ART-9 program as assembly text (debugging aid and
+/// example output).
+[[nodiscard]] std::string to_assembly_text(const isa::Program& program);
+
+}  // namespace art9::xlat

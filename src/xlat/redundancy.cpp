@@ -1,0 +1,196 @@
+#include "xlat/redundancy.hpp"
+
+#include <algorithm>
+
+#include "xlat/regalloc.hpp"
+
+namespace art9::xlat {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+constexpr ternary::Trit kTritZ_{};
+
+bool is_scratch(int reg) { return reg == kScratch0 || reg == kScratch1; }
+
+bool has_labels(const XInst& x) { return !x.labels.empty(); }
+
+/// True if `inst` is a side-effect-free data op whose only effect is the
+/// Ta write (droppable when that write is dead).  Loads are excluded
+/// conservatively (they touch the memory port), as are stores, branches
+/// and jumps.
+bool pure_data_op(const Instruction& inst) {
+  const isa::OpcodeSpec& s = isa::spec(inst.op);
+  return s.writes_ta && !s.is_load && !s.is_store && !s.is_branch && !s.is_jump;
+}
+
+/// True if `inst` writes Ta at all.
+bool writes_ta(const Instruction& inst) { return isa::spec(inst.op).writes_ta; }
+
+/// True if `inst` reads register `r`.
+bool reads_reg(const Instruction& inst, int r) {
+  const isa::OpcodeSpec& s = isa::spec(inst.op);
+  return (s.reads_ta && inst.ta == r) || (s.reads_tb && inst.tb == r);
+}
+
+/// Two-input R-type data op (candidates for rule 3).
+bool is_binary_r(Opcode op) {
+  switch (op) {
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kSr:
+    case Opcode::kSl:
+    case Opcode::kComp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Conservatively decides whether scratch register `s` is dead after
+/// position `i` (exclusive): scans forward until something overwrites `s`
+/// without reading it (dead) or reads it / reaches a label or control-flow
+/// instruction (assume live).
+bool scratch_dead_after(const XProgram& p, std::size_t i, int s) {
+  for (std::size_t j = i + 1; j < p.code.size(); ++j) {
+    const XInst& x = p.code[j];
+    if (!x.labels.empty()) return false;  // a jump may land here with s live
+    if (reads_reg(x.inst, s)) return false;
+    if (writes_ta(x.inst) && x.inst.ta == s) return true;
+    if (isa::changes_control_flow(x.inst.op)) return false;
+  }
+  return true;  // fell off the end
+}
+
+void erase_at(XProgram& p, std::size_t i) {
+  // Migrate labels to the next instruction (callers guarantee one exists
+  // or that the instruction is label-free).
+  if (!p.code[i].labels.empty() && i + 1 < p.code.size()) {
+    auto& next = p.code[i + 1].labels;
+    next.insert(next.begin(), p.code[i].labels.begin(), p.code[i].labels.end());
+  }
+  p.code.erase(p.code.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+bool droppable_with_labels(const XProgram& p, std::size_t i) {
+  return p.code[i].labels.empty() || i + 1 < p.code.size();
+}
+
+}  // namespace
+
+RedundancyStats remove_redundancies(XProgram& p) {
+  RedundancyStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+      const Instruction& a = p.code[i].inst;
+
+      // Rule 1: MV Tx, Tx.
+      if (a.op == Opcode::kMv && a.ta == a.tb && droppable_with_labels(p, i)) {
+        erase_at(p, i);
+        ++stats.removed;
+        changed = true;
+        break;
+      }
+      // Rule 2: ADDI Tx, 0.
+      if (a.op == Opcode::kAddi && a.imm == 0 && droppable_with_labels(p, i)) {
+        erase_at(p, i);
+        ++stats.removed;
+        changed = true;
+        break;
+      }
+      // Rule 7: branch/jump to the next instruction.
+      if (!p.code[i].target.empty() && i + 1 < p.code.size()) {
+        const auto& next_labels = p.code[i + 1].labels;
+        const bool to_next = std::find(next_labels.begin(), next_labels.end(),
+                                       p.code[i].target) != next_labels.end();
+        // JAL links are only droppable when they land in a scratch.
+        const bool link_dead = a.op != Opcode::kJal || is_scratch(a.ta);
+        if (to_next && link_dead && droppable_with_labels(p, i)) {
+          erase_at(p, i);
+          ++stats.removed;
+          changed = true;
+          break;
+        }
+      }
+      if (i + 1 >= p.code.size()) continue;
+      const Instruction& b = p.code[i + 1].inst;
+      const bool b_unlabelled = !has_labels(p.code[i + 1]);
+
+      // Rule 5: ADDI A,i ; ADDI A,j -> ADDI A,i+j.
+      if (a.op == Opcode::kAddi && b.op == Opcode::kAddi && a.ta == b.ta && b_unlabelled) {
+        const int sum = a.imm + b.imm;
+        if (sum >= -13 && sum <= 13) {
+          p.code[i].inst.imm = sum;
+          erase_at(p, i + 1);
+          ++stats.combined;
+          changed = true;
+          break;
+        }
+      }
+      // Rule 6: a data op whose result is immediately overwritten without
+      // being read is dead.
+      if (pure_data_op(a) && b_unlabelled && writes_ta(b) && b.ta == a.ta &&
+          !reads_reg(b, a.ta) && droppable_with_labels(p, i)) {
+        erase_at(p, i);
+        ++stats.removed;
+        changed = true;
+        break;
+      }
+      // Rule 4: MV s,B ; MV D,s -> MV D,B (s must be dead afterwards).
+      if (a.op == Opcode::kMv && b.op == Opcode::kMv && is_scratch(a.ta) && b.tb == a.ta &&
+          b.ta != a.ta && b_unlabelled && scratch_dead_after(p, i + 1, a.ta) &&
+          droppable_with_labels(p, i)) {
+        p.code[i + 1].inst.tb = a.tb;
+        erase_at(p, i);
+        ++stats.removed;
+        changed = true;
+        break;
+      }
+      // Rule 9: STORE r,k(T7) ; LOAD r2,k(T7) -> forward the stored value
+      // (spill write-back immediately reloaded).
+      if (a.op == Opcode::kStore && b.op == Opcode::kLoad && a.tb == kZeroReg &&
+          b.tb == kZeroReg && a.imm == b.imm && b_unlabelled) {
+        if (a.ta == b.ta) {
+          // Reload of the same register: the LOAD is a no-op.
+          p.code.erase(p.code.begin() + static_cast<std::ptrdiff_t>(i + 1));
+          ++stats.removed;
+        } else {
+          p.code[i + 1].inst = Instruction{Opcode::kMv, b.ta, a.ta, kTritZ_, 0};
+          ++stats.combined;
+        }
+        changed = true;
+        break;
+      }
+      // Rule 3: MV s,B ; OP s,C ; MV B,s -> OP B,C.
+      if (i + 2 < p.code.size()) {
+        const Instruction& c = p.code[i + 2].inst;
+        const bool mid_unlabelled = !has_labels(p.code[i + 1]) && !has_labels(p.code[i + 2]);
+        if (a.op == Opcode::kMv && is_scratch(a.ta) && is_binary_r(b.op) && b.ta == a.ta &&
+            b.tb != a.ta && c.op == Opcode::kMv && c.tb == a.ta && c.ta == a.tb &&
+            mid_unlabelled && scratch_dead_after(p, i + 2, a.ta) &&
+            droppable_with_labels(p, i)) {
+          const Instruction merged{b.op, a.tb, b.tb, b.bcond, b.imm};
+          p.code[i + 1].inst = merged;
+          // Drop the trailing MV first (no label migration needed), then
+          // the leading MV.
+          p.code.erase(p.code.begin() + static_cast<std::ptrdiff_t>(i + 2));
+          erase_at(p, i);
+          stats.removed += 2;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace art9::xlat

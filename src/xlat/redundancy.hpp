@@ -1,0 +1,33 @@
+// Redundancy checking (paper Fig. 2, last box): peephole elimination of
+// meaningless instructions introduced by the mapping and operand-conversion
+// stages.  Because XIR keeps branch targets symbolic, removal automatically
+// retargets branches — the address recomputation the paper describes
+// happens structurally at emission.
+//
+// Rules (each is unit-tested in tests/xlat/redundancy_test.cpp):
+//   1. MV Tx, Tx                      -> drop
+//   2. ADDI Tx, 0                     -> drop
+//   3. MV s,B ; OP s,C ; MV B,s       -> OP B,C      (s a scratch register)
+//   4. MV s,B ; MV D,s                -> MV D,B      (s a scratch register)
+//   5. ADDI A,i ; ADDI A,j            -> ADDI A,i+j  (if in range)
+//   6. data-op write of A immediately overwritten without a read -> drop it
+//   7. branch/JAL to the immediately following instruction -> drop
+//   9. STORE r,k(T7) ; LOAD r2,k(T7) -> MV r2,r (or drop when r2 == r)
+// Labels pin instructions: a rule never deletes or merges across an
+// instruction that carries a label (a jump may land there), except by
+// migrating the labels to the surviving instruction.
+#pragma once
+
+#include "xlat/xir.hpp"
+
+namespace art9::xlat {
+
+struct RedundancyStats {
+  std::size_t removed = 0;
+  std::size_t combined = 0;
+};
+
+/// Runs the peephole rules to fixpoint (in place).
+RedundancyStats remove_redundancies(XProgram& program);
+
+}  // namespace art9::xlat

@@ -1,0 +1,82 @@
+#include "xlat/regalloc.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace art9::xlat {
+
+std::string Location::to_string() const {
+  switch (kind) {
+    case Kind::kZero:
+      return "zero(T7)";
+    case Kind::kReg:
+      return "T" + std::to_string(reg);
+    case Kind::kLink:
+      return "link(T8)";
+    case Kind::kSpill:
+      return "tdm[" + std::to_string(slot) + "]";
+  }
+  return "?";
+}
+
+RegisterMap RegisterMap::build(const rv32::Rv32Program& program) {
+  // Static use counts (reads + writes weigh equally; x0 and ra are pinned).
+  std::array<uint64_t, 32> uses{};
+  for (const rv32::Rv32Instruction& inst : program.code) {
+    const rv32::Rv32Spec& s = rv32::spec(inst.op);
+    switch (s.format) {
+      case rv32::Rv32Format::kR:
+        ++uses[static_cast<std::size_t>(inst.rd)];
+        ++uses[static_cast<std::size_t>(inst.rs1)];
+        ++uses[static_cast<std::size_t>(inst.rs2)];
+        break;
+      case rv32::Rv32Format::kI:
+      case rv32::Rv32Format::kIShift:
+        ++uses[static_cast<std::size_t>(inst.rd)];
+        ++uses[static_cast<std::size_t>(inst.rs1)];
+        break;
+      case rv32::Rv32Format::kS:
+      case rv32::Rv32Format::kB:
+        ++uses[static_cast<std::size_t>(inst.rs1)];
+        ++uses[static_cast<std::size_t>(inst.rs2)];
+        break;
+      case rv32::Rv32Format::kU:
+      case rv32::Rv32Format::kJ:
+        ++uses[static_cast<std::size_t>(inst.rd)];
+        break;
+      case rv32::Rv32Format::kSystem:
+        break;
+    }
+  }
+
+  RegisterMap map;
+  map.locations_[0] = Location{Location::Kind::kZero, kZeroReg, 0};
+  map.locations_[1] = Location{Location::Kind::kLink, kLinkReg, 0};  // ra
+
+  std::vector<int> live;
+  for (int r = 2; r < 32; ++r) {
+    if (uses[static_cast<std::size_t>(r)] > 0) live.push_back(r);
+  }
+  std::stable_sort(live.begin(), live.end(), [&](int a, int b) {
+    return uses[static_cast<std::size_t>(a)] > uses[static_cast<std::size_t>(b)];
+  });
+
+  int next_reg = kFirstAssignable;
+  int next_slot = kFirstSpillSlot;
+  for (int r : live) {
+    if (next_reg < kFirstAssignable + kNumAssignable) {
+      map.locations_[static_cast<std::size_t>(r)] = Location{Location::Kind::kReg, next_reg++, 0};
+    } else if (next_slot > kFirstSpillSlot - kNumSpillSlots) {
+      map.locations_[static_cast<std::size_t>(r)] =
+          Location{Location::Kind::kSpill, 0, next_slot--};
+      ++map.spilled_;
+    } else {
+      throw TranslationError("register renaming: program uses more than " +
+                             std::to_string(kNumAssignable + kNumSpillSlots) +
+                             " rv32 registers");
+    }
+  }
+  return map;
+}
+
+}  // namespace art9::xlat

@@ -1,0 +1,74 @@
+// Register renaming for the operand-conversion stage (paper §III-A: "the
+// operand conversion step also supports the register renaming when the
+// given ternary ISA uses fewer general-purposed registers than the
+// baseline binary processor").
+//
+// The ART-9 TRF has nine registers; the translator reserves four:
+//   T0, T1 — expansion scratch (immediates, compare copies, __mul args)
+//   T7     — always-zero (initialised once in the prologue; doubles as the
+//            base register for spill-slot and small absolute addressing)
+//   T8     — link register (rv32 `ra` maps here; runtime routines return
+//            through it)
+// leaving T2..T6 assignable.  The five most-used rv32 registers get those;
+// any further live register is renamed to a TDM spill slot at a small
+// negative address reachable with a 3-trit offset from T7.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "rv32/rv32_program.hpp"
+#include "xlat/xir.hpp"
+
+namespace art9::xlat {
+
+/// Reserved ART-9 registers (see header comment).
+inline constexpr int kScratch0 = 0;  // T0
+inline constexpr int kScratch1 = 1;  // T1
+inline constexpr int kZeroReg = 7;   // T7
+inline constexpr int kLinkReg = 8;   // T8
+
+/// Assignable registers T2..T6.
+inline constexpr int kFirstAssignable = 2;
+inline constexpr int kNumAssignable = 5;
+
+/// TDM spill-slot layout (balanced addresses; every slot must stay within
+/// the 3-trit immediate range [-13, +13] of the zero register).
+inline constexpr int kFirstSpillSlot = -1;   // slots -1 .. -7
+inline constexpr int kNumSpillSlots = 7;
+inline constexpr int kRaSaveSlot = -8;       // caller-saved link around runtime calls
+inline constexpr int kRuntimeSlot0 = -9;     // runtime argument 0 / scratch
+inline constexpr int kRuntimeSlot1 = -10;    // runtime argument 1 / result
+inline constexpr int kRuntimeSlot2 = -11;    // callee-saved T2
+inline constexpr int kRuntimeSlot3 = -12;    // callee-saved T3
+inline constexpr int kRuntimeSlot4 = -13;    // callee-saved T4
+
+/// Where an rv32 register lives after renaming.
+struct Location {
+  enum class Kind { kZero, kReg, kSpill, kLink } kind = Kind::kZero;
+  int reg = kZeroReg;   // T-register for kReg/kZero/kLink
+  int slot = 0;         // TDM address for kSpill
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Static assignment of rv32 registers to ART-9 locations.
+class RegisterMap {
+ public:
+  /// Builds the map from static usage counts of `program`.
+  /// Throws TranslationError if more registers are live than slots exist.
+  static RegisterMap build(const rv32::Rv32Program& program);
+
+  [[nodiscard]] const Location& location(int rv_reg) const {
+    return locations_.at(static_cast<std::size_t>(rv_reg));
+  }
+
+  [[nodiscard]] std::size_t spilled_count() const noexcept { return spilled_; }
+
+ private:
+  std::array<Location, 32> locations_{};
+  std::size_t spilled_ = 0;
+};
+
+}  // namespace art9::xlat

@@ -1,0 +1,67 @@
+// XIR — the tiny intermediate representation of the software-level
+// compiling framework (paper Fig. 2).
+//
+// XIR instructions are ART-9 instructions with *symbolic* control-flow
+// targets (labels instead of resolved offsets).  Keeping targets symbolic
+// through mapping, operand conversion and redundancy checking means branch
+// retargeting after instruction insertion/removal is automatic; the final
+// emission pass (emit.cpp) resolves labels, applying long-branch
+// relaxation where a target exceeds the 4- or 5-trit immediate range.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+
+namespace art9::xlat {
+
+/// Raised when the input uses an RV32 feature with no ternary counterpart
+/// (byte memory access, right shifts, bitwise masks, auipc, div/rem) —
+/// the documented scope line of the instruction-mapping stage.
+class TranslationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One XIR instruction: an ART-9 instruction whose control-flow target (if
+/// any) may still be a label.
+struct XInst {
+  isa::Instruction inst;
+  /// Branch/jump target label; empty = `inst.imm` is already a literal.
+  std::string target;
+  /// Labels bound to this instruction's address.
+  std::vector<std::string> labels;
+
+  XInst() = default;
+  explicit XInst(isa::Instruction i) : inst(i) {}
+  XInst(isa::Instruction i, std::string tgt) : inst(i), target(std::move(tgt)) {}
+};
+
+/// A whole XIR function/program plus its TDM data image.
+struct XProgram {
+  std::vector<XInst> code;
+  std::vector<isa::DataWord> data;
+};
+
+/// Statistics reported by the framework (and consumed by the ablation
+/// bench to price the redundancy-checking pass).
+struct TranslationStats {
+  std::size_t rv32_instructions = 0;   // input size
+  std::size_t mapped_instructions = 0; // after mapping + operand conversion
+  std::size_t removed_redundant = 0;   // eliminated by redundancy checking
+  std::size_t final_instructions = 0;  // emitted ART-9 instructions
+  std::size_t spilled_registers = 0;   // rv32 registers renamed to TDM slots
+  std::size_t relaxed_branches = 0;    // long-branch expansions
+
+  [[nodiscard]] double expansion_ratio() const {
+    return rv32_instructions == 0
+               ? 0.0
+               : static_cast<double>(final_instructions) / static_cast<double>(rv32_instructions);
+  }
+};
+
+}  // namespace art9::xlat

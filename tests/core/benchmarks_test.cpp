@@ -1,0 +1,165 @@
+// Benchmark corpus integration: every benchmark must (a) run correctly on
+// rv32, (b) translate and run correctly on ART-9 (functional + pipelined),
+// (c) assemble on Thumb, and (d) exhibit the Fig. 5 memory-cell ordering.
+#include "core/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rv32/rv32_assembler.hpp"
+#include "rv32/rv32_sim.hpp"
+#include "rv32/thumb.hpp"
+#include "sim/functional_sim.hpp"
+#include "sim/pipeline.hpp"
+#include "xlat/framework.hpp"
+
+namespace art9::core {
+namespace {
+
+struct RunResult {
+  rv32::Rv32Program rv32_program;
+  xlat::TranslationResult xlat;
+  sim::SimStats pipeline_stats;
+  sim::ArchState art9_state;
+  std::vector<uint8_t> unused;
+};
+
+RunResult run_benchmark(const BenchmarkSources& sources) {
+  RunResult r;
+  r.rv32_program = rv32::assemble_rv32(sources.rv32);
+  xlat::SoftwareFramework framework;
+  r.xlat = framework.translate(r.rv32_program);
+  sim::PipelineSimulator pipe(r.xlat.program);
+  r.pipeline_stats = pipe.run();
+  EXPECT_EQ(r.pipeline_stats.halt, sim::HaltReason::kHalted) << sources.name;
+  r.art9_state = pipe.state();
+  return r;
+}
+
+TEST(Benchmarks, BubbleSortCorrectOnBothIsas) {
+  const BenchmarkSources& b = bubble_sort();
+  rv32::Rv32Simulator rv(rv32::assemble_rv32(b.rv32));
+  ASSERT_TRUE(rv.run().halted);
+  const RunResult art9 = run_benchmark(b);
+  const std::vector<int32_t> expected = bubble_expected();
+  for (int i = 0; i < kBubbleN; ++i) {
+    const uint32_t byte_addr = kBubbleArrayAddr + static_cast<uint32_t>(i) * 4;
+    EXPECT_EQ(static_cast<int32_t>(rv.load_word(byte_addr)), expected[static_cast<std::size_t>(i)])
+        << "rv32 index " << i;
+    EXPECT_EQ(art9.art9_state.tdm.peek(byte_addr).to_int(), expected[static_cast<std::size_t>(i)])
+        << "art9 index " << i;
+  }
+}
+
+TEST(Benchmarks, GemmCorrectOnBothIsas) {
+  const BenchmarkSources& b = gemm();
+  rv32::Rv32Simulator rv(rv32::assemble_rv32(b.rv32));
+  ASSERT_TRUE(rv.run().halted);
+  const RunResult art9 = run_benchmark(b);
+  const std::vector<int32_t> expected = gemm_expected();
+  for (int i = 0; i < kGemmN * kGemmN; ++i) {
+    const uint32_t byte_addr = kGemmCAddr + static_cast<uint32_t>(i) * 4;
+    EXPECT_EQ(static_cast<int32_t>(rv.load_word(byte_addr)), expected[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(art9.art9_state.tdm.peek(byte_addr).to_int(), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Benchmarks, SobelCorrectOnBothIsas) {
+  const BenchmarkSources& b = sobel();
+  rv32::Rv32Simulator rv(rv32::assemble_rv32(b.rv32));
+  ASSERT_TRUE(rv.run().halted);
+  const RunResult art9 = run_benchmark(b);
+  const std::vector<int32_t> expected = sobel_expected();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const uint32_t byte_addr = kSobelOutAddr + static_cast<uint32_t>(i) * 4;
+    EXPECT_EQ(static_cast<int32_t>(rv.load_word(byte_addr)), expected[i]) << "pixel " << i;
+    EXPECT_EQ(art9.art9_state.tdm.peek(byte_addr).to_int(), expected[i]) << "pixel " << i;
+  }
+}
+
+TEST(Benchmarks, DhrystoneChecksumOnBothIsas) {
+  const BenchmarkSources& b = dhrystone();
+  rv32::Rv32Simulator rv(rv32::assemble_rv32(b.rv32));
+  ASSERT_TRUE(rv.run().halted);
+  const RunResult art9 = run_benchmark(b);
+  const int32_t expected = dhrystone_expected_checksum();
+  EXPECT_EQ(static_cast<int32_t>(rv.load_word(kDhrystoneChecksumAddr)), expected);
+  EXPECT_EQ(art9.art9_state.tdm.peek(kDhrystoneChecksumAddr).to_int(), expected);
+}
+
+TEST(Benchmarks, PipelineAgreesWithFunctionalOnAllBenchmarks) {
+  for (const BenchmarkSources* b : all_benchmarks()) {
+    xlat::SoftwareFramework framework;
+    const xlat::TranslationResult xlat = framework.translate(rv32::assemble_rv32(b->rv32));
+    sim::FunctionalSimulator golden(xlat.program);
+    const sim::SimStats golden_stats = golden.run(50'000'000);
+    ASSERT_EQ(golden_stats.halt, sim::HaltReason::kHalted) << b->name;
+    sim::PipelineSimulator pipe(xlat.program);
+    const sim::SimStats pipe_stats = pipe.run();
+    ASSERT_EQ(pipe_stats.halt, sim::HaltReason::kHalted) << b->name;
+    EXPECT_EQ(pipe.state().trf, golden.state().trf) << b->name;
+    EXPECT_EQ(pipe_stats.instructions, golden_stats.instructions) << b->name;
+    EXPECT_GE(pipe_stats.cycles, golden_stats.instructions + 4) << b->name;
+  }
+}
+
+TEST(Benchmarks, ThumbPortsAssemble) {
+  for (const BenchmarkSources* b : all_benchmarks()) {
+    const rv32::ThumbProgram thumb = rv32::assemble_thumb(b->thumb);
+    EXPECT_GT(thumb.halfwords.size(), 10u) << b->name;
+  }
+}
+
+TEST(Benchmarks, Figure5MemoryCellOrdering) {
+  // Fig. 5's shape: ART-9 trit cells < ARMv6-M bit cells < RV-32I bit cells
+  // for every benchmark.
+  for (const BenchmarkSources* b : all_benchmarks()) {
+    const rv32::Rv32Program rp = rv32::assemble_rv32(b->rv32);
+    xlat::SoftwareFramework framework;
+    const xlat::TranslationResult xlat = framework.translate(rp);
+    const rv32::ThumbProgram thumb = rv32::assemble_thumb(b->thumb);
+
+    const int64_t art9_cells = xlat.program.memory_cells();
+    const int64_t rv32_cells = rp.memory_cells();
+    const int64_t thumb_cells = thumb.memory_cells();
+    EXPECT_LT(art9_cells, thumb_cells) << b->name;
+    EXPECT_LT(thumb_cells, rv32_cells) << b->name;
+  }
+}
+
+TEST(Benchmarks, DhrystoneSavingsInPaperBallpark) {
+  // Paper: ART-9 Dhrystone needs ~54% fewer cells than RV-32I and ~17%
+  // fewer than ARMv6-M.  Our translator differs from the authors', so we
+  // assert generous bands around those figures.
+  const BenchmarkSources& b = dhrystone();
+  const rv32::Rv32Program rp = rv32::assemble_rv32(b.rv32);
+  xlat::SoftwareFramework framework;
+  const xlat::TranslationResult xlat = framework.translate(rp);
+  const rv32::ThumbProgram thumb = rv32::assemble_thumb(b.thumb);
+
+  const double vs_rv32 = 1.0 - static_cast<double>(xlat.program.memory_cells()) /
+                                   static_cast<double>(rp.memory_cells());
+  const double vs_thumb = 1.0 - static_cast<double>(xlat.program.memory_cells()) /
+                                    static_cast<double>(thumb.memory_cells());
+  EXPECT_GT(vs_rv32, 0.30) << "saving vs RV-32I: " << vs_rv32;
+  EXPECT_LT(vs_rv32, 0.70);
+  EXPECT_GT(vs_thumb, 0.02) << "saving vs ARMv6-M: " << vs_thumb;
+  EXPECT_LT(vs_thumb, 0.45);
+}
+
+TEST(Benchmarks, GeneratedValuesAreDeterministic) {
+  EXPECT_EQ(generated_values(11, 5, -10, 10), generated_values(11, 5, -10, 10));
+  const auto v = generated_values(3, 1000, -7, 7);
+  for (int32_t x : v) {
+    EXPECT_GE(x, -7);
+    EXPECT_LE(x, 7);
+  }
+  EXPECT_EQ(word_directive({1, -2, 3}), ".word 1, -2, 3");
+}
+
+TEST(Benchmarks, IterationCountsDeclared) {
+  EXPECT_EQ(bubble_sort().iterations, 1u);
+  EXPECT_EQ(dhrystone().iterations, static_cast<uint64_t>(kDhrystoneIterations));
+}
+
+}  // namespace
+}  // namespace art9::core

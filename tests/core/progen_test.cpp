@@ -1,0 +1,85 @@
+// Random program generators: every generated program must terminate,
+// stay within the mapping contract, and be deterministic per seed.
+#include "core/progen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rv32/rv32_assembler.hpp"
+#include "rv32/rv32_sim.hpp"
+#include "sim/functional_sim.hpp"
+
+namespace art9::core {
+namespace {
+
+TEST(Progen, Art9ProgramsAlwaysHalt) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    std::mt19937_64 rng(seed);
+    const isa::Program program = generate_art9_program(rng);
+    sim::FunctionalSimulator sim(program);
+    EXPECT_EQ(sim.run(2'000'000).halt, sim::HaltReason::kHalted) << "seed=" << seed;
+  }
+}
+
+TEST(Progen, Art9ProgramsAreDeterministic) {
+  std::mt19937_64 a(42);
+  std::mt19937_64 b(42);
+  EXPECT_EQ(generate_art9_program(a).image, generate_art9_program(b).image);
+}
+
+TEST(Progen, Art9LengthBounds) {
+  Art9GenOptions options;
+  options.min_length = 50;
+  options.max_length = 60;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::mt19937_64 rng(seed * 13);
+    const isa::Program program = generate_art9_program(rng, options);
+    // +1 for the HALT; loop/branch groups may overshoot slightly.
+    EXPECT_GE(program.code.size(), 51u);
+    EXPECT_LE(program.code.size(), 75u);
+  }
+}
+
+TEST(Progen, Art9OptionsRespected) {
+  Art9GenOptions options;
+  options.with_memory_ops = false;
+  options.with_branches = false;
+  options.with_loops = false;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::mt19937_64 rng(seed * 17);
+    const isa::Program program = generate_art9_program(rng, options);
+    for (const isa::Instruction& inst : program.code) {
+      if (inst == isa::Instruction::halt()) continue;
+      EXPECT_FALSE(isa::spec(inst.op).is_load) << isa::to_string(inst);
+      EXPECT_FALSE(isa::spec(inst.op).is_store) << isa::to_string(inst);
+      EXPECT_FALSE(isa::spec(inst.op).is_branch) << isa::to_string(inst);
+      EXPECT_FALSE(isa::spec(inst.op).is_jump) << isa::to_string(inst);
+    }
+  }
+}
+
+TEST(Progen, Rv32ProgramsAssembleRunAndStayInRange) {
+  Rv32GenOptions options;
+  options.with_div = true;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    std::mt19937_64 rng(seed * 29);
+    const std::string source = generate_rv32_source(rng, options);
+    const rv32::Rv32Program program = rv32::assemble_rv32(source);
+    rv32::Rv32Simulator sim(program);
+    ASSERT_TRUE(sim.run(5'000'000).halted) << "seed=" << seed;
+    // Contract: every pool register's final value fits in 9 trits.
+    for (int reg : {10, 11, 12, 13, 14, 5, 6, 7, 18, 19}) {
+      const auto v = static_cast<int32_t>(sim.reg(reg));
+      EXPECT_GE(v, -9841) << "seed=" << seed << " x" << reg;
+      EXPECT_LE(v, 9841) << "seed=" << seed << " x" << reg;
+    }
+  }
+}
+
+TEST(Progen, Rv32SourcesAreDeterministic) {
+  std::mt19937_64 a(7);
+  std::mt19937_64 b(7);
+  EXPECT_EQ(generate_rv32_source(a), generate_rv32_source(b));
+}
+
+}  // namespace
+}  // namespace art9::core

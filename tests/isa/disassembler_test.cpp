@@ -1,0 +1,72 @@
+// Disassembler round-trips and invalid-word rendering.
+#include "isa/disassembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace art9::isa {
+namespace {
+
+TEST(Disassembler, RendersEveryOpcode) {
+  const Program p = assemble(R"(
+    MV T0, T1
+    PTI T1, T2
+    NTI T2, T3
+    STI T3, T4
+    AND T4, T5
+    OR T5, T6
+    XOR T6, T7
+    ADD T7, T8
+    SUB T8, T0
+    SR T0, T1
+    SL T1, T2
+    COMP T2, T3
+    ANDI T3, 1
+    ADDI T4, -5
+    SRI T5, 2
+    SLI T6, 3
+    LUI T7, 11
+    LI T8, -77
+    BEQ T0, +, 2
+    BNE T1, -, -2
+    JAL T2, 4
+    JALR T3, T4, 1
+    LOAD T5, 3(T6)
+    STORE T7, -3(T8)
+)");
+  for (std::size_t i = 0; i < p.image.size(); ++i) {
+    const std::string text = disassemble_word(p.image[i]);
+    EXPECT_EQ(text, to_string(p.code[i]));
+    // Disassembly must re-assemble to the same word (text round-trip).
+    const Program again = assemble(text + "\n");
+    EXPECT_EQ(again.image.at(0), p.image[i]) << text;
+  }
+}
+
+TEST(Disassembler, InvalidWordRendering) {
+  ternary::Word9 w = encode(Instruction{Opcode::kSri, 3, 0, ternary::kTritZ, 4});
+  w.set(2, ternary::kTritP);  // corrupt the pad trit
+  const std::string text = disassemble_word(w);
+  EXPECT_TRUE(text.starts_with(".invalid"));
+  EXPECT_NE(text.find(w.to_string()), std::string::npos);
+}
+
+TEST(Disassembler, ProgramListing) {
+  const Program p = assemble(R"(
+main:
+    ADDI T1, 1
+loop:
+    BNE T1, 0, loop
+    HALT
+)");
+  const std::string listing = disassemble(p);
+  EXPECT_NE(listing.find("main:"), std::string::npos);
+  EXPECT_NE(listing.find("loop:"), std::string::npos);
+  EXPECT_NE(listing.find("ADDI T1, 1"), std::string::npos);
+  EXPECT_NE(listing.find("BNE T1, 0, 0"), std::string::npos);  // resolved offset
+}
+
+}  // namespace
+}  // namespace art9::isa

@@ -1,0 +1,174 @@
+// 9-trit instruction encoding: encode/decode round-trips over the whole
+// operand space of every opcode, plus invalid-pattern rejection.
+#include "isa/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace art9::isa {
+namespace {
+
+using ternary::kTritN;
+using ternary::kTritP;
+using ternary::kTritZ;
+using ternary::Trit;
+using ternary::Word9;
+
+/// Enumerates every legal operand combination of `op` (full register
+/// sweeps, full immediate sweeps).
+std::vector<Instruction> all_instructions(Opcode op) {
+  const OpcodeSpec& s = spec(op);
+  std::vector<Instruction> out;
+  auto regs = [] { return std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8}; };
+  switch (s.format) {
+    case Format::kRBinary:
+    case Format::kRUnary:
+      for (int ta : regs()) {
+        for (int tb : regs()) out.push_back({op, ta, tb, kTritZ, 0});
+      }
+      break;
+    case Format::kImm3:
+    case Format::kShiftImm:
+    case Format::kLui:
+    case Format::kLi:
+      for (int ta : regs()) {
+        for (int imm = s.imm_min; imm <= s.imm_max; ++imm) out.push_back({op, ta, 0, kTritZ, imm});
+      }
+      break;
+    case Format::kBranch:
+      for (int tb : regs()) {
+        for (Trit b : ternary::kAllTrits) {
+          for (int imm = s.imm_min; imm <= s.imm_max; imm += 3) {
+            out.push_back({op, 0, tb, b, imm});
+          }
+        }
+      }
+      break;
+    case Format::kJal:
+      for (int ta : regs()) {
+        for (int imm = s.imm_min; imm <= s.imm_max; imm += 2) out.push_back({op, ta, 0, kTritZ, imm});
+      }
+      break;
+    case Format::kJalr:
+    case Format::kMem:
+      for (int ta : regs()) {
+        for (int tb : regs()) {
+          for (int imm = s.imm_min; imm <= s.imm_max; ++imm) {
+            out.push_back({op, ta, tb, kTritZ, imm});
+          }
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(EncodingRoundTrip, EncodeDecodeIsIdentity) {
+  for (const Instruction& inst : all_instructions(GetParam())) {
+    const Word9 w = encode(inst);
+    const Instruction back = decode(w);
+    EXPECT_EQ(back, inst) << to_string(inst) << " -> " << w.to_string() << " -> "
+                          << to_string(back);
+  }
+}
+
+TEST_P(EncodingRoundTrip, EncodingsAreInjective) {
+  std::set<int64_t> seen;
+  for (const Instruction& inst : all_instructions(GetParam())) {
+    const int64_t key = encode(inst).to_unsigned();
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate encoding for " << to_string(inst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodingRoundTrip, ::testing::ValuesIn(all_opcodes()),
+                         [](const ::testing::TestParamInfo<Opcode>& param_info) {
+                           return std::string(mnemonic(param_info.param));
+                         });
+
+TEST(Encoding, CrossOpcodeInjectivity) {
+  // No two instructions from *different* opcodes may share an encoding.
+  std::set<int64_t> seen;
+  std::size_t total = 0;
+  for (Opcode op : all_opcodes()) {
+    for (const Instruction& inst : all_instructions(op)) {
+      EXPECT_TRUE(seen.insert(encode(inst).to_unsigned()).second)
+          << "collision at " << to_string(inst);
+      ++total;
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(Encoding, ImmediateRangeChecks) {
+  EXPECT_THROW((void)encode({Opcode::kAddi, 0, 0, kTritZ, 14}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kAddi, 0, 0, kTritZ, -14}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kSri, 0, 0, kTritZ, 9}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kSri, 0, 0, kTritZ, -1}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kLui, 0, 0, kTritZ, 41}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kLi, 0, 0, kTritZ, 122}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kBeq, 0, 0, kTritZ, 41}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kJal, 0, 0, kTritZ, -122}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kLoad, 0, 0, kTritZ, 14}), EncodeError);
+}
+
+TEST(Encoding, RegisterRangeChecks) {
+  EXPECT_THROW((void)encode({Opcode::kAdd, 9, 0, kTritZ, 0}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kAdd, -1, 0, kTritZ, 0}), EncodeError);
+  EXPECT_THROW((void)encode({Opcode::kAdd, 0, 9, kTritZ, 0}), EncodeError);
+}
+
+TEST(Encoding, InvalidPatternsRejected) {
+  // Undefined R-type func values 12..17 (t6 level <= 1).
+  for (int func = 12; func <= 17; ++func) {
+    Word9 w;
+    w.set(8, Trit(-1));  // level 0
+    w.set(7, Trit(-1));  // level 0
+    w.set(6, Trit(func / 9 - 1));
+    w.set(5, Trit((func % 9) / 3 - 1));
+    w.set(4, Trit(func % 3 - 1));
+    EXPECT_THROW(decode(w), DecodeError) << "func=" << func;
+    EXPECT_FALSE(is_valid_encoding(w));
+  }
+  // Undefined I-short selectors 4..8.
+  for (int sel = 4; sel <= 8; ++sel) {
+    Word9 w;
+    w.set(8, Trit(-1));
+    w.set(7, Trit(0));  // level 1
+    w.set(6, Trit(sel / 3 - 1));
+    w.set(5, Trit(sel % 3 - 1));
+    EXPECT_THROW(decode(w), DecodeError) << "sel=" << sel;
+  }
+  // SRI with a non-zero pad trit.
+  Word9 w = encode({Opcode::kSri, 3, 0, kTritZ, 4});
+  w.set(2, kTritP);
+  EXPECT_THROW(decode(w), DecodeError);
+  EXPECT_EQ(try_decode(w), std::nullopt);
+}
+
+TEST(Encoding, NopAndHaltEncodings) {
+  // NOP = ADDI T0, 0 (paper §IV-B); HALT = JAL T0, 0 (repo convention).
+  EXPECT_EQ(decode(encode(Instruction::nop())), Instruction::nop());
+  EXPECT_EQ(decode(encode(Instruction::halt())), Instruction::halt());
+  EXPECT_TRUE(is_valid_encoding(encode(Instruction::nop())));
+}
+
+TEST(Encoding, SpecMetadata) {
+  EXPECT_EQ(kNumOpcodes, 24);  // Table I: exactly 24 instructions
+  EXPECT_EQ(mnemonic(Opcode::kComp), "COMP");
+  EXPECT_EQ(opcode_from_mnemonic("add"), Opcode::kAdd);
+  EXPECT_EQ(opcode_from_mnemonic("STORE"), Opcode::kStore);
+  EXPECT_THROW(opcode_from_mnemonic("nope"), std::invalid_argument);
+  EXPECT_TRUE(spec(Opcode::kLoad).is_load);
+  EXPECT_TRUE(spec(Opcode::kStore).is_store);
+  EXPECT_TRUE(spec(Opcode::kStore).reads_ta);
+  EXPECT_FALSE(spec(Opcode::kLui).reads_ta);
+  EXPECT_TRUE(spec(Opcode::kLi).reads_ta);  // LI keeps the upper trits
+  EXPECT_TRUE(changes_control_flow(Opcode::kJalr));
+  EXPECT_FALSE(changes_control_flow(Opcode::kComp));
+}
+
+}  // namespace
+}  // namespace art9::isa

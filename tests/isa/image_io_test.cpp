@@ -1,0 +1,99 @@
+// .t9 program image serialisation: round-trips and malformed inputs.
+#include "isa/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "isa/assembler.hpp"
+#include "sim/functional_sim.hpp"
+
+namespace art9::isa {
+namespace {
+
+const char* kSource = R"(
+.equ BASE, 60
+.data
+.org BASE
+vals: .word 7, -9841, 0
+.text
+main:
+    LIMM T1, BASE
+    LOAD T2, 0(T1)
+loop:
+    ADDI T2, -1
+    MV   T3, T2
+    COMP T3, T4
+    BNE  T3, 0, loop
+    STORE T2, 1(T1)
+    HALT
+)";
+
+TEST(ImageIo, SaveLoadRoundTrip) {
+  const Program original = assemble(kSource);
+  const Program loaded = load_image(save_image(original));
+  EXPECT_EQ(loaded.entry, original.entry);
+  EXPECT_EQ(loaded.image, original.image);
+  EXPECT_EQ(loaded.code, original.code);
+  EXPECT_EQ(loaded.data, original.data);
+  EXPECT_EQ(loaded.symbols, original.symbols);
+}
+
+TEST(ImageIo, LoadedImageRunsIdentically) {
+  const Program original = assemble(kSource);
+  const Program loaded = load_image(save_image(original));
+  sim::FunctionalSimulator a(original);
+  sim::FunctionalSimulator b(loaded);
+  EXPECT_EQ(a.run().instructions, b.run().instructions);
+  EXPECT_EQ(a.state().trf, b.state().trf);
+  EXPECT_EQ(a.state().tdm.peek(61), b.state().tdm.peek(61));
+}
+
+TEST(ImageIo, FormatIsHumanAuditable) {
+  const Program p = assemble("NOP\nHALT\n");
+  const std::string text = save_image(p);
+  EXPECT_NE(text.find(".t9 1"), std::string::npos);
+  EXPECT_NE(text.find("entry 0"), std::string::npos);
+  EXPECT_NE(text.find("code 0 "), std::string::npos);
+  EXPECT_NE(text.find("code 1 "), std::string::npos);
+}
+
+TEST(ImageIo, CommentsAndBlankLines) {
+  const Program p = load_image(
+      ".t9 1\n"
+      "# a comment\n"
+      "entry 5\n"
+      "\n"
+      "code 5 000000000   # trailing comment\n");
+  EXPECT_EQ(p.entry, 5);
+  ASSERT_EQ(p.code.size(), 1u);
+}
+
+TEST(ImageIo, Errors) {
+  EXPECT_THROW((void)load_image(std::string("entry 0\n")), ImageError);       // no header
+  EXPECT_THROW((void)load_image(std::string(".t9 2\n")), ImageError);         // bad version
+  EXPECT_THROW((void)load_image(std::string(".t9 1\ncode 0 ++\n")), ImageError);  // short trits
+  EXPECT_THROW((void)load_image(std::string(".t9 1\ncode 0 ++x++++++\n")), ImageError);
+  EXPECT_THROW((void)load_image(std::string(".t9 1\nbogus 1\n")), ImageError);
+  EXPECT_THROW((void)load_image(std::string(".t9 1\nentry 0\ncode 1 000000000\n")),
+               ImageError);  // gap: code not contiguous from entry
+  EXPECT_THROW(
+      (void)load_image(std::string(".t9 1\ncode 0 000000000\ncode 0 000000000\n")),
+      ImageError);  // duplicate address
+  // An undefined R-type func pattern (func = 13) must be rejected at load.
+  EXPECT_THROW((void)load_image(std::string(".t9 1\ncode 0 --0000000\n")), ImageError);
+}
+
+TEST(ImageIo, FileRoundTrip) {
+  const Program original = assemble(kSource);
+  const std::string path = "/tmp/art9_image_io_test.t9";
+  write_image_file(original, path);
+  const Program loaded = read_image_file(path);
+  EXPECT_EQ(loaded.image, original.image);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)read_image_file("/nonexistent/zzz.t9"), ImageError);
+}
+
+}  // namespace
+}  // namespace art9::isa

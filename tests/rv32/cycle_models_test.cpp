@@ -1,0 +1,102 @@
+// PicoRV32 / VexRiscv cycle-model accounting on crafted retirement streams.
+#include "rv32/cycle_models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace art9::rv32 {
+namespace {
+
+Rv32Retired retire(Rv32Op op, int rd = 1, int rs1 = 2, int rs2 = 3, bool taken = false) {
+  Rv32Retired r;
+  r.inst = Rv32Instruction{op, rd, rs1, rs2, 0};
+  r.taken = taken;
+  return r;
+}
+
+TEST(PicoModel, PerClassCosts) {
+  const PicoRv32Costs costs;  // defaults
+  PicoRv32CycleModel model(costs);
+  model.observe(retire(Rv32Op::kAdd));
+  EXPECT_EQ(model.cycles(), costs.alu);
+  model.observe(retire(Rv32Op::kLw));
+  EXPECT_EQ(model.cycles(), costs.alu + costs.load);
+  model.observe(retire(Rv32Op::kSw));
+  model.observe(retire(Rv32Op::kBeq, 0, 1, 2, true));
+  model.observe(retire(Rv32Op::kBeq, 0, 1, 2, false));
+  model.observe(retire(Rv32Op::kJal));
+  model.observe(retire(Rv32Op::kJalr));
+  model.observe(retire(Rv32Op::kMul));
+  EXPECT_EQ(model.cycles(), costs.alu + costs.load + costs.store + costs.branch_taken +
+                                costs.branch_not_taken + costs.jal + costs.jalr + costs.mul);
+  EXPECT_EQ(model.instructions(), 8u);
+  EXPECT_GT(model.cpi(), 1.0);
+}
+
+TEST(PicoModel, AverageCpiIsMultiCycle) {
+  // The PicoRV32 is non-pipelined: every class costs >= 3 cycles.
+  PicoRv32CycleModel model;
+  for (int i = 0; i < 100; ++i) model.observe(retire(Rv32Op::kAdd));
+  EXPECT_GE(model.cpi(), 3.0);
+}
+
+TEST(VexModel, BaseThroughputIsOneCyclePerInstruction) {
+  VexRiscvCycleModel model;
+  for (int i = 0; i < 50; ++i) model.observe(retire(Rv32Op::kAdd, 1, 2, 3));
+  EXPECT_EQ(model.cycles(), 50u);
+  EXPECT_DOUBLE_EQ(model.cpi(), 1.0);
+}
+
+TEST(VexModel, LoadUseInterlock) {
+  const VexRiscvCosts costs;
+  VexRiscvCycleModel model(costs);
+  model.observe(retire(Rv32Op::kLw, /*rd=*/5, 2, 0));
+  model.observe(retire(Rv32Op::kAdd, 1, /*rs1=*/5, 3));  // uses the loaded value
+  EXPECT_EQ(model.cycles(), 2u + costs.load_use_stall);
+  EXPECT_EQ(model.load_use_stalls(), 1u);
+
+  // An independent instruction in between hides the latency.
+  VexRiscvCycleModel model2(costs);
+  model2.observe(retire(Rv32Op::kLw, 5, 2, 0));
+  model2.observe(retire(Rv32Op::kAdd, 1, 2, 3));
+  model2.observe(retire(Rv32Op::kAdd, 1, 5, 3));
+  EXPECT_EQ(model2.load_use_stalls(), 0u);
+  EXPECT_EQ(model2.cycles(), 3u);
+}
+
+TEST(VexModel, LoadToX0NeverStalls) {
+  VexRiscvCycleModel model;
+  model.observe(retire(Rv32Op::kLw, /*rd=*/0, 2, 0));
+  model.observe(retire(Rv32Op::kAdd, 1, 0, 0));
+  EXPECT_EQ(model.load_use_stalls(), 0u);
+}
+
+TEST(VexModel, TakenBranchPenalty) {
+  const VexRiscvCosts costs;
+  VexRiscvCycleModel model(costs);
+  model.observe(retire(Rv32Op::kBeq, 0, 1, 2, true));
+  model.observe(retire(Rv32Op::kBeq, 0, 1, 2, false));
+  model.observe(retire(Rv32Op::kJal, 1, 0, 0, true));
+  EXPECT_EQ(model.branch_penalties(), 2u);
+  EXPECT_EQ(model.cycles(), 3u + 2 * costs.taken_branch_penalty);
+}
+
+TEST(VexModel, DividerLatency) {
+  const VexRiscvCosts costs;
+  VexRiscvCycleModel model(costs);
+  model.observe(retire(Rv32Op::kDiv));
+  EXPECT_EQ(model.cycles(), 1u + costs.div_extra);
+}
+
+TEST(DhrystoneMath, ConversionHelpers) {
+  // Paper Table II: 0.42 DMIPS/MHz at ~1355 cycles/iteration.
+  EXPECT_NEAR(dmips_per_mhz(1355), 0.42, 0.002);
+  // Table V: 0.42 DMIPS/MHz * 150 MHz / 1.09 W = 57.8 DMIPS/W.
+  EXPECT_NEAR(dmips_per_watt(0.42, 150.0, 1.09), 57.8, 0.1);
+  // Table IV: 3.06e6 DMIPS/W at 42.7 uW needs ~311 MHz.
+  EXPECT_NEAR(dmips_per_watt(0.42, 311.0, 42.7e-6), 3.06e6, 0.02e6);
+  EXPECT_EQ(dmips_per_mhz(0), 0.0);
+  EXPECT_EQ(dmips_per_watt(0.42, 100.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace art9::rv32

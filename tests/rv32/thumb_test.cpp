@@ -1,0 +1,111 @@
+// Thumb-1 subset assembler: encodings and size accounting (Fig. 5 baseline).
+#include "rv32/thumb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace art9::rv32 {
+namespace {
+
+TEST(Thumb, KnownEncodings) {
+  const ThumbProgram p = assemble_thumb(R"(
+    movs r0, #5
+    adds r1, r0, r2
+    adds r1, r0, #3
+    adds r3, #200
+    subs r4, r1, r0
+    cmp  r0, #7
+    cmp  r0, r1
+    lsls r2, r3, #4
+    muls r5, r6
+    nop
+)");
+  ASSERT_EQ(p.halfwords.size(), 10u);
+  EXPECT_EQ(p.halfwords[0], 0x2005u);  // MOVS r0, #5
+  EXPECT_EQ(p.halfwords[1], 0x1881u);  // ADDS r1, r0, r2
+  EXPECT_EQ(p.halfwords[2], 0x1CC1u);  // ADDS r1, r0, #3
+  EXPECT_EQ(p.halfwords[3], 0x33C8u);  // ADDS r3, #200
+  EXPECT_EQ(p.halfwords[4], 0x1A0Cu);  // SUBS r4, r1, r0
+  EXPECT_EQ(p.halfwords[5], 0x2807u);  // CMP r0, #7
+  EXPECT_EQ(p.halfwords[6], 0x4288u);  // CMP r0, r1
+  EXPECT_EQ(p.halfwords[7], 0x011Au);  // LSLS r2, r3, #4
+  EXPECT_EQ(p.halfwords[8], 0x4375u);  // MULS r5, r6
+  EXPECT_EQ(p.halfwords[9], 0xBF00u);  // NOP
+}
+
+TEST(Thumb, MemoryEncodings) {
+  const ThumbProgram p = assemble_thumb(R"(
+    ldr  r0, [r1, #4]
+    str  r2, [r3, #0]
+    ldrb r4, [r5, #1]
+    ldr  r6, [r7, r0]
+    str  r1, [sp, #8]
+)");
+  ASSERT_EQ(p.halfwords.size(), 5u);
+  EXPECT_EQ(p.halfwords[0], 0x6848u);  // LDR r0, [r1, #4]
+  EXPECT_EQ(p.halfwords[1], 0x601Au);  // STR r2, [r3, #0]
+  EXPECT_EQ(p.halfwords[2], 0x786Cu);  // LDRB r4, [r5, #1]
+  EXPECT_EQ(p.halfwords[3], 0x583Eu);  // LDR r6, [r7, r0]
+  EXPECT_EQ(p.halfwords[4], 0x9102u);  // STR r1, [sp, #8]
+}
+
+TEST(Thumb, BranchOffsets) {
+  const ThumbProgram p = assemble_thumb(R"(
+top:
+    nop
+    beq top
+    b   top
+    bl  top
+    bx  lr
+)");
+  // beq at byte 2: offset = 0 - (2+4) = -6 -> imm8 = -3.
+  EXPECT_EQ(p.halfwords[1], 0xD0FDu);
+  // b at byte 4: offset = -8 -> imm11 = -4.
+  EXPECT_EQ(p.halfwords[2], 0xE7FCu);
+  // bl occupies two halfwords.
+  EXPECT_EQ(p.halfwords.size(), 6u);
+  EXPECT_EQ(p.halfwords[5], 0x4770u);  // BX LR
+}
+
+TEST(Thumb, PushPop) {
+  const ThumbProgram p = assemble_thumb("push {r4, r5, lr}\npop {r4, r5, pc}\n");
+  EXPECT_EQ(p.halfwords[0], 0xB530u);
+  EXPECT_EQ(p.halfwords[1], 0xBD30u);
+}
+
+TEST(Thumb, SizeAccounting) {
+  const ThumbProgram p = assemble_thumb(R"(
+    movs r0, #1
+    bl   f
+f:  bx   lr
+.data
+.word 1, 2, 3
+)");
+  // 4 halfwords (bl = 2) + 3 data words.
+  EXPECT_EQ(p.code_bits(), 4 * 16);
+  EXPECT_EQ(p.memory_cells(), 4 * 16 + 3 * 32);
+}
+
+TEST(Thumb, EquSymbols) {
+  const ThumbProgram p = assemble_thumb(".equ N, 13\nmovs r1, #N\ncmp r1, #N\n");
+  EXPECT_EQ(p.halfwords[0], 0x210Du);
+  EXPECT_EQ(p.halfwords[1], 0x290Du);
+}
+
+TEST(ThumbErrors, Diagnostics) {
+  EXPECT_THROW(assemble_thumb("movs r9, #1\n"), ThumbAsmError);       // high register
+  EXPECT_THROW(assemble_thumb("movs r0, #300\n"), ThumbAsmError);     // imm8 range
+  EXPECT_THROW(assemble_thumb("adds r0, r1, #9\n"), ThumbAsmError);   // imm3 range
+  EXPECT_THROW(assemble_thumb("ldr r0, [r1, #3]\n"), ThumbAsmError);  // unaligned
+  EXPECT_THROW(assemble_thumb("beq nowhere\n"), ThumbAsmError);       // unknown label
+  EXPECT_THROW(assemble_thumb("frob r0\n"), ThumbAsmError);           // unknown op
+}
+
+TEST(Thumb, BenchmarkPortsAssemble) {
+  // The four Fig. 5 ports must assemble and have plausible sizes.
+  // (Checked in depth in tests/core/benchmarks_test.cpp.)
+  const ThumbProgram p = assemble_thumb("movs r0, #0\nnop\n");
+  EXPECT_EQ(p.halfwords.size(), 2u);
+}
+
+}  // namespace
+}  // namespace art9::rv32

@@ -1,0 +1,259 @@
+// Cycle-accurate pipeline: exact cycle/stall/flush accounting for the
+// hazard cases of paper §IV-B, plus the ablation configurations.
+//
+// Timing reference: with no stalls, instruction i (0-based) retires at
+// cycle i+5, so a program of N instructions (halt included) costs N+4
+// cycles; every load-use interlock adds 1, every taken branch/jump adds 1
+// (2 when branches resolve in EX).
+#include "sim/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace art9::sim {
+namespace {
+
+using isa::assemble;
+
+PipelineSimulator run(const std::string& source, PipelineConfig config = {}) {
+  PipelineSimulator sim(assemble(source), config);
+  const SimStats stats = sim.run();
+  EXPECT_EQ(stats.halt, HaltReason::kHalted);
+  return sim;
+}
+
+TEST(Pipeline, StraightLineCycleCount) {
+  auto sim = run("ADDI T1, 1\nADDI T2, 2\nADDI T3, 3\nHALT\n");
+  EXPECT_EQ(sim.stats().cycles, 8u);  // 4 instructions + 4 fill
+  EXPECT_EQ(sim.stats().instructions, 3u);
+  EXPECT_EQ(sim.stats().stall_load_use, 0u);
+  EXPECT_EQ(sim.stats().flush_taken_branch, 0u);
+  EXPECT_EQ(sim.reg_int(1), 1);
+}
+
+TEST(Pipeline, ForwardingCoversAluChains) {
+  auto sim = run(R"(
+    ADDI T1, 5
+    MV   T2, T1      ; distance 1 -> EX/MEM bypass
+    ADD  T2, T1      ; distances 1 and 2
+    MV   T3, T2      ; distance 1
+    HALT
+)");
+  EXPECT_EQ(sim.reg_int(2), 10);
+  EXPECT_EQ(sim.reg_int(3), 10);
+  EXPECT_EQ(sim.stats().cycles, 9u);  // no stalls at all
+  EXPECT_EQ(sim.stats().stall_raw, 0u);
+}
+
+TEST(Pipeline, LoadUseStallsOneCycle) {
+  auto sim = run(R"(
+    LIMM T1, 60
+    STORE T1, 0(T1)
+    LOAD T2, 0(T1)
+    ADD  T2, T2      ; load-use
+    HALT
+)");
+  EXPECT_EQ(sim.reg_int(2), 120);
+  EXPECT_EQ(sim.stats().stall_load_use, 1u);
+  EXPECT_EQ(sim.stats().cycles, 6u + 4u + 1u);
+}
+
+TEST(Pipeline, LoadThenIndependentOpNoStall) {
+  auto sim = run(R"(
+    LIMM T1, 60
+    STORE T1, 0(T1)
+    LOAD T2, 0(T1)
+    ADDI T3, 5       ; independent
+    ADD  T2, T2      ; distance 2 from the load -> MEM/WB bypass
+    HALT
+)");
+  EXPECT_EQ(sim.reg_int(2), 120);
+  EXPECT_EQ(sim.stats().stall_load_use, 0u);
+  EXPECT_EQ(sim.stats().cycles, 7u + 4u);
+}
+
+TEST(Pipeline, TakenBranchCostsOneBubble) {
+  auto sim = run(R"(
+    ADDI T1, 1
+    BEQ  T1, +, skip
+    ADDI T2, 5
+skip:
+    ADDI T3, 7
+    HALT
+)");
+  EXPECT_EQ(sim.reg_int(2), 0);
+  EXPECT_EQ(sim.reg_int(3), 7);
+  EXPECT_EQ(sim.stats().flush_taken_branch, 1u);
+  EXPECT_EQ(sim.stats().instructions, 3u);
+  EXPECT_EQ(sim.stats().cycles, 4u + 4u + 1u);  // 4 executed + fill + 1 bubble
+}
+
+TEST(Pipeline, NotTakenBranchIsFree) {
+  auto sim = run(R"(
+    ADDI T1, 1
+    BEQ  T1, -, skip
+    ADDI T2, 5
+skip:
+    ADDI T3, 7
+    HALT
+)");
+  EXPECT_EQ(sim.reg_int(2), 5);
+  EXPECT_EQ(sim.stats().flush_taken_branch, 0u);
+  EXPECT_EQ(sim.stats().cycles, 5u + 4u);
+}
+
+TEST(Pipeline, CompBeforeBranchNeedsNoStall) {
+  // The one-trit EX->ID condition forwarding (paper §IV-B).
+  auto sim = run(R"(
+    LIMM T1, 5
+    LIMM T2, 9
+    MV   T3, T1
+    COMP T3, T2
+    BEQ  T3, -, less
+    ADDI T4, 1
+less:
+    HALT
+)");
+  EXPECT_EQ(sim.reg_int(4), 0);  // branch taken (5 < 9)
+  EXPECT_EQ(sim.stats().stall_branch_hazard, 0u);
+  EXPECT_EQ(sim.stats().flush_taken_branch, 1u);
+  EXPECT_EQ(sim.stats().cycles, 8u + 4u + 1u);  // 8 executed + fill + bubble
+}
+
+TEST(Pipeline, LoadToBranchStallsTwoCycles) {
+  auto sim = run(R"(
+    LIMM T1, 60
+    STORE T1, 0(T1)
+    LOAD  T2, 0(T1)
+    BEQ   T2, 0, next   ; 60's LST is 0 -> taken
+next:
+    HALT
+)");
+  EXPECT_EQ(sim.stats().stall_branch_hazard, 2u);
+  EXPECT_EQ(sim.stats().flush_taken_branch, 1u);
+  EXPECT_EQ(sim.stats().cycles, 6u + 4u + 2u + 1u);
+}
+
+TEST(Pipeline, JalrBaseHazardStallsOneCycle) {
+  // No 9-trit EX->ID bypass for the JALR base: a distance-1 ALU producer
+  // costs one stall (resolved from EX/MEM the next cycle).
+  auto sim = run(R"(
+    LIMM T1, 6
+    ADDI T1, 1
+    JALR T0, T1, 0
+    ADDI T2, 3
+    NOP
+    NOP
+    HALT
+)");
+  EXPECT_EQ(sim.reg_int(2), 0);  // jumped over
+  EXPECT_EQ(sim.reg_int(0), 4);  // link = JALR address + 1
+  EXPECT_EQ(sim.stats().stall_branch_hazard, 1u);
+  EXPECT_EQ(sim.stats().flush_taken_branch, 1u);
+  EXPECT_EQ(sim.stats().cycles, 5u + 4u + 1u + 1u);
+}
+
+TEST(Pipeline, JalAlwaysFlushesOnce) {
+  auto sim = run("JAL T1, target\nNOP\ntarget: HALT\n");
+  EXPECT_EQ(sim.reg_int(1), 1);
+  EXPECT_EQ(sim.stats().flush_taken_branch, 1u);
+  EXPECT_EQ(sim.stats().cycles, 2u + 4u + 1u);
+}
+
+TEST(Pipeline, StoreDataForwarding) {
+  auto sim = run(R"(
+    LIMM T1, 50
+    ADDI T2, 7
+    STORE T2, 0(T1)  ; store data from a distance-1 ALU producer
+    LOAD T3, 0(T1)
+    HALT
+)");
+  EXPECT_EQ(sim.reg_int(3), 7);
+  EXPECT_EQ(sim.stats().stall_load_use, 0u);
+  EXPECT_EQ(sim.stats().cycles, 6u + 4u);
+}
+
+TEST(Pipeline, BackwardLoopMatchesFunctionalResult) {
+  auto sim = run(R"(
+    LIMM T1, 10
+    LIMM T2, 0
+    LIMM T3, 0
+loop:
+    ADD  T2, T1
+    ADDI T1, -1
+    MV   T4, T1
+    COMP T4, T3
+    BNE  T4, 0, loop
+    HALT
+)");
+  EXPECT_EQ(sim.reg_int(2), 55);
+  // 9 taken branches (the final iteration falls through).
+  EXPECT_EQ(sim.stats().flush_taken_branch, 9u);
+}
+
+// --- ablation configurations -------------------------------------------
+
+TEST(PipelineAblation, NoForwardingStallsRawHazards) {
+  PipelineConfig config;
+  config.ex_forwarding = false;
+  auto sim = run(R"(
+    ADDI T1, 5
+    MV   T2, T1
+    ADD  T2, T1
+    MV   T3, T2
+    HALT
+)", config);
+  EXPECT_EQ(sim.reg_int(3), 10);  // still correct, just slower
+  EXPECT_EQ(sim.stats().stall_raw, 6u);  // 2 stalls per distance-1 dependence
+  EXPECT_EQ(sim.stats().cycles, 9u + 6u);
+}
+
+TEST(PipelineAblation, BranchInExCostsTwoBubbles) {
+  PipelineConfig config;
+  config.branch_in_id = false;
+  auto sim = run(R"(
+    ADDI T1, 1
+    BEQ  T1, +, skip
+    ADDI T2, 5
+skip:
+    ADDI T3, 7
+    HALT
+)", config);
+  EXPECT_EQ(sim.reg_int(2), 0);
+  EXPECT_EQ(sim.reg_int(3), 7);
+  EXPECT_EQ(sim.stats().flush_taken_branch, 2u);
+  EXPECT_EQ(sim.stats().cycles, 4u + 4u + 2u);
+}
+
+TEST(PipelineAblation, NoWriteThroughInterlocksDistanceThree) {
+  PipelineConfig config;
+  config.regfile_write_through = false;
+  auto sim = run(R"(
+    ADDI T1, 5
+    NOP
+    NOP
+    MV   T2, T1     ; distance 3: the WB write lands after the ID read
+    HALT
+)", config);
+  EXPECT_EQ(sim.reg_int(2), 5);
+  EXPECT_EQ(sim.stats().stall_raw, 1u);
+  EXPECT_EQ(sim.stats().cycles, 10u);
+}
+
+TEST(Pipeline, HaltWithoutWritingLink) {
+  auto sim = run("LIMM T0, 7\nHALT\n");
+  EXPECT_EQ(sim.reg_int(0), 7);  // HALT (JAL T0,0) must not clobber T0
+}
+
+TEST(Pipeline, MaxCycleBudget) {
+  PipelineConfig config;
+  config.max_cycles = 50;
+  PipelineSimulator sim(assemble("loop: JAL T1, loop2\nloop2: JAL T1, loop\nHALT\n"), config);
+  const SimStats stats = sim.run();
+  EXPECT_EQ(stats.halt, HaltReason::kMaxCycles);
+  EXPECT_EQ(stats.cycles, 50u);
+}
+
+}  // namespace
+}  // namespace art9::sim

@@ -1,0 +1,125 @@
+// TALU semantics against host-integer references.
+#include "sim/talu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ternary/random.hpp"
+
+namespace art9::sim {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using ternary::kTritZ;
+using ternary::random_word;
+using ternary::Word9;
+
+Instruction make(Opcode op, int imm = 0) { return Instruction{op, 0, 0, kTritZ, imm}; }
+
+TEST(Talu, ArithmeticOps) {
+  std::mt19937_64 rng(100);
+  for (int i = 0; i < 3000; ++i) {
+    const Word9 a = random_word<9>(rng);
+    const Word9 b = random_word<9>(rng);
+    EXPECT_EQ(execute(make(Opcode::kAdd), a, b).to_int(),
+              Word9::from_int_wrapped(a.to_int() + b.to_int()).to_int());
+    EXPECT_EQ(execute(make(Opcode::kSub), a, b).to_int(),
+              Word9::from_int_wrapped(a.to_int() - b.to_int()).to_int());
+    EXPECT_EQ(execute(make(Opcode::kMv), a, b), b);
+  }
+}
+
+TEST(Talu, LogicOps) {
+  std::mt19937_64 rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const Word9 a = random_word<9>(rng);
+    const Word9 b = random_word<9>(rng);
+    EXPECT_EQ(execute(make(Opcode::kAnd), a, b), ternary::tand(a, b));
+    EXPECT_EQ(execute(make(Opcode::kOr), a, b), ternary::tor(a, b));
+    EXPECT_EQ(execute(make(Opcode::kXor), a, b), ternary::txor(a, b));
+    EXPECT_EQ(execute(make(Opcode::kSti), a, b), ternary::sti(b));
+    EXPECT_EQ(execute(make(Opcode::kNti), a, b), ternary::nti(b));
+    EXPECT_EQ(execute(make(Opcode::kPti), a, b), ternary::pti(b));
+  }
+}
+
+TEST(Talu, RegisterShifts) {
+  // SR/SL take the unsigned value of Tb's two least-significant trits.
+  std::mt19937_64 rng(102);
+  for (int amount = 0; amount <= 8; ++amount) {
+    const Word9 b = Word9::from_unsigned(amount);  // low trits encode `amount`
+    EXPECT_EQ(shift_amount(b), amount);
+    for (int i = 0; i < 200; ++i) {
+      const Word9 a = random_word<9>(rng);
+      EXPECT_EQ(execute(make(Opcode::kSr), a, b), a.shr(static_cast<std::size_t>(amount)));
+      EXPECT_EQ(execute(make(Opcode::kSl), a, b), a.shl(static_cast<std::size_t>(amount)));
+    }
+  }
+}
+
+TEST(Talu, ShiftAmountIgnoresUpperTrits) {
+  Word9 b = Word9::from_unsigned(5);
+  b.set(7, ternary::kTritP);  // garbage above [1:0]
+  EXPECT_EQ(shift_amount(b), 5);
+}
+
+TEST(Talu, CompWritesSignToLstAndZerosUppers) {
+  std::mt19937_64 rng(103);
+  for (int i = 0; i < 2000; ++i) {
+    const Word9 a = random_word<9>(rng);
+    const Word9 b = random_word<9>(rng);
+    const Word9 r = execute(make(Opcode::kComp), a, b);
+    const int expected = (a.to_int() > b.to_int()) - (a.to_int() < b.to_int());
+    EXPECT_EQ(r.lst().value(), expected);
+    for (std::size_t k = 1; k < 9; ++k) EXPECT_EQ(r[k], kTritZ);
+    EXPECT_EQ(r.to_int(), expected);  // whole word equals the sign
+  }
+}
+
+TEST(Talu, ImmediateOps) {
+  std::mt19937_64 rng(104);
+  for (int imm = -13; imm <= 13; ++imm) {
+    for (int i = 0; i < 50; ++i) {
+      const Word9 a = random_word<9>(rng);
+      EXPECT_EQ(execute(make(Opcode::kAddi, imm), a, Word9{}).to_int(),
+                Word9::from_int_wrapped(a.to_int() + imm).to_int());
+      EXPECT_EQ(execute(make(Opcode::kAndi, imm), a, Word9{}),
+                ternary::tand(a, Word9::from_int(imm)));
+    }
+  }
+  for (int sh = 0; sh <= 8; ++sh) {
+    const Word9 a = random_word<9>(rng);
+    EXPECT_EQ(execute(make(Opcode::kSri, sh), a, Word9{}), a.shr(static_cast<std::size_t>(sh)));
+    EXPECT_EQ(execute(make(Opcode::kSli, sh), a, Word9{}), a.shl(static_cast<std::size_t>(sh)));
+  }
+}
+
+TEST(Talu, LuiLiComposition) {
+  // LUI hi ; LI lo must materialise hi*243 + lo for any 9-trit value.
+  for (int64_t v = -9841; v <= 9841; v += 97) {
+    const Word9 w = Word9::from_int(v);
+    const int hi = static_cast<int>(w.slice<4>(5).to_int());
+    const int lo = static_cast<int>(w.slice<5>(0).to_int());
+    const Word9 after_lui = execute(make(Opcode::kLui, hi), Word9{}, Word9{});
+    const Word9 after_li = execute(make(Opcode::kLi, lo), after_lui, Word9{});
+    EXPECT_EQ(after_li.to_int(), v);
+  }
+}
+
+TEST(Talu, LiKeepsUpperTrits) {
+  const Word9 base = Word9::from_int(243 * 7);  // upper trits encode 7
+  const Word9 r = execute(make(Opcode::kLi, -5), base, Word9{});
+  EXPECT_EQ(r.slice<4>(5).to_int(), 7);
+  EXPECT_EQ(r.slice<5>(0).to_int(), -5);
+}
+
+TEST(Talu, ControlOpsRejected) {
+  EXPECT_THROW((void)execute(make(Opcode::kBeq), Word9{}, Word9{}), std::logic_error);
+  EXPECT_THROW((void)execute(make(Opcode::kJal), Word9{}, Word9{}), std::logic_error);
+  EXPECT_THROW((void)execute(make(Opcode::kLoad), Word9{}, Word9{}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace art9::sim

@@ -1,0 +1,102 @@
+// Pipeline tracer: stage progression, hazard events and rendering.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "sim/pipeline.hpp"
+
+namespace art9::sim {
+namespace {
+
+std::vector<CycleTrace> trace_program(const std::string& source, PipelineConfig config = {}) {
+  PipelineSimulator sim(isa::assemble(source), config);
+  std::vector<CycleTrace> out;
+  sim.set_tracer([&](const CycleTrace& t) { out.push_back(t); });
+  sim.run();
+  return out;
+}
+
+TEST(Trace, StageProgression) {
+  const auto traces = trace_program("ADDI T1, 1\nADDI T2, 2\nHALT\n");
+  ASSERT_EQ(traces.size(), 7u);  // 3 instructions + 4 fill cycles
+  // Cycle 1: everything empty, fetching pc 0.
+  EXPECT_TRUE(traces[0].fetch_active);
+  EXPECT_EQ(traces[0].fetch_pc, 0);
+  EXPECT_FALSE(traces[0].id().valid);
+  // Instruction 0 moves ID (cycle 2) -> EX (3) -> MEM (4) -> WB (5).
+  EXPECT_TRUE(traces[1].id().valid);
+  EXPECT_EQ(traces[1].id().pc, 0);
+  EXPECT_TRUE(traces[2].ex().valid);
+  EXPECT_EQ(traces[2].ex().pc, 0);
+  EXPECT_TRUE(traces[3].mem().valid);
+  EXPECT_EQ(traces[3].mem().pc, 0);
+  EXPECT_TRUE(traces[4].wb().valid);
+  EXPECT_EQ(traces[4].wb().pc, 0);
+  // The HALT (pc 2) retires on the final cycle.
+  EXPECT_TRUE(traces[6].wb().valid);
+  EXPECT_EQ(traces[6].wb().pc, 2);
+}
+
+TEST(Trace, LoadUseStallEvent) {
+  const auto traces = trace_program(R"(
+    LIMM T1, 60
+    STORE T1, 0(T1)
+    LOAD T2, 0(T1)
+    ADD  T2, T2
+    HALT
+)");
+  int stalls = 0;
+  for (const CycleTrace& t : traces) {
+    if (t.event == CycleEvent::kLoadUseStall) ++stalls;
+  }
+  EXPECT_EQ(stalls, 1);
+}
+
+TEST(Trace, FlushAndHaltEvents) {
+  const auto traces = trace_program("JAL T1, over\nNOP\nover: HALT\n");
+  bool saw_flush = false;
+  bool saw_halt = false;
+  for (const CycleTrace& t : traces) {
+    saw_flush |= t.event == CycleEvent::kTakenBranchFlush;
+    saw_halt |= t.event == CycleEvent::kHaltSeen;
+  }
+  EXPECT_TRUE(saw_flush);
+  EXPECT_TRUE(saw_halt);
+}
+
+TEST(Trace, RawStallEventInAblationMode) {
+  PipelineConfig config;
+  config.ex_forwarding = false;
+  const auto traces = trace_program("ADDI T1, 5\nMV T2, T1\nHALT\n", config);
+  int raw = 0;
+  for (const CycleTrace& t : traces) {
+    if (t.event == CycleEvent::kRawStall) ++raw;
+  }
+  EXPECT_EQ(raw, 2);
+}
+
+TEST(Trace, Rendering) {
+  const auto traces = trace_program("ADDI T1, 1\nHALT\n");
+  const std::string line = render_trace(traces[1]);
+  EXPECT_NE(line.find("ID 0:ADDI T1, 1"), std::string::npos);
+  EXPECT_NE(line.find("IF@1"), std::string::npos);
+  EXPECT_NE(line.find("EX -"), std::string::npos);
+  EXPECT_STREQ(event_name(CycleEvent::kLoadUseStall), "load-use stall");
+  EXPECT_STREQ(event_name(CycleEvent::kNone), "");
+}
+
+TEST(Trace, ObserverCanBeCleared) {
+  PipelineSimulator sim(isa::assemble("NOP\nHALT\n"));
+  int calls = 0;
+  sim.set_tracer([&](const CycleTrace&) { ++calls; });
+  sim.step();
+  sim.set_tracer(nullptr);
+  sim.run();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace art9::sim

@@ -1,0 +1,76 @@
+// Performance estimator: the DMIPS fusion math of Tables II, IV and V.
+#include "tech/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/datapath.hpp"
+
+namespace art9::tech {
+namespace {
+
+constexpr uint64_t kPaperCyclesPerIteration = 1342;  // 134,200 cycles / 100 (Table III)
+
+TEST(Estimator, DmipsPerMhzFromCycles) {
+  PerformanceEstimator estimator;
+  const PerformanceEstimate est = estimator.estimate(
+      build_art9_design(), Technology::cntfet32(), kPaperCyclesPerIteration);
+  // Table II: 0.42 DMIPS/MHz.
+  EXPECT_NEAR(est.dmips_per_mhz, 0.42, 0.005);
+}
+
+TEST(Estimator, CntfetDmipsPerWattMatchesTableIV) {
+  PerformanceEstimator estimator;
+  const PerformanceEstimate est = estimator.estimate(
+      build_art9_design(), Technology::cntfet32(), kPaperCyclesPerIteration);
+  // Table IV: 3.06e6 DMIPS/W (we allow the clock-model tolerance).
+  EXPECT_GT(est.dmips_per_watt, 2.5e6);
+  EXPECT_LT(est.dmips_per_watt, 3.6e6);
+  EXPECT_GT(est.dmips, 100.0);  // ~0.42 * ~310 MHz
+}
+
+TEST(Estimator, FpgaDmipsPerWattMatchesTableV) {
+  PerformanceEstimator estimator;
+  const PerformanceEstimate est = estimator.estimate(
+      build_art9_design(), Technology::fpga_binary_emulation(), kPaperCyclesPerIteration);
+  EXPECT_DOUBLE_EQ(est.clock_mhz, 150.0);
+  // Table V: 57.8 DMIPS/W at 1.09 W.
+  EXPECT_NEAR(est.dmips_per_watt, 57.8, 4.0);
+}
+
+TEST(Estimator, ZeroCyclesYieldsZeroMetrics) {
+  PerformanceEstimator estimator;
+  const PerformanceEstimate est =
+      estimator.estimate(build_art9_design(), Technology::cntfet32(), 0);
+  EXPECT_EQ(est.dmips_per_mhz, 0.0);
+  EXPECT_EQ(est.dmips, 0.0);
+}
+
+TEST(Estimator, SummaryRendering) {
+  PerformanceEstimator estimator;
+  const PerformanceEstimate cntfet = estimator.estimate(
+      build_art9_design(), Technology::cntfet32(), kPaperCyclesPerIteration);
+  const std::string line = summarize(cntfet);
+  EXPECT_NE(line.find("CNTFET-32nm"), std::string::npos);
+  EXPECT_NE(line.find("652"), std::string::npos);
+  EXPECT_NE(line.find("DMIPS/W"), std::string::npos);
+
+  const PerformanceEstimate fpga = estimator.estimate(
+      build_art9_design(), Technology::fpga_binary_emulation(), kPaperCyclesPerIteration);
+  const std::string fline = summarize(fpga);
+  EXPECT_NE(fline.find("ALMs"), std::string::npos);
+  EXPECT_NE(fline.find("9216"), std::string::npos);
+}
+
+TEST(Estimator, FasterIterationImprovesEveryMetric) {
+  PerformanceEstimator estimator;
+  const Technology tech = Technology::cntfet32();
+  const PerformanceEstimate slow = estimator.estimate(build_art9_design(), tech, 2000);
+  const PerformanceEstimate fast = estimator.estimate(build_art9_design(), tech, 1000);
+  EXPECT_GT(fast.dmips_per_mhz, slow.dmips_per_mhz);
+  EXPECT_GT(fast.dmips, slow.dmips);
+  EXPECT_GT(fast.dmips_per_watt, slow.dmips_per_watt);
+  EXPECT_DOUBLE_EQ(fast.clock_mhz, slow.clock_mhz);  // clock is cycle-independent
+}
+
+}  // namespace
+}  // namespace art9::tech

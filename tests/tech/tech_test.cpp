@@ -1,0 +1,122 @@
+// Gate-level analyzer + datapath netlist against Tables IV and V.
+#include <gtest/gtest.h>
+
+#include "tech/analyzer.hpp"
+#include "tech/datapath.hpp"
+
+namespace art9::tech {
+namespace {
+
+TEST(Datapath, GateCountMatchesTableIV) {
+  const Art9Design design = build_art9_design();
+  GateLevelAnalyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(design, Technology::cntfet32());
+  // Paper Table IV: the 5-stage datapath costs 652 standard ternary gates.
+  EXPECT_DOUBLE_EQ(report.total_gates, 652.0);
+}
+
+TEST(Datapath, PowerMatchesTableIV) {
+  const Art9Design design = build_art9_design();
+  GateLevelAnalyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(design, Technology::cntfet32());
+  // 42.7 uW at 0.9 V.
+  EXPECT_NEAR(report.power_w, 42.7e-6, 0.05e-6);
+  EXPECT_DOUBLE_EQ(report.voltage_v, 0.9);
+}
+
+TEST(Datapath, ModuleBreakdownCoversFigure4) {
+  const Art9Design design = build_art9_design();
+  GateLevelAnalyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(design, Technology::cntfet32());
+  for (const char* module : {"TALU", "main-decoder", "hazard-detection", "forwarding-mux",
+                             "branch-unit", "pc-logic"}) {
+    EXPECT_TRUE(report.module_area.contains(module)) << module;
+    EXPECT_GT(report.module_area.at(module), 0.0) << module;
+  }
+  // The TALU dominates the datapath.
+  double total = 0.0;
+  for (const auto& [name, area] : report.module_area) total += area;
+  EXPECT_NEAR(total, report.total_gates, 1e-9);
+  EXPECT_GT(report.module_area.at("TALU") / total, 0.4);
+}
+
+TEST(Datapath, CriticalPathGivesHundredsOfMhz) {
+  const Art9Design design = build_art9_design();
+  GateLevelAnalyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(design, Technology::cntfet32());
+  // The EX-stage ripple path dominates; Table IV's DMIPS/W at 0.42
+  // DMIPS/MHz implies a clock near 310 MHz.
+  EXPECT_GT(report.max_clock_mhz, 250.0);
+  EXPECT_LT(report.max_clock_mhz, 400.0);
+  EXPECT_GT(report.critical_delay_ps, 2500.0);
+}
+
+TEST(Datapath, FpgaResourcesMatchTableV) {
+  const Art9Design design = build_art9_design();
+  GateLevelAnalyzer analyzer;
+  const AnalysisReport report = analyzer.analyze(design, Technology::fpga_binary_emulation());
+  // Table V: 803 ALMs, 339 registers, 9216 RAM bits, 1.09 W, 150 MHz.
+  EXPECT_NEAR(report.alms, 803.0, 80.0);
+  EXPECT_EQ(report.ff_bits, 339);
+  EXPECT_EQ(report.ram_bits, 9216);
+  EXPECT_NEAR(report.power_w, 1.09, 0.05);
+  EXPECT_DOUBLE_EQ(report.max_clock_mhz, 150.0);
+}
+
+TEST(Datapath, AblationShrinksNetlist) {
+  GateLevelAnalyzer analyzer;
+  const Technology tech = Technology::cntfet32();
+  const AnalysisReport full = analyzer.analyze(build_art9_design(), tech);
+
+  DatapathOptions no_fwd;
+  no_fwd.ex_forwarding = false;
+  const AnalysisReport without_fwd = analyzer.analyze(build_art9_design(no_fwd), tech);
+  EXPECT_LT(without_fwd.total_gates, full.total_gates);
+  // Dropping the forwarding muxes also shortens the EX critical path.
+  EXPECT_LT(without_fwd.critical_delay_ps, full.critical_delay_ps);
+
+  DatapathOptions no_branch_id;
+  no_branch_id.branch_in_id = false;
+  const AnalysisReport without_branch = analyzer.analyze(build_art9_design(no_branch_id), tech);
+  EXPECT_LT(without_branch.total_gates, full.total_gates);
+}
+
+TEST(Datapath, StateInventory) {
+  const Art9Design design = build_art9_design();
+  // TRF (81) + PC (9) + pipeline latches (79) = 169 trits.
+  EXPECT_EQ(design.state_trits, 169);
+  EXPECT_EQ(design.binary_state_bits, 1);
+  EXPECT_EQ(design.tim_words, 256);
+  EXPECT_EQ(design.tdm_words, 256);
+}
+
+TEST(Technology, CellTables) {
+  const Technology cntfet = Technology::cntfet32();
+  EXPECT_EQ(cntfet.fabric(), Fabric::kTernaryGates);
+  for (CellType t : all_cell_types()) {
+    if (t == CellType::kTdff) continue;
+    EXPECT_GT(cntfet.cell(t).gate_equivalents, 0.0) << cell_name(t);
+    EXPECT_GT(cntfet.cell(t).delay_ps, 0.0) << cell_name(t);
+  }
+  const Technology fpga = Technology::fpga_binary_emulation();
+  EXPECT_EQ(fpga.fabric(), Fabric::kBinaryEmulation);
+  EXPECT_DOUBLE_EQ(fpga.cell(CellType::kTdff).ff_bits, 2.0);  // 2 bits per trit
+  EXPECT_DOUBLE_EQ(fpga.memory().bits_per_trit, 2.0);
+  EXPECT_DOUBLE_EQ(fpga.clock_cap_mhz(), 150.0);
+}
+
+TEST(Netlist, Composition) {
+  Netlist inner("inner");
+  inner.add(CellType::kTfa, 9);
+  Netlist outer("outer");
+  outer.add(inner);
+  outer.add(CellType::kSti, 3);
+  EXPECT_EQ(outer.count(CellType::kTfa), 9);
+  EXPECT_EQ(outer.count(CellType::kSti), 3);
+  EXPECT_EQ(outer.combinational_cells(), 12);
+  ASSERT_EQ(outer.children().size(), 1u);
+  EXPECT_EQ(outer.children()[0].name(), "inner");
+}
+
+}  // namespace
+}  // namespace art9::tech

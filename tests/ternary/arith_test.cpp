@@ -1,0 +1,82 @@
+// Extended arithmetic: the trit-serial multiply reference (the algorithm
+// behind the translator's __mul routine) and host-side division helpers.
+#include "ternary/arith.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ternary/random.hpp"
+
+namespace art9::ternary {
+namespace {
+
+TEST(Multiply, MatchesWrappedIntegerProduct) {
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const Word9 a = random_word<9>(rng);
+    const Word9 b = random_word<9>(rng);
+    EXPECT_EQ(multiply(a, b).to_int(),
+              Word9::from_int_wrapped(a.to_int() * b.to_int()).to_int());
+  }
+}
+
+TEST(Multiply, Identities) {
+  const Word9 one = Word9::from_int(1);
+  const Word9 zero;
+  std::mt19937_64 rng(18);
+  for (int i = 0; i < 500; ++i) {
+    const Word9 w = random_word<9>(rng);
+    EXPECT_EQ(multiply(w, one), w);
+    EXPECT_EQ(multiply(one, w), w);
+    EXPECT_TRUE(multiply(w, zero).is_zero());
+    EXPECT_EQ(multiply(w, -one).to_int(), -w.to_int());
+  }
+}
+
+TEST(Multiply, Commutative) {
+  std::mt19937_64 rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const Word9 a = random_word<9>(rng);
+    const Word9 b = random_word<9>(rng);
+    EXPECT_EQ(multiply(a, b), multiply(b, a));
+  }
+}
+
+TEST(Multiply, ShiftIsMultiplyByPowerOfThree) {
+  std::mt19937_64 rng(20);
+  const Word9 three = Word9::from_int(3);
+  for (int i = 0; i < 500; ++i) {
+    const Word9 w = random_word<9>(rng);
+    EXPECT_EQ(multiply(w, three), w.shl(1));
+  }
+}
+
+TEST(DivModTrunc, Basics) {
+  EXPECT_EQ(divmod_trunc(7, 2).quotient, 3);
+  EXPECT_EQ(divmod_trunc(7, 2).remainder, 1);
+  EXPECT_EQ(divmod_trunc(-7, 2).quotient, -3);
+  EXPECT_EQ(divmod_trunc(-7, 2).remainder, -1);
+  EXPECT_THROW((void)divmod_trunc(1, 0), std::domain_error);
+}
+
+TEST(DivPow3Nearest, MatchesShr) {
+  std::mt19937_64 rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const Word9 w = random_word<9>(rng);
+    for (std::size_t k = 0; k <= 9; ++k) {
+      EXPECT_EQ(div_pow3_nearest(w.to_int(), k), w.shr(k).to_int())
+          << "v=" << w.to_int() << " k=" << k;
+    }
+  }
+}
+
+TEST(PopcountNonzero, CountsNonzeroTrits) {
+  EXPECT_EQ(popcount_nonzero(Word9{}), 0);
+  EXPECT_EQ(popcount_nonzero(Word9::from_int(1)), 1);
+  EXPECT_EQ(popcount_nonzero(Word9::from_int(4)), 2);   // ++ = 3+1
+  EXPECT_EQ(popcount_nonzero(Word9::filled(kTritN)), 9);
+}
+
+}  // namespace
+}  // namespace art9::ternary

@@ -1,0 +1,174 @@
+// Trit algebra: the Fig. 1 truth tables and the laws the TALU relies on.
+#include "ternary/trit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace art9::ternary {
+namespace {
+
+TEST(Trit, ConstructionAndAccessors) {
+  EXPECT_EQ(kTritN.value(), -1);
+  EXPECT_EQ(kTritZ.value(), 0);
+  EXPECT_EQ(kTritP.value(), 1);
+  EXPECT_EQ(kTritN.level(), 0);
+  EXPECT_EQ(kTritZ.level(), 1);
+  EXPECT_EQ(kTritP.level(), 2);
+  EXPECT_TRUE(kTritZ.is_zero());
+  EXPECT_FALSE(kTritP.is_zero());
+}
+
+TEST(Trit, CheckedConstruction) {
+  EXPECT_EQ(Trit::from_value(-1), kTritN);
+  EXPECT_EQ(Trit::from_level(2), kTritP);
+  EXPECT_THROW(Trit::from_value(2), std::out_of_range);
+  EXPECT_THROW(Trit::from_value(-2), std::out_of_range);
+  EXPECT_THROW(Trit::from_level(3), std::out_of_range);
+  EXPECT_THROW(Trit::from_level(-1), std::out_of_range);
+}
+
+TEST(Trit, CharRoundTrip) {
+  for (Trit t : kAllTrits) {
+    EXPECT_EQ(Trit::from_char(t.to_char()), t);
+  }
+  EXPECT_EQ(Trit::from_char('N'), kTritN);
+  EXPECT_EQ(Trit::from_char('p'), kTritP);
+  EXPECT_THROW(Trit::from_char('x'), std::invalid_argument);
+}
+
+// --- Fig. 1 truth tables, row by row -----------------------------------
+
+TEST(TritLogic, AndTruthTable) {
+  // AND = min.
+  EXPECT_EQ(tand(kTritN, kTritN), kTritN);
+  EXPECT_EQ(tand(kTritN, kTritZ), kTritN);
+  EXPECT_EQ(tand(kTritN, kTritP), kTritN);
+  EXPECT_EQ(tand(kTritZ, kTritZ), kTritZ);
+  EXPECT_EQ(tand(kTritZ, kTritP), kTritZ);
+  EXPECT_EQ(tand(kTritP, kTritP), kTritP);
+}
+
+TEST(TritLogic, OrTruthTable) {
+  // OR = max.
+  EXPECT_EQ(tor(kTritN, kTritN), kTritN);
+  EXPECT_EQ(tor(kTritN, kTritZ), kTritZ);
+  EXPECT_EQ(tor(kTritN, kTritP), kTritP);
+  EXPECT_EQ(tor(kTritZ, kTritZ), kTritZ);
+  EXPECT_EQ(tor(kTritZ, kTritP), kTritP);
+  EXPECT_EQ(tor(kTritP, kTritP), kTritP);
+}
+
+TEST(TritLogic, XorTruthTable) {
+  // XOR = negated product.
+  EXPECT_EQ(txor(kTritN, kTritN), kTritN);
+  EXPECT_EQ(txor(kTritN, kTritZ), kTritZ);
+  EXPECT_EQ(txor(kTritN, kTritP), kTritP);
+  EXPECT_EQ(txor(kTritZ, kTritZ), kTritZ);
+  EXPECT_EQ(txor(kTritZ, kTritP), kTritZ);
+  EXPECT_EQ(txor(kTritP, kTritP), kTritN);
+}
+
+TEST(TritLogic, InverterTruthTables) {
+  // STI: -1->+1, 0->0, +1->-1.
+  EXPECT_EQ(sti(kTritN), kTritP);
+  EXPECT_EQ(sti(kTritZ), kTritZ);
+  EXPECT_EQ(sti(kTritP), kTritN);
+  // NTI: -1->+1, 0->-1, +1->-1.
+  EXPECT_EQ(nti(kTritN), kTritP);
+  EXPECT_EQ(nti(kTritZ), kTritN);
+  EXPECT_EQ(nti(kTritP), kTritN);
+  // PTI: -1->+1, 0->+1, +1->-1.
+  EXPECT_EQ(pti(kTritN), kTritP);
+  EXPECT_EQ(pti(kTritZ), kTritP);
+  EXPECT_EQ(pti(kTritP), kTritN);
+}
+
+// --- algebraic laws (exhaustive over all input combinations) -----------
+
+TEST(TritLogic, CommutativityAndAssociativity) {
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      EXPECT_EQ(tand(a, b), tand(b, a));
+      EXPECT_EQ(tor(a, b), tor(b, a));
+      EXPECT_EQ(txor(a, b), txor(b, a));
+      for (Trit c : kAllTrits) {
+        EXPECT_EQ(tand(tand(a, b), c), tand(a, tand(b, c)));
+        EXPECT_EQ(tor(tor(a, b), c), tor(a, tor(b, c)));
+      }
+    }
+  }
+}
+
+TEST(TritLogic, DeMorganWithSti) {
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      EXPECT_EQ(sti(tand(a, b)), tor(sti(a), sti(b)));
+      EXPECT_EQ(sti(tor(a, b)), tand(sti(a), sti(b)));
+    }
+  }
+}
+
+TEST(TritLogic, XorFormsCoincide) {
+  // -(a*b) == max(min(a, -b), min(-a, b)) on every input pair — the
+  // equivalence DESIGN.md relies on.
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      const Trit min_max = tor(tand(a, sti(b)), tand(sti(a), b));
+      EXPECT_EQ(txor(a, b), min_max);
+    }
+  }
+}
+
+TEST(TritLogic, InverterInvolutionsAndIdentities) {
+  for (Trit a : kAllTrits) {
+    EXPECT_EQ(sti(sti(a)), a);                 // STI is an involution
+    EXPECT_EQ(tand(a, kTritP), a);             // +1 is the AND identity
+    EXPECT_EQ(tor(a, kTritN), a);              // -1 is the OR identity
+    EXPECT_EQ(tand(a, kTritN), kTritN);        // -1 annihilates AND
+    EXPECT_EQ(tor(a, kTritP), kTritP);         // +1 annihilates OR
+  }
+}
+
+// --- arithmetic cells ----------------------------------------------------
+
+TEST(TritArith, FullAdderExhaustive) {
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      for (Trit c : kAllTrits) {
+        const TritSum s = tadd_full(a, b, c);
+        EXPECT_EQ(s.sum.value() + 3 * s.carry.value(), a.value() + b.value() + c.value())
+            << "a=" << a.value() << " b=" << b.value() << " c=" << c.value();
+      }
+    }
+  }
+}
+
+TEST(TritArith, HalfAdderMatchesFullAdder) {
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      EXPECT_EQ(tadd_half(a, b), tadd_full(a, b, kTritZ));
+    }
+  }
+}
+
+TEST(TritArith, CompareCell) {
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      const int expected = (a.value() > b.value()) - (a.value() < b.value());
+      EXPECT_EQ(tcmp(a, b).value(), expected);
+    }
+  }
+}
+
+TEST(TritArith, MulCell) {
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      EXPECT_EQ(tmul(a, b).value(), a.value() * b.value());
+      EXPECT_EQ(txor(a, b), sti(tmul(a, b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace art9::ternary

@@ -1,0 +1,109 @@
+// The unbalanced (3's-complement) alternative: correctness of the model
+// and the negation-cost contrast with the balanced system (paper §II-A).
+#include "ternary/unbalanced.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ternary/random.hpp"
+
+namespace art9::ternary {
+namespace {
+
+TEST(Unbalanced, RangeIsSymmetricForOddRadix) {
+  // Unlike two's complement, an odd radix yields a symmetric range.
+  EXPECT_EQ(UnbalancedWord9::kMaxValue, 9841);
+  EXPECT_EQ(UnbalancedWord9::kMinValue, -9841);
+  EXPECT_EQ(UnbalancedWord9::from_int(-1).to_unsigned(), 19682);
+  EXPECT_EQ(UnbalancedWord9::from_int(-9841).to_unsigned(), 9842);
+}
+
+TEST(Unbalanced, SignDetectionNeedsMagnitudeCompare) {
+  // The most significant digit alone cannot decide the sign: +9841 and
+  // -9841 share MSD 1.
+  EXPECT_EQ(UnbalancedWord9::from_int(9841).digit(8), 1);
+  EXPECT_EQ(UnbalancedWord9::from_int(-9841).digit(8), 1);
+  EXPECT_FALSE(UnbalancedWord9::from_int(9841).is_negative());
+  EXPECT_TRUE(UnbalancedWord9::from_int(-9841).is_negative());
+  EXPECT_FALSE(UnbalancedWord9::from_int(0).is_negative());
+}
+
+TEST(Unbalanced, SignedRoundTripExhaustive) {
+  for (int64_t v = UnbalancedWord9::kMinValue; v <= UnbalancedWord9::kMaxValue; v += 7) {
+    EXPECT_EQ(UnbalancedWord9::from_int(v).to_int(), v);
+  }
+  EXPECT_EQ(UnbalancedWord9::from_int(UnbalancedWord9::kMinValue).to_int(),
+            UnbalancedWord9::kMinValue);
+  EXPECT_THROW((void)UnbalancedWord9::from_int(9842), std::out_of_range);
+  EXPECT_THROW((void)UnbalancedWord9::from_int(-9842), std::out_of_range);
+}
+
+TEST(Unbalanced, UnsignedRoundTrip) {
+  for (int64_t v = 0; v < UnbalancedWord9::kStates; v += 97) {
+    EXPECT_EQ(UnbalancedWord9::from_unsigned(v).to_unsigned(), v);
+  }
+}
+
+TEST(Unbalanced, AdditionMatchesIntegers) {
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<int64_t> dist(-4800, 4800);
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t a = dist(rng);
+    const int64_t b = dist(rng);
+    EXPECT_EQ((UnbalancedWord9::from_int(a) + UnbalancedWord9::from_int(b)).to_int(), a + b);
+    EXPECT_EQ((UnbalancedWord9::from_int(a) - UnbalancedWord9::from_int(b)).to_int(), a - b);
+  }
+}
+
+TEST(Unbalanced, NegationNeedsInvertPlusIncrement) {
+  std::mt19937_64 rng(6);
+  std::uniform_int_distribution<int64_t> dist(-9841, 9841);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = dist(rng);
+    const UnbalancedWord9 w = UnbalancedWord9::from_int(v);
+    EXPECT_EQ(w.negate().to_int(), -v);
+    // Inversion alone is NOT negation (it yields -v-1): the increment —
+    // and its full carry chain — is mandatory.
+    EXPECT_EQ(w.invert().to_int(), -v - 1);
+  }
+}
+
+TEST(Unbalanced, BalancedNegationIsCarryFree) {
+  // The paper's §II-A contrast: balanced negation = one STI row, no carry.
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Word9 w = random_word<9>(rng);
+    EXPECT_EQ((-w), sti(w));  // tritwise; no adder involved
+  }
+}
+
+TEST(Unbalanced, ConversionBetweenSystems) {
+  std::mt19937_64 rng(8);
+  std::uniform_int_distribution<int64_t> dist(-9841, 9841);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = dist(rng);
+    const UnbalancedWord9 u = UnbalancedWord9::from_int(v);
+    EXPECT_EQ(u.to_balanced().to_int(), v);
+    EXPECT_EQ(UnbalancedWord9::from_balanced(Word9::from_int(v)), u);
+  }
+  // The extremes convert cleanly in both directions.
+  EXPECT_EQ(UnbalancedWord9::from_int(-9841).to_balanced().to_int(), -9841);
+  EXPECT_EQ(UnbalancedWord9::from_balanced(Word9::from_int(9841)).to_int(), 9841);
+}
+
+TEST(Unbalanced, DigitsStayInRange) {
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<int64_t> dist(UnbalancedWord9::kMinValue,
+                                              UnbalancedWord9::kMaxValue);
+  for (int i = 0; i < 500; ++i) {
+    const UnbalancedWord9 w = UnbalancedWord9::from_int(dist(rng));
+    for (std::size_t d = 0; d < UnbalancedWord9::kDigits; ++d) {
+      EXPECT_GE(w.digit(d), 0);
+      EXPECT_LE(w.digit(d), 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace art9::ternary

@@ -1,0 +1,218 @@
+// Word<N> arithmetic: conversions, the datapath operations, and the
+// balanced-ternary properties the ART-9 core depends on.  Word9's full
+// 19683-state space is small enough for exhaustive sweeps.
+#include "ternary/word.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <random>
+
+#include "ternary/random.hpp"
+
+namespace art9::ternary {
+namespace {
+
+TEST(Word, RangeConstants) {
+  EXPECT_EQ(Word9::kStates, 19683);
+  EXPECT_EQ(Word9::kMaxValue, 9841);
+  EXPECT_EQ(Word9::kMinValue, -9841);
+  EXPECT_EQ(Word9::kMaxUnsigned, 19682);
+  EXPECT_EQ(pow3(0), 1);
+  EXPECT_EQ(pow3(9), 19683);
+}
+
+TEST(Word, BalancedConversionRoundTripExhaustive) {
+  for (int64_t v = Word9::kMinValue; v <= Word9::kMaxValue; ++v) {
+    EXPECT_EQ(Word9::from_int(v).to_int(), v);
+  }
+}
+
+TEST(Word, UnsignedConversionRoundTripExhaustive) {
+  for (int64_t v = 0; v <= Word9::kMaxUnsigned; ++v) {
+    EXPECT_EQ(Word9::from_unsigned(v).to_unsigned(), v);
+  }
+}
+
+TEST(Word, BalancedUnsignedRelation) {
+  // The same trit pattern read in the two interpretations differs by the
+  // constant offset (3^9-1)/2 — the bijection memories rely on.
+  for (int64_t v = Word9::kMinValue; v <= Word9::kMaxValue; v += 37) {
+    const Word9 w = Word9::from_int(v);
+    EXPECT_EQ(w.to_unsigned(), v + Word9::kMaxValue);
+  }
+}
+
+TEST(Word, ConversionRangeChecks) {
+  EXPECT_THROW(Word9::from_int(9842), std::out_of_range);
+  EXPECT_THROW(Word9::from_int(-9842), std::out_of_range);
+  EXPECT_THROW(Word9::from_unsigned(-1), std::out_of_range);
+  EXPECT_THROW(Word9::from_unsigned(19683), std::out_of_range);
+}
+
+TEST(Word, WrappedConversion) {
+  EXPECT_EQ(Word9::from_int_wrapped(9842).to_int(), -9841);
+  EXPECT_EQ(Word9::from_int_wrapped(-9842).to_int(), 9841);
+  EXPECT_EQ(Word9::from_int_wrapped(19683).to_int(), 0);
+  EXPECT_EQ(Word9::from_unsigned_wrapped(19683).to_unsigned(), 0);
+  EXPECT_EQ(Word9::from_unsigned_wrapped(-1).to_unsigned(), 19682);
+}
+
+TEST(Word, ParseAndToString) {
+  const Word<3> w = Word<3>::parse("+0-");
+  EXPECT_EQ(w.to_int(), 9 - 1);
+  EXPECT_EQ(w.to_string(), "+0-");
+  EXPECT_THROW(Word<3>::parse("++"), std::invalid_argument);
+  EXPECT_THROW(Word<3>::parse("+x-"), std::invalid_argument);
+  for (int64_t v = -121; v <= 121; ++v) {
+    const Word<5> x = Word<5>::from_int(v);
+    EXPECT_EQ(Word<5>::parse(x.to_string()), x);
+  }
+}
+
+TEST(Word, TritAccess) {
+  Word9 w = Word9::from_int(5);  // 5 = +--  (9 - 3 - 1)
+  EXPECT_EQ(w[0], kTritN);
+  EXPECT_EQ(w[1], kTritN);
+  EXPECT_EQ(w[2], kTritP);
+  EXPECT_EQ(w.lst(), kTritN);
+  w.set(8, kTritP);
+  EXPECT_EQ(w.mst(), kTritP);
+  EXPECT_EQ(w.to_int(), 5 + 6561);
+}
+
+TEST(Word, SignAndIsZero) {
+  EXPECT_TRUE(Word9{}.is_zero());
+  EXPECT_EQ(Word9{}.sign(), kTritZ);
+  EXPECT_EQ(Word9::from_int(123).sign(), kTritP);
+  EXPECT_EQ(Word9::from_int(-4).sign(), kTritN);
+}
+
+TEST(Word, SliceAndInsert) {
+  const Word9 w = Word9::from_int(1234);
+  const Word<5> lo = w.slice<5>(0);
+  const Word<4> hi = w.slice<4>(5);
+  // value = hi * 3^5 + lo — the LUI/LI decomposition.
+  EXPECT_EQ(hi.to_int() * 243 + lo.to_int(), 1234);
+  Word9 rebuilt;
+  rebuilt.insert(0, lo);
+  rebuilt.insert(5, hi);
+  EXPECT_EQ(rebuilt, w);
+  EXPECT_THROW((void)w.slice<5>(5), std::out_of_range);
+}
+
+// --- arithmetic ---------------------------------------------------------
+
+class WordAddSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(WordAddSweep, AddMatchesIntegerAddition) {
+  const int64_t a = GetParam();
+  for (int64_t b = -9841; b <= 9841; b += 271) {
+    const Word9 sum = Word9::from_int(a) + Word9::from_int(b);
+    EXPECT_EQ(sum.to_int(), Word9::from_int_wrapped(a + b).to_int());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BalancedRange, WordAddSweep,
+                         ::testing::Values(-9841, -5000, -1234, -1, 0, 1, 777, 4821, 9841));
+
+TEST(WordArith, NegationIsTritwiseSti) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Word9 w = random_word<9>(rng);
+    EXPECT_EQ((-w).to_int(), -w.to_int());
+    EXPECT_EQ(-w, sti(w));
+  }
+}
+
+TEST(WordArith, SubtractionMatchesIntegers) {
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const Word9 a = random_word<9>(rng);
+    const Word9 b = random_word<9>(rng);
+    EXPECT_EQ((a - b).to_int(), Word9::from_int_wrapped(a.to_int() - b.to_int()).to_int());
+  }
+}
+
+TEST(WordArith, AddCarryOut) {
+  const auto r = Word9::add_with_carry(Word9::from_int(9841), Word9::from_int(1), kTritZ);
+  // 9842 = -9841 + 1*3^9.
+  EXPECT_EQ(r.sum.to_int(), -9841);
+  EXPECT_EQ(r.carry_out, kTritP);
+  const auto r2 = Word9::add_with_carry(Word9::from_int(-9841), Word9::from_int(-1), kTritZ);
+  EXPECT_EQ(r2.sum.to_int(), 9841);
+  EXPECT_EQ(r2.carry_out, kTritN);
+}
+
+TEST(WordArith, ShiftLeftMultipliesByThree) {
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const Word9 w = random_word_in<9>(rng, -3280, 3280);
+    EXPECT_EQ(w.shl(1).to_int(), w.to_int() * 3);
+  }
+  EXPECT_EQ(Word9::from_int(5).shl(2).to_int(), 45);
+  EXPECT_TRUE(Word9::from_int(5).shl(9).is_zero());
+}
+
+TEST(WordArith, ShiftRightRoundsToNearest) {
+  // Balanced truncation rounds to the nearest integer — a signature
+  // property of balanced ternary (ties cannot occur).
+  for (int64_t v = -9841; v <= 9841; v += 13) {
+    const Word9 w = Word9::from_int(v);
+    const double exact = static_cast<double>(v) / 3.0;
+    const auto nearest = static_cast<int64_t>(std::llround(exact));
+    EXPECT_EQ(w.shr(1).to_int(), nearest) << "v=" << v;
+  }
+  EXPECT_TRUE(Word9::from_int(-9841).shr(9).is_zero());
+}
+
+TEST(WordArith, ShiftCompositionProperty) {
+  std::mt19937_64 rng(10);
+  for (int i = 0; i < 500; ++i) {
+    const Word9 w = random_word<9>(rng);
+    for (std::size_t a = 0; a <= 4; ++a) {
+      for (std::size_t b = 0; b <= 4; ++b) {
+        EXPECT_EQ(w.shr(a).shr(b), w.shr(a + b));
+        EXPECT_EQ(w.shl(a).shl(b), w.shl(a + b));
+      }
+    }
+  }
+}
+
+TEST(WordArith, CompareTrichotomy) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const Word9 a = random_word<9>(rng);
+    const Word9 b = random_word<9>(rng);
+    const Trit c = Word9::compare(a, b);
+    const int expected = (a.to_int() > b.to_int()) - (a.to_int() < b.to_int());
+    EXPECT_EQ(c.value(), expected);
+  }
+}
+
+TEST(WordLogic, TritwiseOpsMatchScalarOps) {
+  std::mt19937_64 rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const Word9 a = random_word<9>(rng);
+    const Word9 b = random_word<9>(rng);
+    for (std::size_t k = 0; k < 9; ++k) {
+      EXPECT_EQ(tand(a, b)[k], tand(a[k], b[k]));
+      EXPECT_EQ(tor(a, b)[k], tor(a[k], b[k]));
+      EXPECT_EQ(txor(a, b)[k], txor(a[k], b[k]));
+      EXPECT_EQ(sti(a)[k], sti(a[k]));
+      EXPECT_EQ(nti(a)[k], nti(a[k]));
+      EXPECT_EQ(pti(a)[k], pti(a[k]));
+    }
+  }
+}
+
+TEST(Word, FilledAndFromTrits) {
+  const Word<4> w = Word<4>::filled(kTritP);
+  EXPECT_EQ(w.to_int(), 40);  // ++++ = 27+9+3+1
+  const std::array<Trit, 4> trits{kTritP, kTritZ, kTritZ, kTritZ};  // LSB first
+  EXPECT_EQ(Word<4>::from_trits_lsb(trits).to_int(), 1);
+}
+
+}  // namespace
+}  // namespace art9::ternary

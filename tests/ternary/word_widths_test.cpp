@@ -1,0 +1,79 @@
+// Word<N> is generic over the width: the arithmetic laws must hold for
+// every N, not just the ART-9 word.  Small widths are checked
+// exhaustively over their whole value space.
+#include <gtest/gtest.h>
+
+#include "ternary/word.hpp"
+
+namespace art9::ternary {
+namespace {
+
+template <std::size_t N>
+void exhaustive_width_check() {
+  using W = Word<N>;
+  ASSERT_EQ(W::kStates, pow3(N));
+  ASSERT_EQ(W::kMaxValue, (W::kStates - 1) / 2);
+  for (int64_t a = W::kMinValue; a <= W::kMaxValue; ++a) {
+    const W wa = W::from_int(a);
+    // Conversions round-trip; the two readings differ by the offset.
+    ASSERT_EQ(wa.to_int(), a);
+    ASSERT_EQ(wa.to_unsigned(), a + W::kMaxValue);
+    // Negation is tritwise and exact.
+    ASSERT_EQ((-wa).to_int(), -a);
+    // Shifts are x3 / nearest-divide-by-3.
+    if (a * 3 >= W::kMinValue && a * 3 <= W::kMaxValue) {
+      ASSERT_EQ(wa.shl(1).to_int(), a * 3);
+    }
+    const int64_t r = a % 3;
+    int64_t q = a / 3;
+    if (r == 2) ++q;
+    if (r == -2) --q;
+    ASSERT_EQ(wa.shr(1).to_int(), q);
+    // Text round-trip.
+    ASSERT_EQ(W::parse(wa.to_string()), wa);
+  }
+}
+
+TEST(WordWidths, Width1Exhaustive) { exhaustive_width_check<1>(); }
+TEST(WordWidths, Width2Exhaustive) { exhaustive_width_check<2>(); }
+TEST(WordWidths, Width3Exhaustive) { exhaustive_width_check<3>(); }
+TEST(WordWidths, Width4Exhaustive) { exhaustive_width_check<4>(); }
+TEST(WordWidths, Width5Exhaustive) { exhaustive_width_check<5>(); }
+TEST(WordWidths, Width6Exhaustive) { exhaustive_width_check<6>(); }
+
+TEST(WordWidths, AdditionClosureSmallWidths) {
+  // Full addition table for 3-trit words (27 x 27).
+  using W = Word<3>;
+  for (int64_t a = W::kMinValue; a <= W::kMaxValue; ++a) {
+    for (int64_t b = W::kMinValue; b <= W::kMaxValue; ++b) {
+      const auto r = W::add_with_carry(W::from_int(a), W::from_int(b), kTritZ);
+      // sum + 27 * carry == a + b, always.
+      EXPECT_EQ(r.sum.to_int() + W::kStates * r.carry_out.value(), a + b)
+          << a << " + " << b;
+    }
+  }
+}
+
+TEST(WordWidths, WideWordsHoldBigValues) {
+  // A 13-trit word (the kind a wider ART core would use).
+  using W13 = Word<13>;
+  EXPECT_EQ(W13::kMaxValue, (pow3(13) - 1) / 2);  // 797161
+  const int64_t v = 500'000;
+  EXPECT_EQ(W13::from_int(v).to_int(), v);
+  EXPECT_EQ((W13::from_int(v) + W13::from_int(-123'456)).to_int(), v - 123'456);
+  EXPECT_EQ(W13::from_int(v).shr(3).to_int(), 18519);  // 500000/27 rounded
+}
+
+TEST(WordWidths, CrossWidthSliceConsistency) {
+  // Slicing a wide word must match re-encoding the arithmetic parts.
+  using W12 = Word<12>;
+  for (int64_t v : {-265720LL, -1000LL, 0LL, 777LL, 265720LL}) {
+    const W12 w = W12::from_int(v);
+    const auto lo = w.slice<6>(0);
+    const auto hi = w.slice<6>(6);
+    EXPECT_EQ(hi.to_int() * pow3(6) + lo.to_int(), v) << v;
+  }
+}
+
+}  // namespace
+}  // namespace art9::ternary

@@ -1,0 +1,195 @@
+// Redundancy checking: each peephole rule in isolation, label pinning, and
+// whole-program semantic preservation.
+#include "xlat/redundancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rv32/rv32_assembler.hpp"
+#include "rv32/rv32_sim.hpp"
+#include "sim/functional_sim.hpp"
+#include "xlat/framework.hpp"
+#include "xlat/regalloc.hpp"
+
+namespace art9::xlat {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using ternary::kTritZ;
+
+XInst xi(Instruction inst) { return XInst(inst); }
+
+TEST(Redundancy, DropsSelfMove) {
+  XProgram p;
+  p.code.push_back(xi({Opcode::kMv, 3, 3, kTritZ, 0}));
+  p.code.push_back(xi({Opcode::kAddi, 1, 0, kTritZ, 5}));
+  const RedundancyStats stats = remove_redundancies(p);
+  EXPECT_EQ(stats.removed, 1u);
+  ASSERT_EQ(p.code.size(), 1u);
+  EXPECT_EQ(p.code[0].inst.op, Opcode::kAddi);
+}
+
+TEST(Redundancy, DropsAddiZero) {
+  XProgram p;
+  p.code.push_back(xi({Opcode::kAddi, 2, 0, kTritZ, 0}));
+  p.code.push_back(xi({Opcode::kAddi, 2, 0, kTritZ, 3}));
+  const RedundancyStats stats = remove_redundancies(p);
+  EXPECT_EQ(stats.removed, 1u);
+  ASSERT_EQ(p.code.size(), 1u);
+  EXPECT_EQ(p.code[0].inst.imm, 3);
+}
+
+TEST(Redundancy, FusesScratchCopyPattern) {
+  // MV T0,T3 ; ADD T0,T4 ; MV T3,T0  ->  ADD T3,T4.
+  XProgram p;
+  p.code.push_back(xi({Opcode::kMv, kScratch0, 3, kTritZ, 0}));
+  p.code.push_back(xi({Opcode::kAdd, kScratch0, 4, kTritZ, 0}));
+  p.code.push_back(xi({Opcode::kMv, 3, kScratch0, kTritZ, 0}));
+  p.code.push_back(xi(Instruction::halt()));
+  const RedundancyStats stats = remove_redundancies(p);
+  EXPECT_EQ(stats.removed, 2u);
+  ASSERT_EQ(p.code.size(), 2u);
+  EXPECT_EQ(p.code[0].inst, (Instruction{Opcode::kAdd, 3, 4, kTritZ, 0}));
+}
+
+TEST(Redundancy, ScratchPatternBlockedByLaterRead) {
+  // The scratch survives past the write-back: fusing would be unsound.
+  XProgram p;
+  p.code.push_back(xi({Opcode::kMv, kScratch0, 3, kTritZ, 0}));
+  p.code.push_back(xi({Opcode::kAdd, kScratch0, 4, kTritZ, 0}));
+  p.code.push_back(xi({Opcode::kMv, 3, kScratch0, kTritZ, 0}));
+  p.code.push_back(xi({Opcode::kAdd, 5, kScratch0, kTritZ, 0}));  // reads T0!
+  const std::size_t before = p.code.size();
+  (void)remove_redundancies(p);
+  EXPECT_EQ(p.code.size(), before);
+}
+
+TEST(Redundancy, ForwardsScratchMoveChain) {
+  // MV T1,B ; MV D,T1 -> MV D,B when T1 dies.
+  XProgram p;
+  p.code.push_back(xi({Opcode::kMv, kScratch1, 5, kTritZ, 0}));
+  p.code.push_back(xi({Opcode::kMv, 6, kScratch1, kTritZ, 0}));
+  p.code.push_back(xi({Opcode::kLui, kScratch1, 0, kTritZ, 0}));  // kills T1
+  (void)remove_redundancies(p);
+  ASSERT_GE(p.code.size(), 2u);
+  EXPECT_EQ(p.code[0].inst, (Instruction{Opcode::kMv, 6, 5, kTritZ, 0}));
+}
+
+TEST(Redundancy, CombinesAddiPairs) {
+  XProgram p;
+  p.code.push_back(xi({Opcode::kAddi, 4, 0, kTritZ, 6}));
+  p.code.push_back(xi({Opcode::kAddi, 4, 0, kTritZ, 5}));
+  p.code.push_back(xi(Instruction::halt()));
+  const RedundancyStats stats = remove_redundancies(p);
+  EXPECT_EQ(stats.combined, 1u);
+  EXPECT_EQ(p.code[0].inst.imm, 11);
+}
+
+TEST(Redundancy, DoesNotCombineBeyondImmRange) {
+  XProgram p;
+  p.code.push_back(xi({Opcode::kAddi, 4, 0, kTritZ, 10}));
+  p.code.push_back(xi({Opcode::kAddi, 4, 0, kTritZ, 10}));
+  (void)remove_redundancies(p);
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Redundancy, DropsDeadPureWrite) {
+  // LUI T3,x immediately overwritten by MV T3,T5.
+  XProgram p;
+  p.code.push_back(xi({Opcode::kLui, 3, 0, kTritZ, 7}));
+  p.code.push_back(xi({Opcode::kMv, 3, 5, kTritZ, 0}));
+  const RedundancyStats stats = remove_redundancies(p);
+  EXPECT_EQ(stats.removed, 1u);
+  ASSERT_EQ(p.code.size(), 1u);
+  EXPECT_EQ(p.code[0].inst.op, Opcode::kMv);
+}
+
+TEST(Redundancy, KeepsWriteWhenOverwriterReadsIt) {
+  // LUI T3 ; ADD T3,T4 — the ADD reads T3, so the LUI is live.
+  XProgram p;
+  p.code.push_back(xi({Opcode::kLui, 3, 0, kTritZ, 7}));
+  p.code.push_back(xi({Opcode::kAdd, 3, 4, kTritZ, 0}));
+  (void)remove_redundancies(p);
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Redundancy, DropsBranchToNextInstruction) {
+  XProgram p;
+  p.code.push_back(xi({Opcode::kBeq, 0, 3, kTritZ, 0}));
+  p.code.back().target = "next";
+  XInst target(Instruction::nop());
+  target.labels.push_back("next");
+  target.inst = Instruction{Opcode::kAddi, 1, 0, kTritZ, 2};
+  p.code.push_back(target);
+  const RedundancyStats stats = remove_redundancies(p);
+  EXPECT_EQ(stats.removed, 1u);
+  ASSERT_EQ(p.code.size(), 1u);
+  EXPECT_EQ(p.code[0].inst.op, Opcode::kAddi);
+}
+
+TEST(Redundancy, LabelledInstructionsMigrateLabels) {
+  XProgram p;
+  XInst dead({Opcode::kMv, 2, 2, kTritZ, 0});
+  dead.labels.push_back("entry");
+  p.code.push_back(dead);
+  p.code.push_back(xi({Opcode::kAddi, 1, 0, kTritZ, 1}));
+  (void)remove_redundancies(p);
+  ASSERT_EQ(p.code.size(), 1u);
+  ASSERT_EQ(p.code[0].labels.size(), 1u);
+  EXPECT_EQ(p.code[0].labels[0], "entry");
+}
+
+TEST(Redundancy, LastInstructionWithLabelsIsKept) {
+  XProgram p;
+  XInst dead({Opcode::kMv, 2, 2, kTritZ, 0});
+  dead.labels.push_back("end");
+  p.code.push_back(dead);
+  (void)remove_redundancies(p);
+  EXPECT_EQ(p.code.size(), 1u);  // nothing to migrate onto: keep it
+}
+
+TEST(Redundancy, RulesDontFireAcrossLabels) {
+  // The ADDI pair must not merge: a branch may land between them.
+  XProgram p;
+  p.code.push_back(xi({Opcode::kAddi, 4, 0, kTritZ, 6}));
+  XInst second({Opcode::kAddi, 4, 0, kTritZ, 5});
+  second.labels.push_back("target");
+  p.code.push_back(second);
+  (void)remove_redundancies(p);
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+// Whole-program check: translation with the pass on and off must agree on
+// every benchmark-style output while the pass strictly shrinks code.
+TEST(Redundancy, PreservesSemanticsAndShrinksCode) {
+  const std::string source = R"(
+    li   a0, 5
+    addi a0, a0, 4      ; consecutive ADDIs merge (rule 5)
+    addi a0, a0, 4
+    li   a1, 300        ; dead LIMM pair: overwritten before any read
+    li   a1, 400
+    add  a2, a0, a1
+    sw   a2, 100(zero)
+    ebreak
+)";
+  const rv32::Rv32Program rp = rv32::assemble_rv32(source);
+
+  SoftwareFrameworkOptions with;
+  SoftwareFrameworkOptions without;
+  without.redundancy_checking = false;
+  const TranslationResult a = SoftwareFramework(with).translate(rp);
+  const TranslationResult b = SoftwareFramework(without).translate(rp);
+
+  EXPECT_LT(a.program.code.size(), b.program.code.size());
+  EXPECT_GT(a.stats.removed_redundant, 0u);
+
+  sim::FunctionalSimulator sa(a.program);
+  sim::FunctionalSimulator sb(b.program);
+  EXPECT_EQ(sa.run().halt, sim::HaltReason::kHalted);
+  EXPECT_EQ(sb.run().halt, sim::HaltReason::kHalted);
+  EXPECT_EQ(sa.state().tdm.peek(100).to_int(), 413);
+  EXPECT_EQ(sb.state().tdm.peek(100).to_int(), 413);
+}
+
+}  // namespace
+}  // namespace art9::xlat

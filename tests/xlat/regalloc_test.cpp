@@ -1,0 +1,95 @@
+// Register renaming: pinned registers, frequency-based assignment, spills.
+#include "xlat/regalloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rv32/rv32_assembler.hpp"
+
+namespace art9::xlat {
+namespace {
+
+TEST(RegAlloc, PinnedRegisters) {
+  const auto program = rv32::assemble_rv32("add a0, a1, a2\nebreak\n");
+  const RegisterMap map = RegisterMap::build(program);
+  EXPECT_EQ(map.location(0).kind, Location::Kind::kZero);
+  EXPECT_EQ(map.location(0).reg, kZeroReg);
+  EXPECT_EQ(map.location(1).kind, Location::Kind::kLink);
+  EXPECT_EQ(map.location(1).reg, kLinkReg);
+}
+
+TEST(RegAlloc, HotRegistersGetAssignableSlots) {
+  // a0 used most often, then a1, then a2.
+  const auto program = rv32::assemble_rv32(R"(
+    add a0, a0, a0
+    add a0, a0, a1
+    add a1, a1, a2
+    ebreak
+)");
+  const RegisterMap map = RegisterMap::build(program);
+  const Location& a0 = map.location(10);
+  const Location& a1 = map.location(11);
+  const Location& a2 = map.location(12);
+  EXPECT_EQ(a0.kind, Location::Kind::kReg);
+  EXPECT_EQ(a0.reg, kFirstAssignable);  // hottest register -> T2
+  EXPECT_EQ(a1.kind, Location::Kind::kReg);
+  EXPECT_EQ(a2.kind, Location::Kind::kReg);
+  EXPECT_EQ(map.spilled_count(), 0u);
+}
+
+TEST(RegAlloc, SpillsBeyondFiveRegisters) {
+  const auto program = rv32::assemble_rv32(R"(
+    add a0, a0, a0
+    add a1, a1, a1
+    add a2, a2, a2
+    add a3, a3, a3
+    add a4, a4, a4
+    add a5, a5, a5
+    add t0, t0, t0
+    ebreak
+)");
+  const RegisterMap map = RegisterMap::build(program);
+  int in_regs = 0;
+  int in_spills = 0;
+  for (int r : {10, 11, 12, 13, 14, 15, 5}) {
+    const Location& l = map.location(r);
+    if (l.kind == Location::Kind::kReg) ++in_regs;
+    if (l.kind == Location::Kind::kSpill) {
+      ++in_spills;
+      EXPECT_LE(l.slot, kFirstSpillSlot);
+      EXPECT_GT(l.slot, kFirstSpillSlot - kNumSpillSlots);
+    }
+  }
+  EXPECT_EQ(in_regs, kNumAssignable);
+  EXPECT_EQ(in_spills, 2);
+  EXPECT_EQ(map.spilled_count(), 2u);
+}
+
+TEST(RegAlloc, UnusedRegistersStayZeroMapped) {
+  const auto program = rv32::assemble_rv32("nop\nebreak\n");
+  const RegisterMap map = RegisterMap::build(program);
+  // x5 never appears: default location is the zero kind (never read/written).
+  EXPECT_EQ(map.location(5).kind, Location::Kind::kZero);
+}
+
+TEST(RegAlloc, TooManyRegistersThrows) {
+  // 15 live registers > 5 assignable + 9 spill slots.
+  std::string source;
+  for (int i = 0; i < 15; ++i) {
+    const std::string r = "x" + std::to_string(5 + i);
+    source += "add " + r + ", " + r + ", " + r + "\n";
+  }
+  source += "ebreak\n";
+  const auto program = rv32::assemble_rv32(source);
+  EXPECT_THROW(RegisterMap::build(program), TranslationError);
+}
+
+TEST(RegAlloc, LocationToString) {
+  const auto program = rv32::assemble_rv32("add a0, a0, a0\nebreak\n");
+  const RegisterMap map = RegisterMap::build(program);
+  EXPECT_EQ(map.location(0).to_string(), "zero(T7)");
+  EXPECT_EQ(map.location(1).to_string(), "link(T8)");
+  EXPECT_EQ(map.location(10).to_string(), "T2");
+}
+
+}  // namespace
+}  // namespace art9::xlat

@@ -1,0 +1,69 @@
+// art9-asm — assemble ART-9 assembly into a .t9 program image.
+//
+//   art9-asm input.s [-o output.t9] [--listing]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/image_io.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: art9-asm <input.s> [-o <output.t9>] [--listing]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  bool listing = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--listing") {
+      listing = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+  if (output.empty()) {
+    output = input;
+    const std::size_t dot = output.rfind('.');
+    if (dot != std::string::npos) output.resize(dot);
+    output += ".t9";
+  }
+
+  std::ifstream is(input);
+  if (!is) {
+    std::fprintf(stderr, "art9-asm: cannot open '%s'\n", input.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+
+  try {
+    const art9::isa::Program program = art9::isa::assemble(buffer.str());
+    art9::isa::write_image_file(program, output);
+    std::printf("art9-asm: %zu instructions, %zu data words, %lld trit cells -> %s\n",
+                program.code.size(), program.data.size(),
+                static_cast<long long>(program.memory_cells()), output.c_str());
+    if (listing) std::printf("\n%s", art9::isa::disassemble(program).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "art9-asm: %s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+  return 0;
+}

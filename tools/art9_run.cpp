@@ -1,0 +1,120 @@
+// art9-run — execute a .t9 program image on the ART-9 simulators.
+//
+//   art9-run program.t9 [--functional] [--max-cycles N] [--dump-regs]
+//            [--dump-mem LO HI] [--no-forwarding] [--branch-in-ex] [--stats]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "isa/image_io.hpp"
+#include "sim/functional_sim.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: art9-run <program.t9> [--functional] [--max-cycles N] [--dump-regs]\n"
+               "                [--dump-mem LO HI] [--no-forwarding] [--branch-in-ex] [--stats]\n"
+               "                [--trace N]\n");
+  return 2;
+}
+
+void dump_regs(const art9::sim::ArchState& state) {
+  for (int r = 0; r < art9::isa::kNumRegisters; ++r) {
+    const auto& w = state.trf.read(r);
+    std::printf("  T%d = %s = %lld\n", r, w.to_string().c_str(),
+                static_cast<long long>(w.to_int()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  bool functional = false;
+  bool want_regs = false;
+  bool want_stats = false;
+  int64_t mem_lo = 0;
+  int64_t mem_hi = -1;
+  long long trace_cycles = 0;
+  art9::sim::PipelineConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--functional") {
+      functional = true;
+    } else if (arg == "--max-cycles" && i + 1 < argc) {
+      config.max_cycles = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--dump-regs") {
+      want_regs = true;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--dump-mem" && i + 2 < argc) {
+      mem_lo = std::atoll(argv[++i]);
+      mem_hi = std::atoll(argv[++i]);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_cycles = std::atoll(argv[++i]);
+    } else if (arg == "--no-forwarding") {
+      config.ex_forwarding = false;
+    } else if (arg == "--branch-in-ex") {
+      config.branch_in_id = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+
+  try {
+    const art9::isa::Program program = art9::isa::read_image_file(input);
+    if (functional) {
+      art9::sim::FunctionalSimulator sim(program);
+      const art9::sim::SimStats stats = sim.run(config.max_cycles);
+      std::printf("halted=%s instructions=%llu\n",
+                  stats.halt == art9::sim::HaltReason::kHalted ? "yes" : "budget",
+                  static_cast<unsigned long long>(stats.instructions));
+      if (want_regs) dump_regs(sim.state());
+      for (int64_t a = mem_lo; a <= mem_hi; ++a) {
+        std::printf("  tdm[%lld] = %lld\n", static_cast<long long>(a),
+                    static_cast<long long>(sim.state().tdm.peek(a).to_int()));
+      }
+      return 0;
+    }
+    art9::sim::PipelineSimulator sim(program, config);
+    if (trace_cycles > 0) {
+      sim.set_tracer([&](const art9::sim::CycleTrace& t) {
+        if (static_cast<long long>(t.cycle) <= trace_cycles) {
+          std::printf("%s\n", art9::sim::render_trace(t).c_str());
+        }
+      });
+    }
+    const art9::sim::SimStats stats = sim.run();
+    std::printf("halted=%s cycles=%llu instructions=%llu CPI=%.3f\n",
+                stats.halt == art9::sim::HaltReason::kHalted ? "yes" : "budget",
+                static_cast<unsigned long long>(stats.cycles),
+                static_cast<unsigned long long>(stats.instructions), stats.cpi());
+    if (want_stats) {
+      std::printf("  load-use stalls      = %llu\n",
+                  static_cast<unsigned long long>(stats.stall_load_use));
+      std::printf("  branch-hazard stalls = %llu\n",
+                  static_cast<unsigned long long>(stats.stall_branch_hazard));
+      std::printf("  raw stalls           = %llu\n",
+                  static_cast<unsigned long long>(stats.stall_raw));
+      std::printf("  taken-branch flushes = %llu\n",
+                  static_cast<unsigned long long>(stats.flush_taken_branch));
+    }
+    if (want_regs) dump_regs(sim.state());
+    for (int64_t a = mem_lo; a <= mem_hi; ++a) {
+      std::printf("  tdm[%lld] = %lld\n", static_cast<long long>(a),
+                  static_cast<long long>(sim.state().tdm.peek(a).to_int()));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "art9-run: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// art9-xlat — the software-level compiling framework as a command-line
+// tool: RV-32I assembly in, .t9 image (and optionally ART-9 assembly) out.
+//
+//   art9-xlat input.s [-o output.t9] [--asm] [--no-redundancy] [--stats]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/image_io.hpp"
+#include "rv32/rv32_assembler.hpp"
+#include "xlat/framework.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: art9-xlat <input.s> [-o <output.t9>] [--asm] [--no-redundancy] [--stats]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  bool want_asm = false;
+  bool want_stats = false;
+  art9::xlat::SoftwareFrameworkOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--asm") {
+      want_asm = true;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--no-redundancy") {
+      options.redundancy_checking = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+  if (output.empty()) {
+    output = input;
+    const std::size_t dot = output.rfind('.');
+    if (dot != std::string::npos) output.resize(dot);
+    output += ".t9";
+  }
+
+  std::ifstream is(input);
+  if (!is) {
+    std::fprintf(stderr, "art9-xlat: cannot open '%s'\n", input.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+
+  try {
+    const art9::xlat::SoftwareFramework framework(options);
+    const art9::xlat::TranslationResult result = framework.translate_source(buffer.str());
+    art9::isa::write_image_file(result.program, output);
+    std::printf("art9-xlat: %zu rv32 -> %zu ART-9 instructions (%.2fx) -> %s\n",
+                result.stats.rv32_instructions, result.stats.final_instructions,
+                result.stats.expansion_ratio(), output.c_str());
+    if (want_stats) {
+      std::printf("  mapped instructions    = %zu\n", result.stats.mapped_instructions);
+      std::printf("  removed by redundancy  = %zu\n", result.stats.removed_redundant);
+      std::printf("  relaxed branches       = %zu\n", result.stats.relaxed_branches);
+      std::printf("  spilled registers      = %zu\n", result.stats.spilled_registers);
+      std::printf("  memory cells           = %lld trits\n",
+                  static_cast<long long>(result.program.memory_cells()));
+    }
+    if (want_asm) std::printf("\n%s", art9::xlat::to_assembly_text(result.program).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "art9-xlat: %s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+  return 0;
+}
