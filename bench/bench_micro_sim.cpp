@@ -3,10 +3,14 @@
 // translation pipeline runs on the Dhrystone corpus.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/benchmarks.hpp"
 #include "isa/assembler.hpp"
 #include "rv32/rv32_assembler.hpp"
 #include "rv32/rv32_sim.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/decoded_image.hpp"
 #include "sim/functional_sim.hpp"
 #include "sim/pipeline.hpp"
 #include "xlat/framework.hpp"
@@ -23,27 +27,63 @@ const isa::Program& dhrystone_art9() {
   return kProgram;
 }
 
+const std::shared_ptr<const sim::DecodedImage>& dhrystone_image() {
+  static const std::shared_ptr<const sim::DecodedImage> kImage = sim::decode(dhrystone_art9());
+  return kImage;
+}
+
 void BM_PipelineSimulator(benchmark::State& state) {
   uint64_t cycles = 0;
   for (auto _ : state) {
-    sim::PipelineSimulator sim(dhrystone_art9());
+    sim::PipelineSimulator sim(dhrystone_image());
     cycles += sim.run().cycles;
   }
-  state.counters["sim_cycles/s"] =
+  state.counters["steps/s"] =
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PipelineSimulator)->Unit(benchmark::kMillisecond);
 
-void BM_FunctionalSimulator(benchmark::State& state) {
+// --- the dispatch fast-path comparison on the Dhrystone workload ------------
+// "Lazy" is the seed's decode-on-fetch loop (validity branch + spec lookup
+// + PC re-encode per step); "PreDecoded" is the eager dispatch-table path.
+// Compare the steps/s counters of the two benchmarks.
+
+void BM_FunctionalSimulatorLazy(benchmark::State& state) {
   uint64_t instructions = 0;
   for (auto _ : state) {
-    sim::FunctionalSimulator sim(dhrystone_art9());
+    sim::LazyFunctionalSimulator sim(dhrystone_art9());
     instructions += sim.run().instructions;
   }
-  state.counters["sim_instr/s"] =
+  state.counters["steps/s"] =
       benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FunctionalSimulator)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FunctionalSimulatorLazy)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalSimulatorPreDecoded(benchmark::State& state) {
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::FunctionalSimulator sim(dhrystone_image());
+    instructions += sim.run().instructions;
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimulatorPreDecoded)->Unit(benchmark::kMillisecond);
+
+void BM_BatchRunnerDhrystone8(benchmark::State& state) {
+  // 8 back-to-back Dhrystone scenarios sharing one decoded image.
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::BatchRunner batch;
+    for (int i = 0; i < 8; ++i) batch.add(dhrystone_image());
+    for (const sim::BatchRunner::Result& r : batch.run_all()) {
+      instructions += r.stats.instructions;
+    }
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchRunnerDhrystone8)->Unit(benchmark::kMillisecond);
 
 void BM_Rv32Simulator(benchmark::State& state) {
   const rv32::Rv32Program program = rv32::assemble_rv32(core::dhrystone().rv32);

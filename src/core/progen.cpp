@@ -285,7 +285,8 @@ std::string generate_rv32_source(std::mt19937_64& rng, const Rv32GenOptions& opt
       const std::string rs2 = reg();
       static const std::array<const char*, 4> kBr = {"beq", "bne", "blt", "bge"};
       const auto op = static_cast<std::size_t>(rand_int(rng, 0, 3));
-      const std::string label = "L" + std::to_string(label_counter++);
+      std::string label = std::to_string(label_counter++);
+      label.insert(0, 1, 'L');
       os << "    " << kBr[op] << "  " << rs1 << ", " << rs2 << ", " << label << "\n";
       const int32_t a = shadow[rs1];
       const int32_t b = shadow[rs2];

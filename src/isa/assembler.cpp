@@ -491,8 +491,8 @@ class Assembler {
           if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
             throw AsmError(st.line, "expected imm(Tb) memory operand");
           }
-          std::string imm_text(trim(rest.substr(0, open)));
-          if (imm_text.empty()) imm_text = "0";
+          const auto imm_view = trim(rest.substr(0, open));
+          const std::string imm_text(imm_view.empty() ? std::string_view("0") : imm_view);
           inst.imm = static_cast<int>(eval(imm_text, st.line));
           inst.tb = parse_register(rest.substr(open + 1, close - open - 1), st.line);
         } else {

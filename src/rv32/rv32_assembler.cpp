@@ -354,8 +354,8 @@ class Rv32Assembler {
     if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
       throw Rv32AsmError(st.line, "expected imm(reg) operand");
     }
-    std::string imm_text(trim(tok.substr(0, open)));
-    if (imm_text.empty()) imm_text = "0";
+    const auto imm_view = trim(tok.substr(0, open));
+    const std::string imm_text(imm_view.empty() ? std::string_view("0") : imm_view);
     const auto imm = static_cast<int32_t>(eval(imm_text, st.line));
     int base = 0;
     try {

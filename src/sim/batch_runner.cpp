@@ -1,0 +1,32 @@
+#include "sim/batch_runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/functional_sim.hpp"
+
+namespace art9::sim {
+
+std::shared_ptr<const DecodedImage> BatchRunner::add(const isa::Program& program) {
+  std::shared_ptr<const DecodedImage> image = decode(program);
+  jobs_.push_back(image);
+  return image;
+}
+
+void BatchRunner::add(std::shared_ptr<const DecodedImage> image) {
+  if (!image) throw std::invalid_argument("BatchRunner::add: null image");
+  jobs_.push_back(std::move(image));
+}
+
+std::vector<BatchRunner::Result> BatchRunner::run_all() const {
+  std::vector<Result> results;
+  results.reserve(jobs_.size());
+  for (const std::shared_ptr<const DecodedImage>& image : jobs_) {
+    FunctionalSimulator sim(image);
+    SimStats stats = sim.run(max_instructions_);
+    results.push_back(Result{sim.state(), stats});
+  }
+  return results;
+}
+
+}  // namespace art9::sim

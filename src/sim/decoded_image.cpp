@@ -1,0 +1,57 @@
+#include "sim/decoded_image.hpp"
+
+#include "sim/machine.hpp"
+
+namespace art9::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+using ternary::Word9;
+
+namespace {
+
+// kind_of relies on DispatchKind mirroring isa::Opcode value-for-value;
+// pin the correspondence so an Opcode reorder is a compile error here.
+static_assert(static_cast<uint8_t>(Opcode::kMv) == static_cast<uint8_t>(DispatchKind::kMv));
+static_assert(static_cast<uint8_t>(Opcode::kComp) == static_cast<uint8_t>(DispatchKind::kComp));
+static_assert(static_cast<uint8_t>(Opcode::kBeq) == static_cast<uint8_t>(DispatchKind::kBeq));
+static_assert(static_cast<uint8_t>(Opcode::kJal) == static_cast<uint8_t>(DispatchKind::kJal));
+static_assert(static_cast<uint8_t>(Opcode::kStore) == static_cast<uint8_t>(DispatchKind::kStore));
+static_assert(isa::kNumOpcodes == static_cast<int>(DispatchKind::kHalt));
+
+DispatchKind kind_of(const Instruction& inst) {
+  if (inst.op == Opcode::kJal && inst.imm == 0) return DispatchKind::kHalt;
+  return static_cast<DispatchKind>(static_cast<uint8_t>(inst.op));
+}
+
+}  // namespace
+
+DecodedImage::DecodedImage(const isa::Program& program)
+    : program_(program), rows_(static_cast<std::size_t>(TernaryMemory::kRows)) {
+  // Every row gets its static PC chain so even the trap path reports a
+  // meaningful address; program rows additionally get decoded fields.
+  // row = pc + kMaxValue (mod 3^9) is monotone, so the chain is plain
+  // arithmetic — no per-row 9-trit wrap round trips.
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    DecodedOp& op = rows_[r];
+    op.pc = static_cast<int64_t>(r) - Word9::kMaxValue;
+    op.next_pc = op.pc == Word9::kMaxValue ? Word9::kMinValue : op.pc + 1;
+    op.next_row = r + 1 == rows_.size() ? 0 : static_cast<uint32_t>(r + 1);
+  }
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const int64_t pc = ArchState::wrap(program.entry + static_cast<int64_t>(i));
+    DecodedOp& op = rows_[row_of(pc)];
+    op.inst = program.code[i];
+    op.kind = kind_of(op.inst);
+    op.writes_ta = isa::spec(op.inst.op).writes_ta;
+    op.taken_pc = ArchState::wrap(pc + op.inst.imm);
+    op.taken_row = static_cast<uint32_t>(row_of(op.taken_pc));
+    op.link = Word9::from_int_wrapped(pc + 1);
+  }
+}
+
+std::shared_ptr<const DecodedImage> decode(const isa::Program& program) {
+  return std::make_shared<const DecodedImage>(program);
+}
+
+}  // namespace art9::sim

@@ -1,0 +1,112 @@
+// Eager full-program pre-decode: the dense dispatch table shared by the
+// functional and pipelined simulators' hot loops.
+//
+// The seed simulators decoded lazily — every step paid a `tim_valid_`
+// bitmap branch, an OpcodeSpec table lookup, and one `ArchState::wrap`
+// (a full 9-trit encode/decode round trip) just to advance the PC.  A
+// DecodedImage instead decodes the whole TIM once, up front, into one
+// row per 9-trit address:
+//
+//  * a dense DispatchKind replaces the validity bitmap — uninitialised
+//    rows carry `kInvalid` and dispatch to the trap path like any other
+//    opcode, so the hot loop never branches on a separate valid bit;
+//  * the HALT convention (`JAL x, 0`) is folded to `kHalt` at decode
+//    time, removing the per-step `imm == 0` test;
+//  * `next_pc`/`next_row`, branch/JAL `taken_pc`/`taken_row` and the
+//    JAL/JALR link word are precomputed, so sequential flow and static
+//    control flow never re-encode a PC;
+//  * the `writes_ta` spec bit is cached inline for the data-processing
+//    default path.
+//
+// A DecodedImage is immutable after construction and carries a copy of
+// its source Program, so any number of simulator instances (and the
+// BatchRunner) can share one image concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+#include "sim/memory.hpp"
+#include "ternary/word.hpp"
+
+namespace art9::sim {
+
+/// Dense handler index for the pre-decoded dispatch switch.  The first 24
+/// values mirror isa::Opcode exactly (same numeric order); the two extra
+/// kinds make validity and the halt convention ordinary dispatch targets.
+enum class DispatchKind : uint8_t {
+  kMv,
+  kPti,
+  kNti,
+  kSti,
+  kAnd,
+  kOr,
+  kXor,
+  kAdd,
+  kSub,
+  kSr,
+  kSl,
+  kComp,
+  kAndi,
+  kAddi,
+  kSri,
+  kSli,
+  kLui,
+  kLi,
+  kBeq,
+  kBne,
+  kJal,
+  kJalr,
+  kLoad,
+  kStore,
+  kHalt,     // JAL x, 0 folded at decode time
+  kInvalid,  // uninitialised TIM row — traps on dispatch
+};
+
+/// One pre-decoded TIM row.
+struct DecodedOp {
+  isa::Instruction inst;
+  DispatchKind kind = DispatchKind::kInvalid;
+  bool writes_ta = false;      // cached spec bit (data-processing path)
+  int64_t pc = 0;              // balanced address of this row
+  int64_t next_pc = 0;         // wrap(pc + 1)
+  uint32_t next_row = 0;       // row_of(next_pc)
+  int64_t taken_pc = 0;        // wrap(pc + imm) for BEQ/BNE/JAL
+  uint32_t taken_row = 0;      // row_of(taken_pc)
+  ternary::Word9 link;         // from_int_wrapped(pc + 1) for JAL/JALR
+};
+
+class DecodedImage {
+ public:
+  explicit DecodedImage(const isa::Program& program);
+
+  /// Row access by dense row index (0 .. kRows-1).
+  [[nodiscard]] const DecodedOp& row(std::size_t r) const noexcept { return rows_[r]; }
+
+  /// Row index of a balanced PC (same bijection as the memory hardware).
+  [[nodiscard]] static std::size_t row_of(int64_t pc) noexcept {
+    return TernaryMemory::row_of(pc);
+  }
+
+  /// Fetch by balanced PC (pays the address fold — hot loops should chase
+  /// the precomputed next_row/taken_row instead).
+  [[nodiscard]] const DecodedOp& fetch(int64_t pc) const noexcept { return rows_[row_of(pc)]; }
+
+  /// The source program (entry point, data image, symbols) — what a
+  /// simulator needs to reset architectural state.
+  [[nodiscard]] const isa::Program& program() const noexcept { return program_; }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  isa::Program program_;
+  std::vector<DecodedOp> rows_;
+};
+
+/// Decodes `program` into a shareable image.
+[[nodiscard]] std::shared_ptr<const DecodedImage> decode(const isa::Program& program);
+
+}  // namespace art9::sim

@@ -1,5 +1,8 @@
 #include "sim/functional_sim.hpp"
 
+#include <string>
+#include <utility>
+
 #include "sim/talu.hpp"
 
 namespace art9::sim {
@@ -8,7 +11,99 @@ using isa::Instruction;
 using isa::Opcode;
 using ternary::Word9;
 
+// ---- pre-decoded dispatch fast path ----------------------------------------
+
 FunctionalSimulator::FunctionalSimulator(const isa::Program& program)
+    : FunctionalSimulator(decode(program)) {}
+
+FunctionalSimulator::FunctionalSimulator(std::shared_ptr<const DecodedImage> image)
+    : image_(std::move(image)) {
+  load_data(image_->program(), state_);
+  row_ = DecodedImage::row_of(state_.pc);
+}
+
+bool FunctionalSimulator::step() {
+  const DecodedOp* fetched = &image_->row(row_);
+  if (fetched->pc != state_.pc) {
+    // A harness redirected state().pc since the last step; re-sync the
+    // cached fetch row (one always-predicted compare on the fast path).
+    row_ = DecodedImage::row_of(state_.pc);
+    fetched = &image_->row(row_);
+  }
+  const DecodedOp& op = *fetched;
+  switch (op.kind) {
+    case DispatchKind::kBeq:
+    case DispatchKind::kBne: {
+      const ternary::Trit lst = state_.trf.read(op.inst.tb).lst();
+      const bool eq = lst == op.inst.bcond;
+      const bool taken = op.kind == DispatchKind::kBeq ? eq : !eq;
+      if (taken) {
+        state_.pc = op.taken_pc;
+        row_ = op.taken_row;
+      } else {
+        state_.pc = op.next_pc;
+        row_ = op.next_row;
+      }
+      return true;
+    }
+    case DispatchKind::kHalt:
+      return false;
+    case DispatchKind::kJal:
+      state_.trf.write(op.inst.ta, op.link);
+      state_.pc = op.taken_pc;
+      row_ = op.taken_row;
+      return true;
+    case DispatchKind::kJalr: {
+      const int64_t target = ArchState::wrap(state_.trf.read(op.inst.tb).to_int() + op.inst.imm);
+      if (target == op.pc) return false;  // self-jump = halt (no link write)
+      state_.trf.write(op.inst.ta, op.link);
+      state_.pc = target;
+      row_ = DecodedImage::row_of(target);
+      return true;
+    }
+    case DispatchKind::kLoad: {
+      const int64_t addr = state_.trf.read(op.inst.tb).to_int() + op.inst.imm;
+      state_.trf.write(op.inst.ta, state_.tdm.read(addr));
+      break;
+    }
+    case DispatchKind::kStore: {
+      const int64_t addr = state_.trf.read(op.inst.tb).to_int() + op.inst.imm;
+      state_.tdm.write(addr, state_.trf.read(op.inst.ta));
+      break;
+    }
+    case DispatchKind::kInvalid:
+      throw SimError("fetch from uninitialised TIM address " + std::to_string(op.pc));
+    default: {
+      // Data-processing opcodes (MV..LI): one TALU evaluation.
+      const Word9& a = state_.trf.read(op.inst.ta);
+      const Word9& b = state_.trf.read(op.inst.tb);
+      if (op.writes_ta) state_.trf.write(op.inst.ta, execute(op.inst, a, b));
+      break;
+    }
+  }
+  state_.pc = op.next_pc;
+  row_ = op.next_row;
+  return true;
+}
+
+SimStats FunctionalSimulator::run(uint64_t max_instructions) {
+  SimStats stats;
+  while (stats.instructions < max_instructions) {
+    if (!step()) {
+      stats.halt = HaltReason::kHalted;
+      stats.cycles = stats.instructions;
+      return stats;
+    }
+    ++stats.instructions;
+  }
+  stats.halt = HaltReason::kMaxCycles;
+  stats.cycles = stats.instructions;
+  return stats;
+}
+
+// ---- seed lazy decode-on-fetch baseline ------------------------------------
+
+LazyFunctionalSimulator::LazyFunctionalSimulator(const isa::Program& program)
     : tim_(static_cast<std::size_t>(TernaryMemory::kRows)),
       tim_valid_(static_cast<std::size_t>(TernaryMemory::kRows), false) {
   for (std::size_t i = 0; i < program.code.size(); ++i) {
@@ -19,7 +114,7 @@ FunctionalSimulator::FunctionalSimulator(const isa::Program& program)
   load_data(program, state_);
 }
 
-const Instruction& FunctionalSimulator::fetch(int64_t pc) const {
+const Instruction& LazyFunctionalSimulator::fetch(int64_t pc) const {
   const std::size_t row = TernaryMemory::row_of(pc);
   if (!tim_valid_[row]) {
     throw SimError("fetch from uninitialised TIM address " + std::to_string(pc));
@@ -27,7 +122,7 @@ const Instruction& FunctionalSimulator::fetch(int64_t pc) const {
   return tim_[row];
 }
 
-bool FunctionalSimulator::step() {
+bool LazyFunctionalSimulator::step() {
   const Instruction& inst = fetch(state_.pc);
   const isa::OpcodeSpec& s = isa::spec(inst.op);
   int64_t next_pc = ArchState::wrap(state_.pc + 1);
@@ -75,7 +170,7 @@ bool FunctionalSimulator::step() {
   return true;
 }
 
-SimStats FunctionalSimulator::run(uint64_t max_instructions) {
+SimStats LazyFunctionalSimulator::run(uint64_t max_instructions) {
   SimStats stats;
   while (stats.instructions < max_instructions) {
     if (!step()) {

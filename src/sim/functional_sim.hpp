@@ -1,18 +1,31 @@
 // Functional (instruction-at-a-time) ART-9 simulator — the golden model
 // that the cycle-accurate pipeline is differentially tested against.
+//
+// The hot loop runs off a pre-decoded DecodedImage: dispatch is a single
+// dense-kind switch with precomputed PC chains (see decoded_image.hpp).
+// The seed's lazy decode-on-fetch loop is retained as
+// LazyFunctionalSimulator so the dispatch fast path stays differentially
+// testable and benchmarkable against the original.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "isa/program.hpp"
+#include "sim/decoded_image.hpp"
 #include "sim/machine.hpp"
 
 namespace art9::sim {
 
 class FunctionalSimulator {
  public:
+  /// Decodes `program` into a private image.
   explicit FunctionalSimulator(const isa::Program& program);
+
+  /// Runs off a shared pre-decoded image (BatchRunner, differential
+  /// harnesses).  `image` must be non-null.
+  explicit FunctionalSimulator(std::shared_ptr<const DecodedImage> image);
 
   /// Executes one instruction.  Returns false when the HALT convention
   /// (self-jump) executes — state.pc then rests on the halt instruction.
@@ -24,7 +37,34 @@ class FunctionalSimulator {
   [[nodiscard]] const ArchState& state() const noexcept { return state_; }
   [[nodiscard]] ArchState& state() noexcept { return state_; }
 
+  /// The pre-decoded image this simulator executes.
+  [[nodiscard]] const DecodedImage& image() const noexcept { return *image_; }
+
   /// Convenience accessors.
+  [[nodiscard]] const ternary::Word9& reg(int index) const { return state_.trf.read(index); }
+  [[nodiscard]] int64_t reg_int(int index) const { return state_.trf.read(index).to_int(); }
+
+ private:
+  std::shared_ptr<const DecodedImage> image_;
+  ArchState state_;
+  // Current fetch row, kept in lock-step with state_.pc so sequential
+  // flow chases precomputed row links instead of re-folding the PC.
+  std::size_t row_ = 0;
+};
+
+/// The seed's decode-on-fetch simulator: per-step validity branch, spec
+/// lookup and PC wrap.  Kept as the reference baseline for the
+/// pre-decoded dispatch fast path (differential tests, bench_micro_sim).
+class LazyFunctionalSimulator {
+ public:
+  explicit LazyFunctionalSimulator(const isa::Program& program);
+
+  bool step();
+  SimStats run(uint64_t max_instructions = 100'000'000);
+
+  [[nodiscard]] const ArchState& state() const noexcept { return state_; }
+  [[nodiscard]] ArchState& state() noexcept { return state_; }
+
   [[nodiscard]] const ternary::Word9& reg(int index) const { return state_.trf.read(index); }
   [[nodiscard]] int64_t reg_int(int index) const { return state_.trf.read(index).to_int(); }
 
@@ -32,7 +72,7 @@ class FunctionalSimulator {
   const isa::Instruction& fetch(int64_t pc) const;
 
   ArchState state_;
-  // Pre-decoded TIM rows (self-modifying code unsupported, by design).
+  // Lazily-validated TIM rows (self-modifying code unsupported, by design).
   std::vector<isa::Instruction> tim_;
   std::vector<bool> tim_valid_;
 };

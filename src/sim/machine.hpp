@@ -36,6 +36,8 @@ struct ArchState {
   [[nodiscard]] static int64_t wrap(int64_t value) noexcept {
     return ternary::Word9::from_int_wrapped(value).to_int();
   }
+
+  friend bool operator==(const ArchState&, const ArchState&) = default;
 };
 
 /// Run statistics.  The pipeline model fills every field; the functional
@@ -50,6 +52,8 @@ struct SimStats {
   uint64_t predictions_correct = 0;  // static-prediction hits (no bubble paid)
   uint64_t predictions_wrong = 0;    // mispredictions (bubble paid as usual)
   HaltReason halt = HaltReason::kHalted;
+
+  friend bool operator==(const SimStats&, const SimStats&) = default;
 
   /// Cycles per retired instruction.
   [[nodiscard]] double cpi() const {

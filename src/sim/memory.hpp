@@ -51,6 +51,10 @@ class TernaryMemory {
   [[nodiscard]] uint64_t reads() const noexcept { return reads_; }
   [[nodiscard]] uint64_t writes() const noexcept { return writes_; }
 
+  /// Bit-identical comparison: contents *and* access counters (two equal
+  /// memories are indistinguishable to cycle/power models too).
+  friend bool operator==(const TernaryMemory&, const TernaryMemory&) = default;
+
   void reset_counters() noexcept { reads_ = writes_ = 0; }
 
  private:

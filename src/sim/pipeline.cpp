@@ -1,6 +1,7 @@
 #include "sim/pipeline.hpp"
 
 #include <string>
+#include <utility>
 
 #include "sim/talu.hpp"
 
@@ -13,21 +14,12 @@ using ternary::Trit;
 using ternary::Word9;
 
 PipelineSimulator::PipelineSimulator(const isa::Program& program, PipelineConfig config)
-    : config_(config),
-      tim_(static_cast<std::size_t>(TernaryMemory::kRows)),
-      tim_valid_(static_cast<std::size_t>(TernaryMemory::kRows), false) {
-  for (std::size_t i = 0; i < program.code.size(); ++i) {
-    const std::size_t row = TernaryMemory::row_of(program.entry + static_cast<int64_t>(i));
-    tim_[row] = program.code[i];
-    tim_valid_[row] = true;
-  }
-  load_data(program, state_);
-}
+    : PipelineSimulator(decode(program), config) {}
 
-const Instruction& PipelineSimulator::fetch(int64_t pc, bool& ok) const {
-  const std::size_t row = TernaryMemory::row_of(pc);
-  ok = tim_valid_[row];
-  return tim_[row];
+PipelineSimulator::PipelineSimulator(std::shared_ptr<const DecodedImage> image,
+                                     PipelineConfig config)
+    : config_(config), image_(std::move(image)) {
+  load_data(image_->program(), state_);
 }
 
 bool PipelineSimulator::step() {
@@ -349,22 +341,24 @@ bool PipelineSimulator::step() {
       pc_next = id_redirect_target;
       ++stats_.flush_taken_branch;
     } else if (!fetch_stopped_) {
-      bool ok = false;
-      const Instruction& fetched = fetch(state_.pc, ok);
+      const DecodedOp& fetched = image_->fetch(state_.pc);
+      const bool ok = fetched.kind != DispatchKind::kInvalid;
       ifid_next.valid = true;
       ifid_next.poisoned = !ok;
-      ifid_next.inst = ok ? fetched : Instruction::nop();
+      ifid_next.inst = ok ? fetched.inst : Instruction::nop();
       ifid_next.pc = state_.pc;
-      pc_next = ArchState::wrap(state_.pc + 1);
+      pc_next = fetched.next_pc;
       // Extension: static prediction at fetch — backward conditional
-      // branches predict taken, JAL targets fold directly.
+      // branches predict taken, JAL targets fold directly.  (A JAL row can
+      // only carry kJal here: the imm == 0 halt was folded to kHalt.)
       if (config_.static_prediction && config_.branch_in_id && ok) {
         const bool backward_branch =
-            (fetched.op == Opcode::kBeq || fetched.op == Opcode::kBne) && fetched.imm < 0;
-        const bool direct_jump = fetched.op == Opcode::kJal && fetched.imm != 0;
+            (fetched.kind == DispatchKind::kBeq || fetched.kind == DispatchKind::kBne) &&
+            fetched.inst.imm < 0;
+        const bool direct_jump = fetched.kind == DispatchKind::kJal;
         if (backward_branch || direct_jump) {
           ifid_next.predicted_taken = true;
-          pc_next = ArchState::wrap(state_.pc + fetched.imm);
+          pc_next = fetched.taken_pc;
         }
       }
     }

@@ -19,9 +19,10 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "isa/program.hpp"
+#include "sim/decoded_image.hpp"
 #include "sim/machine.hpp"
 #include "sim/trace.hpp"
 #include "ternary/word.hpp"
@@ -56,6 +57,11 @@ class PipelineSimulator {
  public:
   explicit PipelineSimulator(const isa::Program& program, PipelineConfig config = {});
 
+  /// Runs off a shared pre-decoded image (batch sweeps, ablation benches).
+  /// `image` must be non-null.
+  explicit PipelineSimulator(std::shared_ptr<const DecodedImage> image,
+                             PipelineConfig config = {});
+
   /// Advances one clock cycle.  Returns false on the cycle the HALT
   /// instruction retires (that cycle is included in the statistics).
   bool step();
@@ -70,6 +76,9 @@ class PipelineSimulator {
 
   [[nodiscard]] const ternary::Word9& reg(int index) const { return state_.trf.read(index); }
   [[nodiscard]] int64_t reg_int(int index) const { return state_.trf.read(index).to_int(); }
+
+  /// The pre-decoded image this simulator executes.
+  [[nodiscard]] const DecodedImage& image() const noexcept { return *image_; }
 
   /// Streams a CycleTrace per clock to `observer` (pass nullptr to stop).
   void set_tracer(TraceObserver observer) { tracer_ = std::move(observer); }
@@ -115,14 +124,11 @@ class PipelineSimulator {
     return isa::spec(inst.op).writes_ta && !is_halt_jal(inst);
   }
 
-  const isa::Instruction& fetch(int64_t pc, bool& ok) const;
-
   ArchState state_;
   PipelineConfig config_;
   SimStats stats_;
 
-  std::vector<isa::Instruction> tim_;
-  std::vector<bool> tim_valid_;
+  std::shared_ptr<const DecodedImage> image_;
 
   IfId ifid_;
   IdEx idex_;

@@ -45,7 +45,11 @@ class Mapper {
  private:
   // --- label plumbing ----------------------------------------------------
 
-  static std::string addr_label(int64_t byte_addr) { return "A" + std::to_string(byte_addr); }
+  static std::string addr_label(int64_t byte_addr) {
+    std::string label = std::to_string(byte_addr);
+    label.insert(0, 1, 'A');
+    return label;
+  }
 
   void emit(Instruction inst, std::string target = {}) {
     XInst x(inst, std::move(target));

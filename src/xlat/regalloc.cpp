@@ -9,12 +9,19 @@ std::string Location::to_string() const {
   switch (kind) {
     case Kind::kZero:
       return "zero(T7)";
-    case Kind::kReg:
-      return "T" + std::to_string(reg);
+    case Kind::kReg: {
+      std::string s = std::to_string(reg);
+      s.insert(0, 1, 'T');
+      return s;
+    }
     case Kind::kLink:
       return "link(T8)";
-    case Kind::kSpill:
-      return "tdm[" + std::to_string(slot) + "]";
+    case Kind::kSpill: {
+      std::string s = std::to_string(slot);
+      s.insert(0, "tdm[");
+      s.push_back(']');
+      return s;
+    }
   }
   return "?";
 }

@@ -184,7 +184,7 @@ TEST(AssemblerErrors, Diagnostics) {
 
 TEST(AssemblerErrors, LineNumbers) {
   try {
-    assemble("NOP\nNOP\nBOGUS\n");
+    (void)assemble("NOP\nNOP\nBOGUS\n");
     FAIL() << "expected AsmError";
   } catch (const AsmError& e) {
     EXPECT_EQ(e.line(), 3);

@@ -129,7 +129,7 @@ TEST(Encoding, InvalidPatternsRejected) {
     w.set(6, Trit(func / 9 - 1));
     w.set(5, Trit((func % 9) / 3 - 1));
     w.set(4, Trit(func % 3 - 1));
-    EXPECT_THROW(decode(w), DecodeError) << "func=" << func;
+    EXPECT_THROW((void)decode(w), DecodeError) << "func=" << func;
     EXPECT_FALSE(is_valid_encoding(w));
   }
   // Undefined I-short selectors 4..8.
@@ -139,12 +139,12 @@ TEST(Encoding, InvalidPatternsRejected) {
     w.set(7, Trit(0));  // level 1
     w.set(6, Trit(sel / 3 - 1));
     w.set(5, Trit(sel % 3 - 1));
-    EXPECT_THROW(decode(w), DecodeError) << "sel=" << sel;
+    EXPECT_THROW((void)decode(w), DecodeError) << "sel=" << sel;
   }
   // SRI with a non-zero pad trit.
   Word9 w = encode({Opcode::kSri, 3, 0, kTritZ, 4});
   w.set(2, kTritP);
-  EXPECT_THROW(decode(w), DecodeError);
+  EXPECT_THROW((void)decode(w), DecodeError);
   EXPECT_EQ(try_decode(w), std::nullopt);
 }
 
@@ -160,7 +160,7 @@ TEST(Encoding, SpecMetadata) {
   EXPECT_EQ(mnemonic(Opcode::kComp), "COMP");
   EXPECT_EQ(opcode_from_mnemonic("add"), Opcode::kAdd);
   EXPECT_EQ(opcode_from_mnemonic("STORE"), Opcode::kStore);
-  EXPECT_THROW(opcode_from_mnemonic("nope"), std::invalid_argument);
+  EXPECT_THROW((void)opcode_from_mnemonic("nope"), std::invalid_argument);
   EXPECT_TRUE(spec(Opcode::kLoad).is_load);
   EXPECT_TRUE(spec(Opcode::kStore).is_store);
   EXPECT_TRUE(spec(Opcode::kStore).reads_ta);

@@ -1,0 +1,107 @@
+// Round-trip property tests over the whole Table-I opcode space:
+//   encode -> decode          is the identity on well-formed instructions,
+//   disassemble -> assemble   is the identity on their machine words,
+// with operands drawn from a seeded uniform generator, so the assembler,
+// encoder, decoder and disassembler can never drift apart silently.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+#include "isa/instruction.hpp"
+#include "ternary/random.hpp"
+
+namespace art9::isa {
+namespace {
+
+constexpr int kSamplesPerOpcode = 250;
+constexpr uint32_t kSeed = 0x9a7e51;
+
+/// A uniformly random well-formed instruction for `op`: only the fields
+/// the opcode's format encodes are randomized (decode leaves the rest at
+/// their defaults, and operator== compares every field).
+Instruction random_instruction(Opcode op, std::mt19937& rng) {
+  const OpcodeSpec& s = spec(op);
+  std::uniform_int_distribution<int> reg(0, kNumRegisters - 1);
+  std::uniform_int_distribution<int> imm(s.imm_min, s.imm_max);
+  Instruction inst;
+  inst.op = op;
+  switch (s.format) {
+    case Format::kRBinary:
+    case Format::kRUnary:
+      inst.ta = reg(rng);
+      inst.tb = reg(rng);
+      break;
+    case Format::kImm3:
+    case Format::kShiftImm:
+    case Format::kLui:
+    case Format::kLi:
+    case Format::kJal:
+      inst.ta = reg(rng);
+      inst.imm = imm(rng);
+      break;
+    case Format::kBranch:
+      inst.tb = reg(rng);
+      inst.bcond = ternary::random_trit(rng);
+      inst.imm = imm(rng);
+      break;
+    case Format::kJalr:
+    case Format::kMem:
+      inst.ta = reg(rng);
+      inst.tb = reg(rng);
+      inst.imm = imm(rng);
+      break;
+  }
+  return inst;
+}
+
+TEST(RoundTrip, EncodeDecodeIsIdentity) {
+  std::mt19937 rng(kSeed);
+  for (Opcode op : all_opcodes()) {
+    for (int i = 0; i < kSamplesPerOpcode; ++i) {
+      const Instruction inst = random_instruction(op, rng);
+      const ternary::Word9 word = encode(inst);
+      const Instruction decoded = decode(word);
+      ASSERT_EQ(decoded, inst) << mnemonic(op) << " sample " << i << ": encoded "
+                               << word.to_string() << " decoded to " << to_string(decoded)
+                               << " from " << to_string(inst);
+    }
+  }
+}
+
+TEST(RoundTrip, DisassembleReassembleIsFixedPoint) {
+  std::mt19937 rng(kSeed + 1);
+  for (Opcode op : all_opcodes()) {
+    for (int i = 0; i < kSamplesPerOpcode; ++i) {
+      const Instruction inst = random_instruction(op, rng);
+      const ternary::Word9 word = encode(inst);
+      const std::string text = disassemble_word(word);
+      Program program;
+      ASSERT_NO_THROW(program = assemble(text))
+          << mnemonic(op) << " sample " << i << ": could not re-assemble \"" << text << "\"";
+      ASSERT_EQ(program.code.size(), 1u) << "\"" << text << "\"";
+      EXPECT_EQ(program.code[0], inst)
+          << mnemonic(op) << " sample " << i << ": \"" << text << "\" re-assembled to "
+          << to_string(program.code[0]) << " instead of " << to_string(inst);
+      ASSERT_EQ(program.image.size(), 1u);
+      EXPECT_EQ(program.image[0], word) << "\"" << text << "\"";
+      // One more lap: the listing of the re-assembled word must not move.
+      EXPECT_EQ(disassemble_word(program.image[0]), text);
+    }
+  }
+}
+
+TEST(RoundTrip, EveryEncodingIsValid) {
+  std::mt19937 rng(kSeed + 2);
+  for (Opcode op : all_opcodes()) {
+    for (int i = 0; i < kSamplesPerOpcode; ++i) {
+      EXPECT_TRUE(is_valid_encoding(encode(random_instruction(op, rng))));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace art9::isa

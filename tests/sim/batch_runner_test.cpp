@@ -1,0 +1,158 @@
+// BatchRunner must be observationally identical to standalone
+// FunctionalSimulator runs: bit-identical ArchState (registers, memory
+// contents *and* access counters, PC) plus equal halt reasons and step
+// counts, whether each job decodes its own program or shares one image.
+#include "sim/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "sim/functional_sim.hpp"
+
+namespace art9::sim {
+namespace {
+
+/// Eight small programs covering every instruction class: straight-line
+/// arithmetic, loops, memory traffic, JALR returns, and one that never
+/// halts (so kMaxCycles must round-trip too).
+const std::array<std::string, 8>& batch_programs() {
+  static const std::array<std::string, 8> kPrograms = {
+      // 0: immediate materialisation + arithmetic.
+      "LIMM T1, 1234\nLIMM T2, -77\nADD T1, T2\nHALT\n",
+      // 1: counted loop (backward BNE).
+      R"(
+        LIMM T1, 50
+        LIMM T2, 0
+      loop:
+        ADD  T2, T1
+        ADDI T1, -1
+        MV   T3, T1
+        COMP T3, T4
+        BNE  T3, 0, loop
+        HALT
+      )",
+      // 2: memory round trip.
+      R"(
+        LIMM T1, 60
+        LIMM T2, 42
+        STORE T2, 3(T1)
+        LOAD  T3, 3(T1)
+        HALT
+      )",
+      // 3: JAL / JALR call-and-return.
+      R"(
+        LIMM T5, 0
+        JAL  T8, sub
+        ADDI T5, 2
+        HALT
+      sub:
+        ADDI T5, 5
+        JALR T0, T8, 0
+      )",
+      // 4: logic ops and shifts.
+      R"(
+        LIMM T1, 1000
+        SRI  T1, 2
+        SLI  T1, 1
+        LIMM T2, -481
+        AND  T1, T2
+        OR   T1, T2
+        XOR  T1, T2
+        HALT
+      )",
+      // 5: inverters and comparison.
+      R"(
+        LIMM T1, 88
+        MV   T2, T1
+        STI  T2, T2
+        PTI  T3, T1
+        NTI  T4, T1
+        COMP T2, T1
+        HALT
+      )",
+      // 6: forward branch taken.
+      R"(
+        LIMM T1, 1
+        COMP T1, T0
+        BEQ  T1, +, skip
+        LIMM T7, 9841
+      skip:
+        ADDI T6, 4
+        HALT
+      )",
+      // 7: never halts — both paths must hit the step budget identically.
+      "loop:\n  ADDI T1, 1\n  JAL T0, loop\n",
+  };
+  return kPrograms;
+}
+
+constexpr uint64_t kBudget = 2'000;
+
+TEST(BatchRunner, MatchesStandaloneRuns) {
+  BatchRunner batch(kBudget);
+  for (const std::string& source : batch_programs()) batch.add(isa::assemble(source));
+  ASSERT_EQ(batch.size(), 8u);
+
+  const std::vector<BatchRunner::Result> results = batch.run_all();
+  ASSERT_EQ(results.size(), 8u);
+
+  for (std::size_t i = 0; i < batch_programs().size(); ++i) {
+    FunctionalSimulator standalone(isa::assemble(batch_programs()[i]));
+    const SimStats stats = standalone.run(kBudget);
+    EXPECT_EQ(results[i].state, standalone.state()) << "program " << i;
+    EXPECT_EQ(results[i].stats, stats) << "program " << i;
+    EXPECT_EQ(results[i].stats.halt, i == 7 ? HaltReason::kMaxCycles : HaltReason::kHalted)
+        << "program " << i;
+  }
+}
+
+TEST(BatchRunner, SharedImageMatchesPerJobDecode) {
+  const isa::Program program = isa::assemble(batch_programs()[1]);
+
+  BatchRunner batch(kBudget);
+  std::shared_ptr<const DecodedImage> image = batch.add(program);
+  for (int i = 0; i < 7; ++i) batch.add(image);  // 7 more runs, zero decode cost
+  ASSERT_EQ(batch.size(), 8u);
+
+  const std::vector<BatchRunner::Result> results = batch.run_all();
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].state, results[0].state) << "job " << i;
+    EXPECT_EQ(results[i].stats, results[0].stats) << "job " << i;
+  }
+
+  FunctionalSimulator standalone(program);
+  const SimStats stats = standalone.run(kBudget);
+  EXPECT_EQ(results[0].state, standalone.state());
+  EXPECT_EQ(results[0].stats, stats);
+}
+
+TEST(BatchRunner, AgreesWithLazyBaseline) {
+  // The pre-decoded dispatch path vs the seed's decode-on-fetch loop:
+  // same final state on the whole batch corpus.
+  for (const std::string& source : batch_programs()) {
+    const isa::Program program = isa::assemble(source);
+    FunctionalSimulator eager(program);
+    LazyFunctionalSimulator lazy(program);
+    const SimStats eager_stats = eager.run(kBudget);
+    const SimStats lazy_stats = lazy.run(kBudget);
+    EXPECT_EQ(eager.state(), lazy.state());
+    EXPECT_EQ(eager_stats, lazy_stats);
+  }
+}
+
+TEST(BatchRunner, RunAllIsRepeatable) {
+  BatchRunner batch(kBudget);
+  batch.add(isa::assemble(batch_programs()[0]));
+  const auto first = batch.run_all();
+  const auto second = batch.run_all();
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(first[0].state, second[0].state);
+  EXPECT_EQ(first[0].stats, second[0].stats);
+}
+
+}  // namespace
+}  // namespace art9::sim

@@ -75,8 +75,9 @@ TEST(RegAlloc, TooManyRegistersThrows) {
   // 15 live registers > 5 assignable + 9 spill slots.
   std::string source;
   for (int i = 0; i < 15; ++i) {
-    const std::string r = "x" + std::to_string(5 + i);
-    source += "add " + r + ", " + r + ", " + r + "\n";
+    std::string r = std::to_string(5 + i);
+    r.insert(0, 1, 'x');
+    source.append("add ").append(r).append(", ").append(r).append(", ").append(r).append("\n");
   }
   source += "ebreak\n";
   const auto program = rv32::assemble_rv32(source);
