@@ -1,17 +1,28 @@
 // Micro-benchmarks (google-benchmark): simulator and framework throughput —
 // how many simulated cycles/instructions per host second, and how fast the
 // translation pipeline runs on the Dhrystone corpus.
+//
+// `--json[=path]` skips google-benchmark and instead runs the three
+// functional execution paths (lazy decode-on-fetch, pre-decoded dispatch,
+// plane-packed SWAR) under the warmup + median-of-N harness of
+// bench/report.hpp, writing steps/s to BENCH_micro_sim.json so the perf
+// trajectory stays machine-readable across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <string_view>
 
 #include "core/benchmarks.hpp"
 #include "isa/assembler.hpp"
+#include "report.hpp"
 #include "rv32/rv32_assembler.hpp"
 #include "rv32/rv32_sim.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/decoded_image.hpp"
 #include "sim/functional_sim.hpp"
+#include "sim/packed_sim.hpp"
 #include "sim/pipeline.hpp"
 #include "xlat/framework.hpp"
 
@@ -70,6 +81,17 @@ void BM_FunctionalSimulatorPreDecoded(benchmark::State& state) {
 }
 BENCHMARK(BM_FunctionalSimulatorPreDecoded)->Unit(benchmark::kMillisecond);
 
+void BM_FunctionalSimulatorPacked(benchmark::State& state) {
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::PackedFunctionalSimulator sim(dhrystone_image());
+    instructions += sim.run().instructions;
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimulatorPacked)->Unit(benchmark::kMillisecond);
+
 void BM_BatchRunnerDhrystone8(benchmark::State& state) {
   // 8 back-to-back Dhrystone scenarios sharing one decoded image.
   uint64_t instructions = 0;
@@ -125,6 +147,58 @@ loop:
 }
 BENCHMARK(BM_Art9Assembler)->Unit(benchmark::kMicrosecond);
 
+// --- machine-readable perf trajectory (--json) -------------------------------
+
+int run_json_report(const std::string& path) {
+  const std::shared_ptr<const sim::DecodedImage>& image = dhrystone_image();
+
+  bench::heading("functional execution paths — translated Dhrystone");
+  const double lazy = bench::median_rate([&] {
+    sim::LazyFunctionalSimulator sim(dhrystone_art9());
+    return sim.run().instructions;
+  });
+  const double predecoded = bench::median_rate([&] {
+    sim::FunctionalSimulator sim(image);
+    return sim.run().instructions;
+  });
+  const double packed = bench::median_rate([&] {
+    sim::PackedFunctionalSimulator sim(image);
+    return sim.run().instructions;
+  });
+  bench::note("lazy decode-on-fetch:   " + std::to_string(lazy / 1e6) + " M steps/s");
+  bench::note("pre-decoded dispatch:   " + std::to_string(predecoded / 1e6) + " M steps/s");
+  bench::note("plane-packed SWAR:      " + std::to_string(packed / 1e6) + " M steps/s");
+  bench::note("packed / pre-decoded:   x" + std::to_string(packed / predecoded));
+
+  bench::JsonObject json;
+  json.add("bench", "micro_sim");
+  json.add("workload", "dhrystone_translated");
+  json.add("metric", "steps_per_sec_median_of_5");
+  json.add("lazy_steps_per_sec", lazy);
+  json.add("predecoded_steps_per_sec", predecoded);
+  json.add("packed_steps_per_sec", packed);
+  json.add("packed_vs_predecoded", predecoded > 0.0 ? packed / predecoded : 0.0);
+  json.add("predecoded_vs_lazy", lazy > 0.0 ? predecoded / lazy : 0.0);
+  if (!json.write(path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  bench::note("wrote " + path);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the --json[=path] trajectory mode.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--json") return run_json_report("BENCH_micro_sim.json");
+    if (arg.rfind("--json=", 0) == 0) return run_json_report(std::string(arg.substr(7)));
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

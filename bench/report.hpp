@@ -1,10 +1,17 @@
 // Shared table-rendering helpers for the reproduction benches.  Every
 // bench prints the paper's reported numbers next to the measured ones so
 // the shape comparison (who wins, by what factor) is visible at a glance.
+// Also hosts the steady-state timing harness (warmup + median-of-N) and a
+// minimal JSON emitter so perf-trajectory numbers are machine-readable.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace art9::bench {
 
@@ -22,5 +29,68 @@ inline void paper_row(const char* metric, double paper, double measured, const c
 }
 
 inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+// --- steady-state timing ------------------------------------------------------
+
+/// Median work-units-per-second over `reps` timed repetitions, after
+/// `warmup` untimed runs (first-touch page faults, cache/branch-predictor
+/// warm-in).  `fn` performs one complete run and returns its work-unit
+/// count (e.g. retired instructions); the median makes one descheduled rep
+/// harmless where a mean would not.
+template <typename Fn>
+[[nodiscard]] double median_rate(Fn&& fn, int warmup = 2, int reps = 5) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) static_cast<void>(fn());
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const clock::time_point t0 = clock::now();
+    const uint64_t units = fn();
+    const std::chrono::duration<double> elapsed = clock::now() - t0;
+    rates.push_back(elapsed.count() > 0.0 ? static_cast<double>(units) / elapsed.count() : 0.0);
+  }
+  const std::size_t mid = rates.size() / 2;
+  std::nth_element(rates.begin(), rates.begin() + static_cast<std::ptrdiff_t>(mid), rates.end());
+  return rates[mid];
+}
+
+// --- machine-readable output ---------------------------------------------------
+
+/// Minimal flat JSON object writer — enough for the bench trajectory files
+/// (string and finite-double fields, insertion order preserved).
+class JsonObject {
+ public:
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+
+  void add(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    fields_.emplace_back(key, quoted);
+  }
+
+  /// Writes `{ "k": v, ... }` to `path`; returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(), fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace art9::bench

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/functional_sim.hpp"
+#include "sim/packed_sim.hpp"
 
 namespace art9::sim {
 
@@ -22,9 +23,15 @@ std::vector<BatchRunner::Result> BatchRunner::run_all() const {
   std::vector<Result> results;
   results.reserve(jobs_.size());
   for (const std::shared_ptr<const DecodedImage>& image : jobs_) {
-    FunctionalSimulator sim(image);
-    SimStats stats = sim.run(max_instructions_);
-    results.push_back(Result{sim.state(), stats});
+    if (backend_ == SimBackend::kPacked) {
+      PackedFunctionalSimulator sim(image);
+      SimStats stats = sim.run(max_instructions_);
+      results.push_back(Result{sim.unpack_state(), stats});
+    } else {
+      FunctionalSimulator sim(image);
+      SimStats stats = sim.run(max_instructions_);
+      results.push_back(Result{sim.state(), stats});
+    }
   }
   return results;
 }

@@ -5,7 +5,9 @@
 // program variants (or N runs of one program) shares pre-decoded
 // DecodedImages instead of re-decoding 19683 TIM rows per run.  Results
 // are bit-identical to standalone FunctionalSimulator::run() calls —
-// locked by tests/sim/batch_runner_test.cpp.
+// locked by tests/sim/batch_runner_test.cpp — and the plane-packed SWAR
+// backend (SimBackend::kPacked) is bit-identical to the reference one,
+// locked by tests/sim/packed_sim_test.cpp.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +20,14 @@
 
 namespace art9::sim {
 
+/// Which execution backend BatchRunner drives.  Both produce bit-identical
+/// results; kPacked runs the plane-packed SWAR datapath (faster host
+/// execution, converted back at the result boundary).
+enum class SimBackend {
+  kReference,  // FunctionalSimulator — Trit-array golden model
+  kPacked,     // PackedFunctionalSimulator — BCT plane pairs
+};
+
 class BatchRunner {
  public:
   /// Final architectural state and run statistics of one batch entry.
@@ -26,8 +36,11 @@ class BatchRunner {
     SimStats stats;
   };
 
-  explicit BatchRunner(uint64_t max_instructions = 100'000'000)
-      : max_instructions_(max_instructions) {}
+  explicit BatchRunner(uint64_t max_instructions = 100'000'000,
+                       SimBackend backend = SimBackend::kReference)
+      : max_instructions_(max_instructions), backend_(backend) {}
+
+  [[nodiscard]] SimBackend backend() const noexcept { return backend_; }
 
   /// Queues `program`, decoding it into a fresh image.  Returns the job
   /// index and the image so further jobs can share it.
@@ -45,6 +58,7 @@ class BatchRunner {
 
  private:
   uint64_t max_instructions_;
+  SimBackend backend_;
   std::vector<std::shared_ptr<const DecodedImage>> jobs_;
 };
 

@@ -24,6 +24,41 @@ DispatchKind kind_of(const Instruction& inst) {
   return static_cast<DispatchKind>(static_cast<uint8_t>(inst.op));
 }
 
+// Pre-encodes the immediate operand/result of the four encoding-carrying
+// immediate forms, validating against the opcode's format range (imm3 for
+// ANDI/ADDI, imm4 for LUI, imm5 for LI).  Throws SimError at decode time —
+// previously an unencodable immediate only surfaced when the instruction
+// first *executed*, throwing std::out_of_range mid-run.
+Word9 encode_immediate(const Instruction& inst, int64_t pc) {
+  const isa::OpcodeSpec& s = isa::spec(inst.op);
+  const auto check_range = [&] {
+    if (inst.imm < s.imm_min || inst.imm > s.imm_max) {
+      throw SimError("malformed immediate at address " + std::to_string(pc) + ": " +
+                     isa::to_string(inst));
+    }
+  };
+  switch (inst.op) {
+    case Opcode::kAndi:
+    case Opcode::kAddi:
+      check_range();
+      return Word9::from_int(inst.imm);
+    case Opcode::kLui: {
+      check_range();
+      Word9 w;
+      w.insert(5, ternary::Word<4>::from_int(inst.imm));
+      return w;
+    }
+    case Opcode::kLi: {
+      check_range();
+      Word9 w;
+      w.insert(0, ternary::Word<5>::from_int(inst.imm));
+      return w;
+    }
+    default:
+      return Word9{};
+  }
+}
+
 }  // namespace
 
 DecodedImage::DecodedImage(const isa::Program& program)
@@ -47,7 +82,36 @@ DecodedImage::DecodedImage(const isa::Program& program)
     op.taken_pc = ArchState::wrap(pc + op.inst.imm);
     op.taken_row = static_cast<uint32_t>(row_of(op.taken_pc));
     op.link = Word9::from_int_wrapped(pc + 1);
+    op.imm_word = encode_immediate(op.inst, pc);
   }
+}
+
+const PackedOp* DecodedImage::packed_rows() const {
+  // The packed TIM mirrors every row in 24-byte plane-pair form; built
+  // once, on the first packed-backend use, so reference-only simulators
+  // never pay the mirror's memory or encode pass.
+  std::call_once(packed_once_, [this] {
+    packed_rows_.resize(rows_.size());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      const DecodedOp& op = rows_[r];
+      PackedOp& p = packed_rows_[r];
+      const bool is_jump = op.kind == DispatchKind::kJal || op.kind == DispatchKind::kJalr;
+      const ternary::BctWord9 word = ternary::BctWord9::encode(is_jump ? op.link : op.imm_word);
+      p.word_neg = static_cast<uint16_t>(word.neg_plane());
+      p.word_pos = static_cast<uint16_t>(word.pos_plane());
+      p.imm = static_cast<int16_t>(op.inst.imm);
+      p.kind = op.kind;
+      p.ta = static_cast<uint8_t>(op.inst.ta);
+      p.tb = static_cast<uint8_t>(op.inst.tb);
+      p.bcond = static_cast<int8_t>(op.inst.bcond.value());
+      p.pc = static_cast<int16_t>(op.pc);
+      p.next_pc = static_cast<int16_t>(op.next_pc);
+      p.next_row = static_cast<uint16_t>(op.next_row);
+      p.taken_pc = static_cast<int16_t>(op.taken_pc);
+      p.taken_row = static_cast<uint16_t>(op.taken_row);
+    }
+  });
+  return packed_rows_.data();
 }
 
 std::shared_ptr<const DecodedImage> decode(const isa::Program& program) {

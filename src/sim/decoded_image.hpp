@@ -16,7 +16,15 @@
 //    JAL/JALR link word are precomputed, so sequential flow and static
 //    control flow never re-encode a PC;
 //  * the `writes_ta` spec bit is cached inline for the data-processing
-//    default path.
+//    default path;
+//  * immediates of ANDI/ADDI/LUI/LI are pre-encoded once (`imm_word`), so
+//    `Word9::from_int` never runs inside step() — and a malformed
+//    immediate raises SimError at load time instead of mid-run;
+//  * a parallel 24-byte-per-row PackedOp table is the packed TIM: every
+//    operand a row carries (immediate, link word) is stored as
+//    binary-coded-ternary plane pairs, so the PackedFunctionalSimulator
+//    executes without ever touching a Trit array and its fetch loop stays
+//    L1-resident.
 //
 // A DecodedImage is immutable after construction and carries a copy of
 // its source Program, so any number of simulator instances (and the
@@ -25,11 +33,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "isa/instruction.hpp"
 #include "isa/program.hpp"
 #include "sim/memory.hpp"
+#include "ternary/bct.hpp"
 #include "ternary/word.hpp"
 
 namespace art9::sim {
@@ -77,14 +87,57 @@ struct DecodedOp {
   int64_t taken_pc = 0;        // wrap(pc + imm) for BEQ/BNE/JAL
   uint32_t taken_row = 0;      // row_of(taken_pc)
   ternary::Word9 link;         // from_int_wrapped(pc + 1) for JAL/JALR
+  // Pre-encoded immediate (validated at decode time):
+  //   kAndi/kAddi — the 9-trit immediate operand;
+  //   kLui        — the complete result word {imm4, 00000};
+  //   kLi         — imm5 in trits [4:0], zeros above;
+  //   all others  — zero word (unused).
+  ternary::Word9 imm_word;
 };
+
+/// One packed TIM row: the same pre-decoded instruction as DecodedOp, but
+/// compressed to 24 bytes for the plane-packed SWAR backend's fetch loop.
+/// Every 9-trit quantity is stored as plane pairs or a small integer — all
+/// balanced PCs fit int16_t, all row indices fit uint16_t, and the word
+/// operand (`word_neg`/`word_pos`) carries the pre-encoded immediate for
+/// ANDI/LUI/LI or the link word for JAL/JALR (the two uses are disjoint).
+struct PackedOp {
+  uint16_t word_neg = 0;   // imm_word planes (ANDI/LUI/LI) or link planes (JAL/JALR)
+  uint16_t word_pos = 0;
+  int16_t imm = 0;         // numeric immediate (ADDI/SRI/SLI/JALR/LOAD/STORE)
+  DispatchKind kind = DispatchKind::kInvalid;
+  uint8_t ta = 0;
+  uint8_t tb = 0;
+  int8_t bcond = 0;        // balanced branch condition value
+  int16_t pc = 0;
+  int16_t next_pc = 0;
+  uint16_t next_row = 0;
+  int16_t taken_pc = 0;
+  uint16_t taken_row = 0;
+
+  /// The operand word as planes (immediate or link, kind-dependent).
+  [[nodiscard]] ternary::BctWord9 word() const noexcept {
+    return ternary::BctWord9::from_planes_unchecked(word_neg, word_pos);
+  }
+};
+static_assert(sizeof(PackedOp) <= 24, "PackedOp must stay cache-lean");
 
 class DecodedImage {
  public:
+  /// Decodes (and validates) the whole program.  Throws sim::SimError if
+  /// an ANDI/ADDI/LUI/LI instruction carries an immediate outside its
+  /// format's range (the four forms whose immediates are pre-encoded into
+  /// words) — at load time, not on first execution.  Other formats'
+  /// immediates are used numerically and are not range-checked here.
   explicit DecodedImage(const isa::Program& program);
 
   /// Row access by dense row index (0 .. kRows-1).
   [[nodiscard]] const DecodedOp& row(std::size_t r) const noexcept { return rows_[r]; }
+
+  /// Raw packed-TIM base pointer for the SWAR backend's register-resident
+  /// dispatch loop (kRows entries).  Built lazily on first use (thread-
+  /// safe), so reference-only users never pay for the mirror table.
+  [[nodiscard]] const PackedOp* packed_rows() const;
 
   /// Row index of a balanced PC (same bijection as the memory hardware).
   [[nodiscard]] static std::size_t row_of(int64_t pc) noexcept {
@@ -104,6 +157,8 @@ class DecodedImage {
  private:
   isa::Program program_;
   std::vector<DecodedOp> rows_;
+  mutable std::once_flag packed_once_;
+  mutable std::vector<PackedOp> packed_rows_;
 };
 
 /// Decodes `program` into a shareable image.

@@ -74,10 +74,11 @@ bool FunctionalSimulator::step() {
     case DispatchKind::kInvalid:
       throw SimError("fetch from uninitialised TIM address " + std::to_string(op.pc));
     default: {
-      // Data-processing opcodes (MV..LI): one TALU evaluation.
+      // Data-processing opcodes (MV..LI): one TALU evaluation off the
+      // pre-decoded row (immediates already encoded — no from_int here).
       const Word9& a = state_.trf.read(op.inst.ta);
       const Word9& b = state_.trf.read(op.inst.tb);
-      if (op.writes_ta) state_.trf.write(op.inst.ta, execute(op.inst, a, b));
+      if (op.writes_ta) state_.trf.write(op.inst.ta, execute(op, a, b));
       break;
     }
   }

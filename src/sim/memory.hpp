@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ternary/bct.hpp"
 #include "ternary/word.hpp"
 
 namespace art9::sim {
@@ -57,8 +58,77 @@ class TernaryMemory {
 
   void reset_counters() noexcept { reads_ = writes_ = 0; }
 
+  /// Restores the access counters — used when unpacking a packed-backend
+  /// run into a reference memory for bit-identical comparison.
+  void set_counters(uint64_t reads, uint64_t writes) noexcept {
+    reads_ = reads;
+    writes_ = writes;
+  }
+
  private:
   std::vector<ternary::Word9> rows_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// Plane-pair ternary memory: the packed datapath's TDM.  Rows are
+/// BctWord9 plane pairs (18 host bits of payload per row — the same
+/// encoding the paper's FPGA platform stores, §V-B) instead of
+/// std::array<Trit, 9>, so loads/stores move two machine words and never
+/// touch a Trit.  Same row bijection and access accounting as
+/// TernaryMemory; `unpack()` is the inspection-boundary conversion and
+/// reproduces contents *and* counters bit-identically.
+class PackedMemory {
+ public:
+  static constexpr int64_t kRows = TernaryMemory::kRows;
+
+  PackedMemory() : rows_(static_cast<std::size_t>(kRows)) {}
+
+  /// Counted read by pre-folded row index (hot loop — the packed simulator
+  /// folds addresses with ternary::packed::row_of).
+  [[nodiscard]] const ternary::BctWord9& read_row(std::size_t row) noexcept {
+    ++reads_;
+    return rows_[row];
+  }
+
+  /// Counted write by pre-folded row index.
+  void write_row(std::size_t row, const ternary::BctWord9& value) noexcept {
+    ++writes_;
+    rows_[row] = value;
+  }
+
+  /// Direct initialisation (program load) — not counted as an access.
+  void poke(int64_t balanced_address, const ternary::BctWord9& value) {
+    rows_[TernaryMemory::row_of(balanced_address)] = value;
+  }
+
+  /// Hot-loop escape hatch: raw row storage for a register-resident
+  /// execute loop.  Callers that bypass read_row/write_row must account
+  /// their accesses via add_counters before the next inspection.
+  [[nodiscard]] ternary::BctWord9* data() noexcept { return rows_.data(); }
+  void add_counters(uint64_t reads, uint64_t writes) noexcept {
+    reads_ += reads;
+    writes_ += writes;
+  }
+
+  [[nodiscard]] uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] uint64_t writes() const noexcept { return writes_; }
+
+  friend bool operator==(const PackedMemory&, const PackedMemory&) = default;
+
+  /// Decodes to the reference representation (contents + counters).
+  [[nodiscard]] TernaryMemory unpack() const {
+    TernaryMemory out;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (rows_[r] == ternary::BctWord9{}) continue;  // zero rows match the default
+      out.poke(static_cast<int64_t>(r) - ternary::Word9::kMaxValue, rows_[r].decode());
+    }
+    out.set_counters(reads_, writes_);
+    return out;
+  }
+
+ private:
+  std::vector<ternary::BctWord9> rows_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
 };

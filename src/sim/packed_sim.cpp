@@ -1,0 +1,339 @@
+#include "sim/packed_sim.hpp"
+
+#include <string>
+#include <utility>
+
+#include "ternary/packed.hpp"
+
+namespace art9::sim {
+
+using ternary::BctWord9;
+namespace pk = ternary::packed;
+
+PackedFunctionalSimulator::PackedFunctionalSimulator(const isa::Program& program)
+    : PackedFunctionalSimulator(decode(program)) {}
+
+PackedFunctionalSimulator::PackedFunctionalSimulator(std::shared_ptr<const DecodedImage> image)
+    : image_(std::move(image)), prows_(image_->packed_rows()) {
+  for (const isa::DataWord& d : image_->program().data) {
+    tdm_.poke(d.address, BctWord9::encode(d.value));
+  }
+  pc_ = image_->program().entry;
+  row_ = DecodedImage::row_of(pc_);
+}
+
+bool PackedFunctionalSimulator::step() {
+  const PackedOp& op = prows_[row_];
+  BctWord9* const trf = trf_.data();
+  const std::size_t ta = op.ta;
+  const std::size_t tb = op.tb;
+  switch (op.kind) {
+    case DispatchKind::kMv:
+      trf[ta] = trf[tb];
+      break;
+    case DispatchKind::kPti:
+      trf[ta] = trf[tb].pti();
+      break;
+    case DispatchKind::kNti:
+      trf[ta] = trf[tb].nti();
+      break;
+    case DispatchKind::kSti:
+      trf[ta] = trf[tb].sti();
+      break;
+    case DispatchKind::kAnd:
+      trf[ta] = BctWord9::tand(trf[ta], trf[tb]);
+      break;
+    case DispatchKind::kOr:
+      trf[ta] = BctWord9::tor(trf[ta], trf[tb]);
+      break;
+    case DispatchKind::kXor:
+      trf[ta] = BctWord9::txor(trf[ta], trf[tb]);
+      break;
+    case DispatchKind::kAdd:
+      trf[ta] = pk::add(trf[ta], trf[tb]);
+      break;
+    case DispatchKind::kSub:
+      trf[ta] = pk::sub(trf[ta], trf[tb]);
+      break;
+    case DispatchKind::kSr:
+      trf[ta] = trf[ta].shr(pk::shift_amount(trf[tb]));
+      break;
+    case DispatchKind::kSl:
+      trf[ta] = trf[ta].shl(pk::shift_amount(trf[tb]));
+      break;
+    case DispatchKind::kComp:
+      trf[ta] = pk::comp_word(trf[ta], trf[tb]);
+      break;
+    case DispatchKind::kAndi:
+      trf[ta] = BctWord9::tand(trf[ta], op.word());
+      break;
+    case DispatchKind::kAddi:
+      trf[ta] = pk::add_int(trf[ta], op.imm);
+      break;
+    case DispatchKind::kSri:
+      // Negative amounts wrap to huge unsigned values and clear the word —
+      // same contract as the reference path's size_t cast.
+      trf[ta] = trf[ta].shr(static_cast<unsigned>(static_cast<int>(op.imm)));
+      break;
+    case DispatchKind::kSli:
+      trf[ta] = trf[ta].shl(static_cast<unsigned>(static_cast<int>(op.imm)));
+      break;
+    case DispatchKind::kLui:
+      trf[ta] = op.word();  // complete result, pre-packed at decode
+      break;
+    case DispatchKind::kLi: {
+      // {Ta[8:5], imm[4:0]}: keep the high-trit plane bits, OR in the
+      // pre-packed low-5 immediate.
+      constexpr uint32_t kHigh4 = BctWord9::kMask & ~0x1Fu;
+      trf[ta] = BctWord9::from_planes_unchecked((trf[ta].neg_plane() & kHigh4) | op.word_neg,
+                                                (trf[ta].pos_plane() & kHigh4) | op.word_pos);
+      break;
+    }
+    case DispatchKind::kBeq:
+    case DispatchKind::kBne: {
+      const bool eq = trf[tb].lst_value() == op.bcond;
+      const bool taken = op.kind == DispatchKind::kBeq ? eq : !eq;
+      if (taken) {
+        pc_ = op.taken_pc;
+        row_ = op.taken_row;
+      } else {
+        pc_ = op.next_pc;
+        row_ = op.next_row;
+      }
+      return true;
+    }
+    case DispatchKind::kHalt:
+      return false;
+    case DispatchKind::kJal:
+      trf[ta] = op.word();  // the pre-packed link
+      pc_ = op.taken_pc;
+      row_ = op.taken_row;
+      return true;
+    case DispatchKind::kJalr: {
+      const int32_t target = pk::wrap(pk::to_int(trf[tb]) + op.imm);
+      if (target == op.pc) return false;  // self-jump = halt (no link write)
+      trf[ta] = op.word();
+      pc_ = target;
+      row_ = pk::row_of(target);
+      return true;
+    }
+    case DispatchKind::kLoad: {
+      const int32_t addr = pk::to_int(trf[tb]) + op.imm;
+      trf[ta] = tdm_.read_row(pk::row_of(addr));
+      break;
+    }
+    case DispatchKind::kStore: {
+      const int32_t addr = pk::to_int(trf[tb]) + op.imm;
+      tdm_.write_row(pk::row_of(addr), trf[ta]);
+      break;
+    }
+    case DispatchKind::kInvalid:
+      throw SimError("fetch from uninitialised TIM address " + std::to_string(op.pc));
+  }
+  pc_ = op.next_pc;
+  row_ = op.next_row;
+  return true;
+}
+
+// Threaded dispatch (computed goto) is a GNU extension; other compilers
+// fall back to the portable step() loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define ART9_THREADED_DISPATCH 1
+#endif
+
+#if ART9_THREADED_DISPATCH
+
+SimStats PackedFunctionalSimulator::run(uint64_t max_instructions) {
+  // Branch-lean threaded dispatch loop: because row <-> PC is a bijection
+  // and every control-flow target is a precomputed row, the whole
+  // architectural position is one 32-bit row index — pc_ is recovered from
+  // the row table at the exit boundary.  Each handler ends in its own
+  // indirect jump, so the host branch predictor learns per-opcode successor
+  // patterns instead of sharing one switch branch.  Handlers mirror step()
+  // exactly — the differential suite runs both.
+  static const void* const kHandlers[] = {
+      &&h_mv,   &&h_pti,  &&h_nti, &&h_sti,  &&h_and,  &&h_or,   &&h_xor,
+      &&h_add,  &&h_sub,  &&h_sr,  &&h_sl,   &&h_comp, &&h_andi, &&h_addi,
+      &&h_sri,  &&h_sli,  &&h_lui, &&h_li,   &&h_beq,  &&h_bne,  &&h_jal,
+      &&h_jalr, &&h_load, &&h_store, &&h_halt, &&h_invalid,
+  };
+  static_assert(sizeof(kHandlers) / sizeof(kHandlers[0]) ==
+                    static_cast<std::size_t>(DispatchKind::kInvalid) + 1,
+                "handler table must cover every DispatchKind");
+
+  const PackedOp* const rows = prows_;
+  BctWord9* const trf = trf_.data();
+  BctWord9* const mem = tdm_.data();
+  uint32_t row = static_cast<uint32_t>(row_);
+  uint64_t executed = 0;
+  uint64_t mem_reads = 0;
+  uint64_t mem_writes = 0;
+  bool halted = false;
+  const PackedOp* op;
+
+#define ART9_DISPATCH()                                   \
+  do {                                                    \
+    if (executed >= max_instructions) goto budget;        \
+    op = rows + row;                                      \
+    goto* kHandlers[static_cast<uint8_t>(op->kind)];      \
+  } while (0)
+#define ART9_NEXT()   \
+  row = op->next_row; \
+  ++executed;         \
+  ART9_DISPATCH()
+
+  ART9_DISPATCH();
+
+h_mv:
+  trf[op->ta] = trf[op->tb];
+  ART9_NEXT();
+h_pti:
+  trf[op->ta] = trf[op->tb].pti();
+  ART9_NEXT();
+h_nti:
+  trf[op->ta] = trf[op->tb].nti();
+  ART9_NEXT();
+h_sti:
+  trf[op->ta] = trf[op->tb].sti();
+  ART9_NEXT();
+h_and:
+  trf[op->ta] = BctWord9::tand(trf[op->ta], trf[op->tb]);
+  ART9_NEXT();
+h_or:
+  trf[op->ta] = BctWord9::tor(trf[op->ta], trf[op->tb]);
+  ART9_NEXT();
+h_xor:
+  trf[op->ta] = BctWord9::txor(trf[op->ta], trf[op->tb]);
+  ART9_NEXT();
+h_add:
+  trf[op->ta] = pk::add(trf[op->ta], trf[op->tb]);
+  ART9_NEXT();
+h_sub:
+  trf[op->ta] = pk::sub(trf[op->ta], trf[op->tb]);
+  ART9_NEXT();
+h_sr:
+  trf[op->ta] = trf[op->ta].shr(pk::shift_amount(trf[op->tb]));
+  ART9_NEXT();
+h_sl:
+  trf[op->ta] = trf[op->ta].shl(pk::shift_amount(trf[op->tb]));
+  ART9_NEXT();
+h_comp:
+  trf[op->ta] = pk::comp_word(trf[op->ta], trf[op->tb]);
+  ART9_NEXT();
+h_andi:
+  trf[op->ta] = BctWord9::tand(trf[op->ta], op->word());
+  ART9_NEXT();
+h_addi:
+  trf[op->ta] = pk::add_int(trf[op->ta], op->imm);
+  ART9_NEXT();
+h_sri:
+  trf[op->ta] = trf[op->ta].shr(static_cast<unsigned>(static_cast<int>(op->imm)));
+  ART9_NEXT();
+h_sli:
+  trf[op->ta] = trf[op->ta].shl(static_cast<unsigned>(static_cast<int>(op->imm)));
+  ART9_NEXT();
+h_lui:
+  trf[op->ta] = op->word();
+  ART9_NEXT();
+h_li: {
+  constexpr uint32_t kHigh4 = BctWord9::kMask & ~0x1Fu;
+  trf[op->ta] = BctWord9::from_planes_unchecked((trf[op->ta].neg_plane() & kHigh4) | op->word_neg,
+                                                (trf[op->ta].pos_plane() & kHigh4) | op->word_pos);
+  ART9_NEXT();
+}
+h_beq:
+  row = trf[op->tb].lst_value() == op->bcond ? op->taken_row : op->next_row;
+  ++executed;
+  ART9_DISPATCH();
+h_bne:
+  row = trf[op->tb].lst_value() != op->bcond ? op->taken_row : op->next_row;
+  ++executed;
+  ART9_DISPATCH();
+h_jal:
+  trf[op->ta] = op->word();  // the pre-packed link
+  row = op->taken_row;
+  ++executed;
+  ART9_DISPATCH();
+h_jalr: {
+  const int32_t target = pk::wrap(pk::to_int(trf[op->tb]) + op->imm);
+  if (target == op->pc) {
+    halted = true;
+    goto done;
+  }
+  trf[op->ta] = op->word();
+  row = static_cast<uint32_t>(pk::row_of(target));
+  ++executed;
+  ART9_DISPATCH();
+}
+h_load: {
+  const int32_t addr = pk::to_int(trf[op->tb]) + op->imm;
+  trf[op->ta] = mem[pk::row_of(addr)];
+  ++mem_reads;
+  ART9_NEXT();
+}
+h_store: {
+  const int32_t addr = pk::to_int(trf[op->tb]) + op->imm;
+  mem[pk::row_of(addr)] = trf[op->ta];
+  ++mem_writes;
+  ART9_NEXT();
+}
+h_halt:
+  halted = true;
+  goto done;
+h_invalid:
+  row_ = row;
+  pc_ = rows[row].pc;
+  tdm_.add_counters(mem_reads, mem_writes);
+  throw SimError("fetch from uninitialised TIM address " + std::to_string(op->pc));
+budget:
+done:
+
+#undef ART9_DISPATCH
+#undef ART9_NEXT
+
+  row_ = row;
+  pc_ = rows[row].pc;
+  tdm_.add_counters(mem_reads, mem_writes);
+  SimStats stats;
+  stats.instructions = executed;
+  stats.cycles = executed;
+  stats.halt = halted ? HaltReason::kHalted : HaltReason::kMaxCycles;
+  return stats;
+}
+
+#else  // !ART9_THREADED_DISPATCH — portable single-step loop.
+
+SimStats PackedFunctionalSimulator::run(uint64_t max_instructions) {
+  SimStats stats;
+  while (stats.instructions < max_instructions) {
+    if (!step()) {
+      stats.halt = HaltReason::kHalted;
+      stats.cycles = stats.instructions;
+      return stats;
+    }
+    ++stats.instructions;
+  }
+  stats.halt = HaltReason::kMaxCycles;
+  stats.cycles = stats.instructions;
+  return stats;
+}
+
+#endif  // ART9_THREADED_DISPATCH
+
+ArchState PackedFunctionalSimulator::unpack_state() const {
+  ArchState out;
+  for (int i = 0; i < isa::kNumRegisters; ++i) {
+    out.trf.write(i, trf_[static_cast<std::size_t>(i)].decode());
+  }
+  out.tdm = tdm_.unpack();
+  out.pc = pc_;
+  return out;
+}
+
+ternary::Word9 PackedFunctionalSimulator::reg(int index) const {
+  return trf_.at(static_cast<std::size_t>(index)).decode();
+}
+
+int64_t PackedFunctionalSimulator::reg_int(int index) const { return reg(index).to_int(); }
+
+}  // namespace art9::sim

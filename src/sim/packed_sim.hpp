@@ -1,0 +1,74 @@
+// Plane-packed functional simulator — the SWAR execution backend.
+//
+// Executes the same pre-decoded DecodedImage as FunctionalSimulator, but
+// the entire architectural hot state lives in binary-coded-ternary plane
+// pairs: a packed register file (nine BctWord9), a packed TDM
+// (sim::PackedMemory) and pre-packed immediates/links from the image (the
+// packed TIM).  Every opcode executes as a handful of branchless bitwise
+// or value-domain integer operations (ternary/packed.hpp) — no
+// std::array<Trit, 9> is ever touched between reset and halt; conversion
+// to the reference representation happens only at the inspection boundary
+// (`unpack_state()`, `reg()`).
+//
+// The backend is bit-identical to FunctionalSimulator in architectural
+// state (registers, TDM contents *and* access counters, PC) and SimStats —
+// locked by tests/sim/packed_sim_test.cpp on the full benchmark corpus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "isa/program.hpp"
+#include "sim/decoded_image.hpp"
+#include "sim/machine.hpp"
+#include "ternary/bct.hpp"
+
+namespace art9::sim {
+
+class PackedFunctionalSimulator {
+ public:
+  /// Decodes `program` into a private image.
+  explicit PackedFunctionalSimulator(const isa::Program& program);
+
+  /// Runs off a shared pre-decoded image (BatchRunner, differential
+  /// harnesses).  `image` must be non-null.
+  explicit PackedFunctionalSimulator(std::shared_ptr<const DecodedImage> image);
+
+  /// Executes one instruction.  Returns false when the HALT convention
+  /// (self-jump) executes — pc() then rests on the halt instruction.
+  bool step();
+
+  /// Runs until HALT or `max_instructions`.
+  SimStats run(uint64_t max_instructions = 100'000'000);
+
+  [[nodiscard]] int64_t pc() const noexcept { return pc_; }
+
+  /// The pre-decoded image this simulator executes.
+  [[nodiscard]] const DecodedImage& image() const noexcept { return *image_; }
+
+  /// Inspection-boundary conversions: decode the packed state into the
+  /// reference representation (registers, TDM contents + counters, PC).
+  [[nodiscard]] ArchState unpack_state() const;
+
+  /// Convenience accessors (decode on access).
+  [[nodiscard]] ternary::Word9 reg(int index) const;
+  [[nodiscard]] int64_t reg_int(int index) const;
+
+  /// Raw packed register (tests, tracing hooks).
+  [[nodiscard]] const ternary::BctWord9& reg_packed(int index) const {
+    return trf_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  std::shared_ptr<const DecodedImage> image_;
+  const PackedOp* prows_;  // the image's packed TIM (built on first use)
+  std::array<ternary::BctWord9, isa::kNumRegisters> trf_{};
+  PackedMemory tdm_;
+  int64_t pc_ = 0;
+  // Current fetch row, in lock-step with pc_ (no external PC redirection:
+  // the packed backend exposes no mutable architectural state).
+  std::size_t row_ = 0;
+};
+
+}  // namespace art9::sim

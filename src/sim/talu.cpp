@@ -68,4 +68,51 @@ Word9 execute(const Instruction& inst, const Word9& a, const Word9& b) {
   }
 }
 
+Word9 execute(const DecodedOp& op, const Word9& a, const Word9& b) {
+  switch (op.kind) {
+    case DispatchKind::kMv:
+      return b;
+    case DispatchKind::kPti:
+      return ternary::pti(b);
+    case DispatchKind::kNti:
+      return ternary::nti(b);
+    case DispatchKind::kSti:
+      return ternary::sti(b);
+    case DispatchKind::kAnd:
+      return ternary::tand(a, b);
+    case DispatchKind::kOr:
+      return ternary::tor(a, b);
+    case DispatchKind::kXor:
+      return ternary::txor(a, b);
+    case DispatchKind::kAdd:
+      return a + b;
+    case DispatchKind::kSub:
+      return a - b;
+    case DispatchKind::kSr:
+      return a.shr(static_cast<std::size_t>(shift_amount(b)));
+    case DispatchKind::kSl:
+      return a.shl(static_cast<std::size_t>(shift_amount(b)));
+    case DispatchKind::kComp:
+      return comp_result(a, b);
+    case DispatchKind::kAndi:
+      return ternary::tand(a, op.imm_word);
+    case DispatchKind::kAddi:
+      return a + op.imm_word;
+    case DispatchKind::kSri:
+      return a.shr(static_cast<std::size_t>(op.inst.imm));
+    case DispatchKind::kSli:
+      return a.shl(static_cast<std::size_t>(op.inst.imm));
+    case DispatchKind::kLui:
+      return op.imm_word;  // the complete result, pre-built at decode
+    case DispatchKind::kLi: {
+      Word9 out = op.imm_word;  // imm5 in [4:0], zeros above
+      for (std::size_t i = 5; i < ternary::Word9::kTrits; ++i) out.set(i, a[i]);
+      return out;
+    }
+    default:
+      throw std::logic_error("TALU: kind has no data-processing result: " +
+                             std::string(isa::mnemonic(op.inst.op)));
+  }
+}
+
 }  // namespace art9::sim

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "isa/instruction.hpp"
+#include "sim/decoded_image.hpp"
 #include "ternary/word.hpp"
 
 namespace art9::sim {
@@ -28,6 +29,12 @@ namespace art9::sim {
 /// values and memory addresses are plain additions performed by the
 /// caller.
 [[nodiscard]] ternary::Word9 execute(const isa::Instruction& inst, const ternary::Word9& a,
+                                     const ternary::Word9& b);
+
+/// Pre-decoded variant for the dispatch fast path: identical semantics to
+/// the Instruction overload, but immediate operands come pre-encoded from
+/// the DecodedImage (`op.imm_word`), so no `Word9::from_int` runs per step.
+[[nodiscard]] ternary::Word9 execute(const DecodedOp& op, const ternary::Word9& a,
                                      const ternary::Word9& b);
 
 }  // namespace art9::sim

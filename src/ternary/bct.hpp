@@ -38,6 +38,12 @@ class BctWord9 {
     if ((neg & pos) != 0 || (neg | pos) > kMask) {
       throw std::invalid_argument("BctWord9: invalid plane encoding");
     }
+    return from_planes_unchecked(neg, pos);
+  }
+
+  /// Unchecked plane construction for the packed datapath hot loop.
+  /// Precondition (not verified): `neg & pos == 0` and both fit kMask.
+  static constexpr BctWord9 from_planes_unchecked(uint32_t neg, uint32_t pos) noexcept {
     BctWord9 w;
     w.neg_ = neg;
     w.pos_ = pos;
@@ -124,7 +130,37 @@ class BctWord9 {
     return out;
   }
 
+  // --- plane shifts (the packed form of Word9::shl / Word9::shr) ---------
+
+  /// Shift left by `amount` trits: both planes shift towards the MST and
+  /// zero trits ((0,0) codes) enter at the LST end.  Amounts >= kTrits
+  /// clear the word, matching Word9::shl.
+  [[nodiscard]] constexpr BctWord9 shl(unsigned amount) const noexcept {
+    if (amount >= kTrits) return BctWord9{};
+    return from_planes_unchecked((neg_ << amount) & kMask, (pos_ << amount) & kMask);
+  }
+
+  /// Shift right by `amount` trits (balanced divide-by-3^amount rounding to
+  /// nearest): zero trits enter at the MST end.  Amounts >= kTrits clear
+  /// the word, matching Word9::shr.
+  [[nodiscard]] constexpr BctWord9 shr(unsigned amount) const noexcept {
+    if (amount >= kTrits) return BctWord9{};
+    return from_planes_unchecked(neg_ >> amount, pos_ >> amount);
+  }
+
+  /// Balanced value of the least-significant trit in {-1, 0, +1} — what the
+  /// branch condition compare looks at.
+  [[nodiscard]] constexpr int lst_value() const noexcept {
+    return static_cast<int>(pos_ & 1u) - static_cast<int>(neg_ & 1u);
+  }
+
+  /// Balanced value of trit `i` in {-1, 0, +1}.
+  [[nodiscard]] constexpr int trit_value(std::size_t i) const noexcept {
+    return static_cast<int>((pos_ >> i) & 1u) - static_cast<int>((neg_ >> i) & 1u);
+  }
+
   /// Ripple addition over the planes (the binary-emulated balanced adder).
+  /// Reference-grade: the packed fast path uses ternary::packed::add.
   [[nodiscard]] static BctWord9 add(const BctWord9& a, const BctWord9& b) noexcept;
 
  private:

@@ -1,13 +1,15 @@
 // art9-run — execute a .t9 program image on the ART-9 simulators.
 //
-//   art9-run program.t9 [--functional] [--max-cycles N] [--dump-regs]
-//            [--dump-mem LO HI] [--no-forwarding] [--branch-in-ex] [--stats]
+//   art9-run program.t9 [--functional | --packed] [--max-cycles N]
+//            [--dump-regs] [--dump-mem LO HI] [--no-forwarding]
+//            [--branch-in-ex] [--stats]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "isa/image_io.hpp"
 #include "sim/functional_sim.hpp"
+#include "sim/packed_sim.hpp"
 #include "sim/pipeline.hpp"
 #include "sim/trace.hpp"
 
@@ -15,9 +17,9 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: art9-run <program.t9> [--functional] [--max-cycles N] [--dump-regs]\n"
-               "                [--dump-mem LO HI] [--no-forwarding] [--branch-in-ex] [--stats]\n"
-               "                [--trace N]\n");
+               "usage: art9-run <program.t9> [--functional | --packed] [--max-cycles N]\n"
+               "                [--dump-regs] [--dump-mem LO HI] [--no-forwarding]\n"
+               "                [--branch-in-ex] [--stats] [--trace N]\n");
   return 2;
 }
 
@@ -29,11 +31,27 @@ void dump_regs(const art9::sim::ArchState& state) {
   }
 }
 
+/// Shared run report of the two functional engines (the pipeline engine
+/// prints cycles/CPI separately): halt line, optional registers, optional
+/// TDM window.
+void report_functional_run(const art9::sim::ArchState& state, const art9::sim::SimStats& stats,
+                           bool want_regs, int64_t mem_lo, int64_t mem_hi) {
+  std::printf("halted=%s instructions=%llu\n",
+              stats.halt == art9::sim::HaltReason::kHalted ? "yes" : "budget",
+              static_cast<unsigned long long>(stats.instructions));
+  if (want_regs) dump_regs(state);
+  for (int64_t a = mem_lo; a <= mem_hi; ++a) {
+    std::printf("  tdm[%lld] = %lld\n", static_cast<long long>(a),
+                static_cast<long long>(state.tdm.peek(a).to_int()));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string input;
   bool functional = false;
+  bool packed = false;
   bool want_regs = false;
   bool want_stats = false;
   int64_t mem_lo = 0;
@@ -44,6 +62,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--functional") {
       functional = true;
+    } else if (arg == "--packed") {
+      packed = true;
     } else if (arg == "--max-cycles" && i + 1 < argc) {
       config.max_cycles = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--dump-regs") {
@@ -71,17 +91,16 @@ int main(int argc, char** argv) {
 
   try {
     const art9::isa::Program program = art9::isa::read_image_file(input);
+    if (packed) {
+      art9::sim::PackedFunctionalSimulator sim(program);
+      const art9::sim::SimStats stats = sim.run(config.max_cycles);
+      report_functional_run(sim.unpack_state(), stats, want_regs, mem_lo, mem_hi);
+      return 0;
+    }
     if (functional) {
       art9::sim::FunctionalSimulator sim(program);
       const art9::sim::SimStats stats = sim.run(config.max_cycles);
-      std::printf("halted=%s instructions=%llu\n",
-                  stats.halt == art9::sim::HaltReason::kHalted ? "yes" : "budget",
-                  static_cast<unsigned long long>(stats.instructions));
-      if (want_regs) dump_regs(sim.state());
-      for (int64_t a = mem_lo; a <= mem_hi; ++a) {
-        std::printf("  tdm[%lld] = %lld\n", static_cast<long long>(a),
-                    static_cast<long long>(sim.state().tdm.peek(a).to_int()));
-      }
+      report_functional_run(sim.state(), stats, want_regs, mem_lo, mem_hi);
       return 0;
     }
     art9::sim::PipelineSimulator sim(program, config);
