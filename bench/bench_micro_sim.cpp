@@ -2,28 +2,32 @@
 // how many simulated cycles/instructions per host second, and how fast the
 // translation pipeline runs on the Dhrystone corpus.
 //
-// `--json[=path]` skips google-benchmark and instead runs the three
-// functional execution paths (lazy decode-on-fetch, pre-decoded dispatch,
-// plane-packed SWAR) under the warmup + median-of-N harness of
-// bench/report.hpp, writing steps/s to BENCH_micro_sim.json so the perf
-// trajectory stays machine-readable across PRs.
+// Engine benchmarks are registered generically over sim::EngineKind
+// (BM_Engine/<kind>), so a new backend shows up here by existing; the
+// SimulationService batch benchmark sweeps worker-pool widths.
+//
+// `--json[=path]` skips google-benchmark and instead runs every engine
+// kind plus the thread-parallel batch under the warmup + median-of-N
+// harness of bench/report.hpp, writing steps/s (and batch scaling) to
+// BENCH_micro_sim.json so the perf trajectory stays machine-readable
+// across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "core/benchmarks.hpp"
 #include "isa/assembler.hpp"
 #include "report.hpp"
 #include "rv32/rv32_assembler.hpp"
 #include "rv32/rv32_sim.hpp"
-#include "sim/batch_runner.hpp"
-#include "sim/decoded_image.hpp"
-#include "sim/functional_sim.hpp"
-#include "sim/packed_sim.hpp"
-#include "sim/pipeline.hpp"
+#include "sim/engine.hpp"
+#include "sim/service.hpp"
 #include "xlat/framework.hpp"
 
 namespace {
@@ -43,69 +47,47 @@ const std::shared_ptr<const sim::DecodedImage>& dhrystone_image() {
   return kImage;
 }
 
-void BM_PipelineSimulator(benchmark::State& state) {
-  uint64_t cycles = 0;
+// --- one benchmark per engine kind, registered generically -------------------
+// Throughput counter is steps/s in the engine's own step unit: retired
+// instructions for the functional kinds, clock cycles for the pipeline.
+
+void BM_Engine(benchmark::State& state, sim::EngineKind kind) {
+  uint64_t steps = 0;
   for (auto _ : state) {
-    sim::PipelineSimulator sim(dhrystone_image());
-    cycles += sim.run().cycles;
+    std::unique_ptr<sim::Engine> engine = sim::make_engine(kind, dhrystone_image());
+    steps += engine->run_stats({}).cycles;
   }
   state.counters["steps/s"] =
-      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_PipelineSimulator)->Unit(benchmark::kMillisecond);
 
-// --- the dispatch fast-path comparison on the Dhrystone workload ------------
-// "Lazy" is the seed's decode-on-fetch loop (validity branch + spec lookup
-// + PC re-encode per step); "PreDecoded" is the eager dispatch-table path.
-// Compare the steps/s counters of the two benchmarks.
-
-void BM_FunctionalSimulatorLazy(benchmark::State& state) {
+void BM_SimulationServiceDhrystone8(benchmark::State& state, unsigned threads) {
+  // 8 Dhrystone scenarios sharing one decoded image, packed engines,
+  // scheduled across `threads` workers.
   uint64_t instructions = 0;
   for (auto _ : state) {
-    sim::LazyFunctionalSimulator sim(dhrystone_art9());
-    instructions += sim.run().instructions;
+    sim::SimulationService service(threads);
+    for (int i = 0; i < 8; ++i) service.add(dhrystone_image(), sim::EngineKind::kPacked);
+    for (const sim::RunResult& r : service.run_all()) instructions += r.stats.instructions;
   }
   state.counters["steps/s"] =
       benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FunctionalSimulatorLazy)->Unit(benchmark::kMillisecond);
 
-void BM_FunctionalSimulatorPreDecoded(benchmark::State& state) {
-  uint64_t instructions = 0;
-  for (auto _ : state) {
-    sim::FunctionalSimulator sim(dhrystone_image());
-    instructions += sim.run().instructions;
+void register_engine_benches() {
+  for (sim::EngineKind kind : sim::all_engine_kinds()) {
+    const std::string name = "BM_Engine/" + std::string(sim::engine_kind_name(kind));
+    benchmark::RegisterBenchmark(name.c_str(), BM_Engine, kind)->Unit(benchmark::kMillisecond);
   }
-  state.counters["steps/s"] =
-      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_FunctionalSimulatorPreDecoded)->Unit(benchmark::kMillisecond);
-
-void BM_FunctionalSimulatorPacked(benchmark::State& state) {
-  uint64_t instructions = 0;
-  for (auto _ : state) {
-    sim::PackedFunctionalSimulator sim(dhrystone_image());
-    instructions += sim.run().instructions;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> widths{1u, 2u};
+  if (hw > 2) widths.push_back(hw);
+  for (unsigned threads : widths) {
+    const std::string name = "BM_SimulationServiceDhrystone8/threads:" + std::to_string(threads);
+    benchmark::RegisterBenchmark(name.c_str(), BM_SimulationServiceDhrystone8, threads)
+        ->Unit(benchmark::kMillisecond);
   }
-  state.counters["steps/s"] =
-      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FunctionalSimulatorPacked)->Unit(benchmark::kMillisecond);
-
-void BM_BatchRunnerDhrystone8(benchmark::State& state) {
-  // 8 back-to-back Dhrystone scenarios sharing one decoded image.
-  uint64_t instructions = 0;
-  for (auto _ : state) {
-    sim::BatchRunner batch;
-    for (int i = 0; i < 8; ++i) batch.add(dhrystone_image());
-    for (const sim::BatchRunner::Result& r : batch.run_all()) {
-      instructions += r.stats.instructions;
-    }
-  }
-  state.counters["steps/s"] =
-      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_BatchRunnerDhrystone8)->Unit(benchmark::kMillisecond);
 
 void BM_Rv32Simulator(benchmark::State& state) {
   const rv32::Rv32Program program = rv32::assemble_rv32(core::dhrystone().rv32);
@@ -149,26 +131,46 @@ BENCHMARK(BM_Art9Assembler)->Unit(benchmark::kMicrosecond);
 
 // --- machine-readable perf trajectory (--json) -------------------------------
 
-int run_json_report(const std::string& path) {
-  const std::shared_ptr<const sim::DecodedImage>& image = dhrystone_image();
+double engine_rate(sim::EngineKind kind) {
+  return bench::median_rate([&] {
+    std::unique_ptr<sim::Engine> engine = sim::make_engine(kind, dhrystone_image());
+    return engine->run_stats({}).cycles;  // == instructions on functional kinds
+  });
+}
 
-  bench::heading("functional execution paths — translated Dhrystone");
-  const double lazy = bench::median_rate([&] {
-    sim::LazyFunctionalSimulator sim(dhrystone_art9());
-    return sim.run().instructions;
+double batch_rate(unsigned threads, int jobs) {
+  return bench::median_rate([&] {
+    sim::SimulationService service(threads);
+    for (int i = 0; i < jobs; ++i) service.add(dhrystone_image(), sim::EngineKind::kPacked);
+    uint64_t instructions = 0;
+    for (const sim::RunResult& r : service.run_all()) instructions += r.stats.instructions;
+    return instructions;
   });
-  const double predecoded = bench::median_rate([&] {
-    sim::FunctionalSimulator sim(image);
-    return sim.run().instructions;
-  });
-  const double packed = bench::median_rate([&] {
-    sim::PackedFunctionalSimulator sim(image);
-    return sim.run().instructions;
-  });
+}
+
+int run_json_report(const std::string& path) {
+  bench::heading("engine steps/s — translated Dhrystone (single stream)");
+  const double lazy = engine_rate(sim::EngineKind::kLazy);
+  const double predecoded = engine_rate(sim::EngineKind::kFunctional);
+  const double packed = engine_rate(sim::EngineKind::kPacked);
+  const double pipeline = engine_rate(sim::EngineKind::kPipeline);
   bench::note("lazy decode-on-fetch:   " + std::to_string(lazy / 1e6) + " M steps/s");
   bench::note("pre-decoded dispatch:   " + std::to_string(predecoded / 1e6) + " M steps/s");
   bench::note("plane-packed SWAR:      " + std::to_string(packed / 1e6) + " M steps/s");
+  bench::note("pipeline (cycles/s):    " + std::to_string(pipeline / 1e6) + " M steps/s");
   bench::note("packed / pre-decoded:   x" + std::to_string(packed / predecoded));
+
+  bench::heading("batch_parallel — SimulationService, 8 packed Dhrystone jobs");
+  constexpr int kJobs = 8;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const double batch1 = batch_rate(1, kJobs);
+  const double batch2 = batch_rate(2, kJobs);
+  const double batchN = hw > 2 ? batch_rate(hw, kJobs) : (hw == 2 ? batch2 : batch1);
+  bench::note("threads=1:              " + std::to_string(batch1 / 1e6) + " M steps/s");
+  bench::note("threads=2:              " + std::to_string(batch2 / 1e6) + " M steps/s");
+  bench::note("threads=" + std::to_string(hw) + ":              " + std::to_string(batchN / 1e6) +
+              " M steps/s");
+  bench::note("scaling (max vs 1):     x" + std::to_string(batch1 > 0.0 ? batchN / batch1 : 0.0));
 
   bench::JsonObject json;
   json.add("bench", "micro_sim");
@@ -177,8 +179,16 @@ int run_json_report(const std::string& path) {
   json.add("lazy_steps_per_sec", lazy);
   json.add("predecoded_steps_per_sec", predecoded);
   json.add("packed_steps_per_sec", packed);
+  json.add("pipeline_cycles_per_sec", pipeline);
   json.add("packed_vs_predecoded", predecoded > 0.0 ? packed / predecoded : 0.0);
   json.add("predecoded_vs_lazy", lazy > 0.0 ? predecoded / lazy : 0.0);
+  json.add("batch_parallel_jobs", static_cast<double>(kJobs));
+  json.add("batch_parallel_engine", "packed");
+  json.add("batch_threads_1_steps_per_sec", batch1);
+  json.add("batch_threads_2_steps_per_sec", batch2);
+  json.add("batch_threads_max", static_cast<double>(hw));
+  json.add("batch_threads_max_steps_per_sec", batchN);
+  json.add("batch_scaling_max_vs_1", batch1 > 0.0 ? batchN / batch1 : 0.0);
   if (!json.write(path)) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     return 1;
@@ -196,6 +206,7 @@ int main(int argc, char** argv) {
     if (arg == "--json") return run_json_report("BENCH_micro_sim.json");
     if (arg.rfind("--json=", 0) == 0) return run_json_report(std::string(arg.substr(7)));
   }
+  register_engine_benches();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

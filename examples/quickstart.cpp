@@ -1,12 +1,14 @@
-// Quickstart: assemble a small ART-9 program, run it on the cycle-accurate
-// 5-stage pipeline, and inspect registers and pipeline statistics.
+// Quickstart: assemble a small ART-9 program, run it through the unified
+// sim::Engine facade on every backend — three functional models and the
+// cycle-accurate 5-stage pipeline — and inspect results and statistics.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
+#include <memory>
 
 #include "isa/assembler.hpp"
 #include "isa/disassembler.hpp"
-#include "sim/pipeline.hpp"
+#include "sim/engine.hpp"
 
 int main() {
   using namespace art9;
@@ -32,16 +34,38 @@ loop:
               static_cast<long long>(program.memory_cells()));
   std::printf("%s\n", isa::disassemble(program).c_str());
 
-  sim::PipelineSimulator cpu(program);
-  const sim::SimStats stats = cpu.run();
+  // One decoded image, shared by every engine.
+  const std::shared_ptr<const sim::DecodedImage> image = sim::decode(program);
 
-  std::printf("sum(1..100)   = %lld (expected 5050)\n", static_cast<long long>(cpu.reg_int(2)));
-  std::printf("T2 as trits   = %s\n", cpu.reg(2).to_string().c_str());
-  std::printf("cycles        = %llu\n", static_cast<unsigned long long>(stats.cycles));
-  std::printf("instructions  = %llu (CPI %.3f)\n",
-              static_cast<unsigned long long>(stats.instructions), stats.cpi());
-  std::printf("taken-branch bubbles = %llu, load-use stalls = %llu\n",
-              static_cast<unsigned long long>(stats.flush_taken_branch),
-              static_cast<unsigned long long>(stats.stall_load_use));
-  return cpu.reg_int(2) == 5050 ? 0 : 1;
+  // Same program, same API, four backends.
+  std::printf("%-12s %14s %12s %8s\n", "engine", "instructions", "cycles", "sum");
+  for (sim::EngineKind kind : sim::all_engine_kinds()) {
+    std::unique_ptr<sim::Engine> engine = sim::make_engine(kind, image);
+    const sim::RunResult r = engine->run({});
+    std::printf("%-12s %14llu %12llu %8lld\n",
+                std::string(sim::engine_kind_name(kind)).c_str(),
+                static_cast<unsigned long long>(r.stats.instructions),
+                static_cast<unsigned long long>(r.stats.cycles),
+                static_cast<long long>(r.state.trf.read(2).to_int()));
+  }
+
+  // The retired-instruction observer: count taken loop iterations.
+  std::unique_ptr<sim::Engine> observed = sim::make_engine(sim::EngineKind::kPacked, image);
+  uint64_t branches = 0;
+  observed->set_observer([&](const sim::Retired& r) {
+    if (r.inst.op == isa::Opcode::kBne) ++branches;
+  });
+  const sim::RunResult r = observed->run({});
+  std::printf("\nsum(1..100)   = %lld (expected 5050)\n",
+              static_cast<long long>(r.state.trf.read(2).to_int()));
+  std::printf("loop branches = %llu (observer on the packed engine)\n",
+              static_cast<unsigned long long>(branches));
+
+  // The pipeline engine also carries the microarchitectural accounting.
+  std::unique_ptr<sim::Engine> cpu = sim::make_engine(sim::EngineKind::kPipeline, image);
+  const sim::RunResult p = cpu->run({});
+  std::printf("pipeline      = %llu cycles, CPI %.3f, %llu taken-branch bubbles\n",
+              static_cast<unsigned long long>(p.stats.cycles), p.stats.cpi(),
+              static_cast<unsigned long long>(p.stats.flush_taken_branch));
+  return r.state.trf.read(2).to_int() == 5050 ? 0 : 1;
 }

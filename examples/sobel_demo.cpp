@@ -4,11 +4,12 @@
 //   $ ./examples/sobel_demo
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/benchmarks.hpp"
 #include "rv32/rv32_assembler.hpp"
-#include "sim/pipeline.hpp"
+#include "sim/engine.hpp"
 #include "xlat/framework.hpp"
 
 namespace {
@@ -36,8 +37,9 @@ int main() {
   const xlat::TranslationResult xl =
       framework.translate(rv32::assemble_rv32(bench.rv32));
 
-  sim::PipelineSimulator cpu(xl.program);
-  const sim::SimStats stats = cpu.run();
+  const std::unique_ptr<sim::Engine> cpu = sim::make_engine(sim::EngineKind::kPipeline, xl.program);
+  const sim::RunResult result = cpu->run({});
+  const sim::SimStats& stats = result.stats;
 
   render("input image:", core::sobel_input(), core::kSobelDim, 40);
 
@@ -47,7 +49,7 @@ int main() {
   int32_t max_value = 1;
   for (int i = 0; i < inner * inner; ++i) {
     const auto v = static_cast<int32_t>(
-        cpu.state().tdm.peek(core::kSobelOutAddr + static_cast<int64_t>(i) * 4).to_int());
+        result.state.tdm.peek(core::kSobelOutAddr + static_cast<int64_t>(i) * 4).to_int());
     out.push_back(v);
     if (v > max_value) max_value = v;
   }

@@ -4,10 +4,11 @@
 //
 //   $ ./examples/translate_rv32
 #include <cstdio>
+#include <memory>
 
 #include "rv32/rv32_assembler.hpp"
 #include "rv32/rv32_sim.hpp"
-#include "sim/functional_sim.hpp"
+#include "sim/engine.hpp"
 #include "xlat/framework.hpp"
 
 int main() {
@@ -57,10 +58,10 @@ done:
   // Differential proof.
   rv32::Rv32Simulator rv(rv_program);
   rv.run();
-  sim::FunctionalSimulator t9(result.program);
-  t9.run();
+  const auto t9 = sim::make_engine(sim::EngineKind::kFunctional, result.program);
+  const sim::RunResult t9_result = t9->run({});
   const auto rv_gcd = static_cast<int32_t>(rv.load_word(64));
-  const auto t9_gcd = t9.state().tdm.peek(64).to_int();
+  const auto t9_gcd = t9_result.state.tdm.peek(64).to_int();
   std::printf("\ngcd(252, 105) -> rv32: %d, art9: %lld (both should be 21)\n", rv_gcd,
               static_cast<long long>(t9_gcd));
   return (rv_gcd == 21 && t9_gcd == 21) ? 0 : 1;

@@ -27,8 +27,8 @@
 //    L1-resident.
 //
 // A DecodedImage is immutable after construction and carries a copy of
-// its source Program, so any number of simulator instances (and the
-// BatchRunner) can share one image concurrently.
+// its source Program, so any number of simulator instances (including
+// SimulationService worker threads) can share one image concurrently.
 #pragma once
 
 #include <cstdint>

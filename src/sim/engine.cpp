@@ -1,0 +1,230 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/functional_sim.hpp"
+#include "sim/packed_sim.hpp"
+
+namespace art9::sim {
+
+std::string_view engine_kind_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kLazy:
+      return "lazy";
+    case EngineKind::kFunctional:
+      return "functional";
+    case EngineKind::kPacked:
+      return "packed";
+    case EngineKind::kPipeline:
+      return "pipeline";
+  }
+  return "unknown";
+}
+
+std::optional<EngineKind> parse_engine_kind(std::string_view name) noexcept {
+  for (EngineKind kind : all_engine_kinds()) {
+    if (name == engine_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Shared skeleton of the three instruction-at-a-time engines.  The
+/// native hot loops (pre-decoded switch, packed threaded dispatch, lazy
+/// fetch) run untouched unless an observer is installed; only then do
+/// step()/run() route through the instrumented per-instruction loop, so
+/// the unobserved steps/s of every backend is exactly the wrapped
+/// simulator's.
+class FunctionalEngineBase : public Engine {
+ public:
+  bool step() final {
+    if (!observer_) return do_step();
+    const int64_t pc = pc_now();
+    if (!do_step()) return false;
+    observer_(Retired{image_->fetch(pc).inst, pc, retired_++});
+    return true;
+  }
+
+  SimStats run_stats(const RunOptions& options) final {
+    if (!observer_) return do_run(options.max_steps);
+    // Observed run: the same budget/halt contract, one observer call per
+    // retired instruction (the halt pseudo-op never retires).
+    SimStats stats;
+    while (stats.instructions < options.max_steps) {
+      if (!step()) {
+        stats.halt = HaltReason::kHalted;
+        stats.cycles = stats.instructions;
+        return stats;
+      }
+      ++stats.instructions;
+    }
+    stats.halt = HaltReason::kMaxCycles;
+    stats.cycles = stats.instructions;
+    return stats;
+  }
+
+  [[nodiscard]] ArchState state() const final { return snapshot(); }
+  [[nodiscard]] const DecodedImage& image() const noexcept final { return *image_; }
+  void set_observer(Observer observer) final {
+    observer_ = std::move(observer);
+    retired_ = 0;  // every installation numbers its stream from 0
+  }
+
+ protected:
+  explicit FunctionalEngineBase(std::shared_ptr<const DecodedImage> image)
+      : image_(std::move(image)) {}
+
+  virtual bool do_step() = 0;
+  virtual SimStats do_run(uint64_t max_instructions) = 0;
+  [[nodiscard]] virtual int64_t pc_now() const = 0;
+  [[nodiscard]] virtual ArchState snapshot() const = 0;
+
+  std::shared_ptr<const DecodedImage> image_;
+
+ private:
+  Observer observer_;
+  uint64_t retired_ = 0;  // observer stream sequence number
+};
+
+class LazyEngine final : public FunctionalEngineBase {
+ public:
+  explicit LazyEngine(std::shared_ptr<const DecodedImage> image)
+      : FunctionalEngineBase(std::move(image)), sim_(image_->program()) {}
+
+  [[nodiscard]] EngineKind kind() const noexcept override { return EngineKind::kLazy; }
+
+ private:
+  bool do_step() override { return sim_.step(); }
+  SimStats do_run(uint64_t max_instructions) override { return sim_.run(max_instructions); }
+  [[nodiscard]] int64_t pc_now() const override { return sim_.state().pc; }
+  [[nodiscard]] ArchState snapshot() const override { return sim_.state(); }
+
+  LazyFunctionalSimulator sim_;
+};
+
+class FunctionalEngine final : public FunctionalEngineBase {
+ public:
+  explicit FunctionalEngine(std::shared_ptr<const DecodedImage> image)
+      : FunctionalEngineBase(std::move(image)), sim_(image_) {}
+
+  [[nodiscard]] EngineKind kind() const noexcept override { return EngineKind::kFunctional; }
+
+ private:
+  bool do_step() override { return sim_.step(); }
+  SimStats do_run(uint64_t max_instructions) override { return sim_.run(max_instructions); }
+  [[nodiscard]] int64_t pc_now() const override { return sim_.state().pc; }
+  [[nodiscard]] ArchState snapshot() const override { return sim_.state(); }
+
+  FunctionalSimulator sim_;
+};
+
+class PackedEngine final : public FunctionalEngineBase {
+ public:
+  explicit PackedEngine(std::shared_ptr<const DecodedImage> image)
+      : FunctionalEngineBase(std::move(image)), sim_(image_) {}
+
+  [[nodiscard]] EngineKind kind() const noexcept override { return EngineKind::kPacked; }
+
+ private:
+  bool do_step() override { return sim_.step(); }
+  SimStats do_run(uint64_t max_instructions) override { return sim_.run(max_instructions); }
+  [[nodiscard]] int64_t pc_now() const override { return sim_.pc(); }
+  [[nodiscard]] ArchState snapshot() const override { return sim_.unpack_state(); }
+
+  PackedFunctionalSimulator sim_;
+};
+
+/// The cycle-accurate pipeline behind the same contract: step() is one
+/// clock, run()'s budget is a cycle budget, and stats carry the full
+/// microarchitectural accounting.  The retired-instruction observer rides
+/// the WB retire hook, so it sees exactly the same stream (instruction,
+/// pc, index) the functional kinds produce.
+class PipelineEngine final : public Engine {
+ public:
+  PipelineEngine(std::shared_ptr<const DecodedImage> image, const EngineOptions& options)
+      : image_(std::move(image)), sim_(image_, options.pipeline) {
+    if (options.tracer) sim_.set_tracer(options.tracer);
+  }
+
+  /// Counter-wise `a - b`: the stats accrued after snapshot `b`.
+  [[nodiscard]] static SimStats minus(SimStats a, const SimStats& b) noexcept {
+    a.cycles -= b.cycles;
+    a.instructions -= b.instructions;
+    a.stall_load_use -= b.stall_load_use;
+    a.stall_branch_hazard -= b.stall_branch_hazard;
+    a.stall_raw -= b.stall_raw;
+    a.flush_taken_branch -= b.flush_taken_branch;
+    a.predictions_correct -= b.predictions_correct;
+    a.predictions_wrong -= b.predictions_wrong;
+    return a;  // halt carries the outcome of this run
+  }
+
+  [[nodiscard]] EngineKind kind() const noexcept override { return EngineKind::kPipeline; }
+
+  bool step() override { return sim_.step(); }
+
+  SimStats run_stats(const RunOptions& options) override {
+    // This run's cycle allowance is RunOptions.max_steps, additionally
+    // capped by the config's own per-run budget (both are cycle counts
+    // for this kind), applied relative to the cycles already burnt so
+    // repeated run() calls see a fresh allowance (saturating on
+    // overflow).  The underlying simulator accumulates stats across its
+    // lifetime; report this run's *delta* so repeated runs match the
+    // per-call stats of the functional kinds.
+    const SimStats before = sim_.stats();
+    const uint64_t allowance = std::min(options.max_steps, sim_.config().max_cycles);
+    const uint64_t limit =
+        allowance > UINT64_MAX - before.cycles ? UINT64_MAX : before.cycles + allowance;
+    return minus(sim_.run(limit), before);
+  }
+
+  [[nodiscard]] ArchState state() const override { return sim_.state(); }
+  [[nodiscard]] const DecodedImage& image() const noexcept override { return *image_; }
+
+  void set_observer(Observer observer) override {
+    if (!observer) {
+      sim_.set_retire_observer({});
+      return;
+    }
+    // Renumber from 0 at installation (the hook's index counts every
+    // retire since construction) so the stream matches the functional
+    // kinds' numbering whenever the observer is installed.
+    sim_.set_retire_observer(
+        [observer = std::move(observer), index = uint64_t{0}](const isa::Instruction& inst,
+                                                             int64_t pc, uint64_t) mutable {
+          observer(Retired{inst, pc, index++});
+        });
+  }
+
+ private:
+  std::shared_ptr<const DecodedImage> image_;
+  PipelineSimulator sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, std::shared_ptr<const DecodedImage> image,
+                                    const EngineOptions& options) {
+  if (!image) throw std::invalid_argument("make_engine: null image");
+  switch (kind) {
+    case EngineKind::kLazy:
+      return std::make_unique<LazyEngine>(std::move(image));
+    case EngineKind::kFunctional:
+      return std::make_unique<FunctionalEngine>(std::move(image));
+    case EngineKind::kPacked:
+      return std::make_unique<PackedEngine>(std::move(image));
+    case EngineKind::kPipeline:
+      return std::make_unique<PipelineEngine>(std::move(image), options);
+  }
+  throw std::invalid_argument("make_engine: unknown EngineKind");
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, const isa::Program& program,
+                                    const EngineOptions& options) {
+  return make_engine(kind, decode(program), options);
+}
+
+}  // namespace art9::sim

@@ -1,0 +1,158 @@
+// Unified simulation-engine facade: one API over every ART-9 execution
+// backend (lazy decode-on-fetch, pre-decoded dispatch, plane-packed SWAR,
+// cycle-accurate pipeline).
+//
+// The paper's evaluation framework runs the same program through a
+// functional model and a cycle-accurate model and compares them; before
+// this facade every consumer (batch sweeps, art9-run, the micro benches,
+// the differential tests) hand-rolled its own backend switch over four
+// diverging class surfaces.  An Engine gives them one contract:
+//
+//   auto engine = make_engine(EngineKind::kPacked, image);
+//   RunResult r = engine->run({.max_steps = budget});
+//   // r.state / r.stats / r.halt — identical shape for every kind.
+//
+// Contract guarantees, locked by tests/sim/engine_conformance_test.cpp:
+//  * all functional kinds produce bit-identical ArchState and SimStats on
+//    the same program and budget (the pipeline kind matches ArchState and
+//    retired-instruction count; its cycle accounting is its whole point);
+//  * budget exhaustion is reported as HaltReason::kMaxCycles by every
+//    kind — never left defaulted;
+//  * the retired-instruction observer (mirroring rv32::Rv32Simulator's
+//    Observer) is zero-cost when unset: engines only leave their native
+//    hot loop (e.g. the packed threaded dispatch) when an observer is
+//    installed.
+//
+// New backends (wider packed words, a threaded pipeline) drop in as a new
+// EngineKind + factory case; no consumer changes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+#include "sim/decoded_image.hpp"
+#include "sim/machine.hpp"
+#include "sim/pipeline.hpp"
+
+namespace art9::sim {
+
+/// Every execution backend the facade can construct.
+enum class EngineKind : uint8_t {
+  kLazy,        // seed decode-on-fetch loop (baseline for differential runs)
+  kFunctional,  // pre-decoded dispatch fast path (golden model)
+  kPacked,      // plane-packed SWAR datapath
+  kPipeline,    // cycle-accurate 5-stage pipeline
+};
+
+/// All kinds, in factory order — for generic sweeps (benches, conformance).
+[[nodiscard]] constexpr std::array<EngineKind, 4> all_engine_kinds() noexcept {
+  return {EngineKind::kLazy, EngineKind::kFunctional, EngineKind::kPacked, EngineKind::kPipeline};
+}
+
+/// Stable lower-case name ("lazy", "functional", "packed", "pipeline") —
+/// the vocabulary of art9-run's --engine= flag and the bench JSON keys.
+[[nodiscard]] std::string_view engine_kind_name(EngineKind kind) noexcept;
+
+/// Inverse of engine_kind_name; nullopt for unknown names.
+[[nodiscard]] std::optional<EngineKind> parse_engine_kind(std::string_view name) noexcept;
+
+/// Construction-time options.  Functional kinds ignore both fields.
+/// `pipeline.max_cycles` caps each run() of a kPipeline engine in
+/// addition to RunOptions::max_steps (the tighter budget wins).
+struct EngineOptions {
+  PipelineConfig pipeline;  // microarchitecture switches for kPipeline
+  TraceObserver tracer;     // per-cycle pipeline trace stream (kPipeline)
+};
+
+/// Per-run options.  `max_steps` is the step() budget: retired
+/// instructions for the functional kinds, clock cycles for the pipeline
+/// (its architectural meaning of one step).
+struct RunOptions {
+  uint64_t max_steps = 100'000'000;
+};
+
+/// What a run returns, identical for every kind.  `halt` duplicates
+/// `stats.halt` so call sites can switch on the reason without digging.
+struct RunResult {
+  ArchState state;
+  SimStats stats;
+  HaltReason halt = HaltReason::kHalted;
+};
+
+/// One retired instruction, as seen by Engine observers (the ART-9 mirror
+/// of rv32::Rv32Retired, which feeds the RV32 baseline cycle models).
+struct Retired {
+  isa::Instruction inst;
+  int64_t pc = 0;
+  uint64_t index = 0;  // sequence number, 0-based from observer installation
+};
+
+class Engine {
+ public:
+  using Observer = std::function<void(const Retired&)>;
+
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] virtual EngineKind kind() const noexcept = 0;
+
+  /// Executes one step (instruction, or clock cycle for the pipeline).
+  /// Returns false once the HALT convention retires.  Observers installed
+  /// via set_observer fire for instructions retired by step() too.
+  virtual bool step() = 0;
+
+  /// Runs from the current state until HALT or the step budget,
+  /// returning this run's statistics (per-call, not lifetime — repeated
+  /// runs each report only their own steps, on every kind).
+  /// `stats.halt` is kMaxCycles on budget exhaustion, kHalted
+  /// otherwise — for every kind.  This is the
+  /// throughput path: no architectural-state materialization (the packed
+  /// backend's snapshot decode costs a measurable fraction of a short
+  /// run); inspect via state() or use run() when the state is wanted.
+  virtual SimStats run_stats(const RunOptions& options = {}) = 0;
+
+  /// run_stats() plus a state() snapshot, in one uniform result.
+  [[nodiscard]] RunResult run(const RunOptions& options = {}) {
+    SimStats stats = run_stats(options);
+    return RunResult{state(), stats, stats.halt};
+  }
+
+  /// Snapshot of the architectural state (registers, TDM contents and
+  /// access counters, PC).  Packed state is decoded at this boundary.
+  [[nodiscard]] virtual ArchState state() const = 0;
+
+  /// The shared pre-decoded image this engine executes.
+  [[nodiscard]] virtual const DecodedImage& image() const noexcept = 0;
+
+  /// Streams every retired instruction to `observer` (empty to remove).
+  /// Engines fall back to an instrumented step loop only while an
+  /// observer is installed; the native hot loops are untouched otherwise.
+  virtual void set_observer(Observer observer) = 0;
+
+  /// Convenience accessors over state() for small inspections.
+  [[nodiscard]] ternary::Word9 reg(int index) const { return state().trf.read(index); }
+  [[nodiscard]] int64_t reg_int(int index) const { return reg(index).to_int(); }
+
+ protected:
+  Engine() = default;
+};
+
+/// Constructs an engine of `kind` over a shared immutable image.  Any
+/// number of engines (across threads — see SimulationService) may share
+/// one image.  Throws std::invalid_argument on a null image.
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                                  std::shared_ptr<const DecodedImage> image,
+                                                  const EngineOptions& options = {});
+
+/// Convenience: decodes `program` into a fresh image first.
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind, const isa::Program& program,
+                                                  const EngineOptions& options = {});
+
+}  // namespace art9::sim

@@ -23,7 +23,7 @@ class FunctionalSimulator {
   /// Decodes `program` into a private image.
   explicit FunctionalSimulator(const isa::Program& program);
 
-  /// Runs off a shared pre-decoded image (BatchRunner, differential
+  /// Runs off a shared pre-decoded image (SimulationService, differential
   /// harnesses).  `image` must be non-null.
   explicit FunctionalSimulator(std::shared_ptr<const DecodedImage> image);
 

@@ -31,7 +31,7 @@ class PackedFunctionalSimulator {
   /// Decodes `program` into a private image.
   explicit PackedFunctionalSimulator(const isa::Program& program);
 
-  /// Runs off a shared pre-decoded image (BatchRunner, differential
+  /// Runs off a shared pre-decoded image (SimulationService, differential
   /// harnesses).  `image` must be non-null.
   explicit PackedFunctionalSimulator(std::shared_ptr<const DecodedImage> image);
 

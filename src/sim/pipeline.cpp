@@ -50,6 +50,7 @@ bool PipelineSimulator::step() {
       retire_halt = true;
     } else {
       ++stats_.instructions;
+      if (retire_observer_) retire_observer_(memwb_.inst, memwb_.pc, stats_.instructions - 1);
       if (writes_reg(memwb_.inst)) {
         if (config_.regfile_write_through) {
           state_.trf.write(memwb_.inst.ta, memwb_.result);
@@ -396,8 +397,10 @@ bool PipelineSimulator::step() {
   return true;
 }
 
-SimStats PipelineSimulator::run() {
-  while (stats_.cycles < config_.max_cycles) {
+SimStats PipelineSimulator::run() { return run(config_.max_cycles); }
+
+SimStats PipelineSimulator::run(uint64_t max_cycles) {
+  while (stats_.cycles < max_cycles) {
     if (!step()) return stats_;
   }
   stats_.halt = HaltReason::kMaxCycles;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "isa/program.hpp"
@@ -66,8 +67,12 @@ class PipelineSimulator {
   /// instruction retires (that cycle is included in the statistics).
   bool step();
 
-  /// Runs to halt or the cycle budget.
+  /// Runs to halt or the cycle budget (config.max_cycles).
   SimStats run();
+
+  /// Runs to halt or until `stats().cycles` reaches `max_cycles`,
+  /// overriding config.max_cycles — the Engine facade's budget seam.
+  SimStats run(uint64_t max_cycles);
 
   [[nodiscard]] const ArchState& state() const noexcept { return state_; }
   [[nodiscard]] ArchState& state() noexcept { return state_; }
@@ -82,6 +87,12 @@ class PipelineSimulator {
 
   /// Streams a CycleTrace per clock to `observer` (pass nullptr to stop).
   void set_tracer(TraceObserver observer) { tracer_ = std::move(observer); }
+
+  /// Fires once per retired instruction in WB (the HALT pseudo-op never
+  /// retires), with the 0-based retirement index.  One branch per cycle
+  /// when unset; the sim::Engine facade adapts this to its Observer.
+  using RetireObserver = std::function<void(const isa::Instruction&, int64_t pc, uint64_t index)>;
+  void set_retire_observer(RetireObserver observer) { retire_observer_ = std::move(observer); }
 
  private:
   struct IfId {
@@ -138,6 +149,7 @@ class PipelineSimulator {
   bool fetch_stopped_ = false;
   bool halted_ = false;
   TraceObserver tracer_;
+  RetireObserver retire_observer_;
 };
 
 }  // namespace art9::sim

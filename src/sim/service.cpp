@@ -1,0 +1,88 @@
+#include "sim/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace art9::sim {
+
+SimulationService::SimulationService(unsigned threads)
+    : threads_(threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency())) {}
+
+std::size_t SimulationService::add(Job job) {
+  if (!job.image) throw std::invalid_argument("SimulationService::add: null image");
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::size_t SimulationService::add(std::shared_ptr<const DecodedImage> image, EngineKind kind,
+                                   RunOptions run) {
+  return add(Job{std::move(image), kind, run, {}});
+}
+
+std::shared_ptr<const DecodedImage> SimulationService::add(const isa::Program& program,
+                                                           EngineKind kind, RunOptions run) {
+  std::shared_ptr<const DecodedImage> image = decode(program);
+  add(image, kind, run);
+  return image;
+}
+
+std::vector<RunResult> SimulationService::run_all(BatchStats* batch) const {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point t0 = clock::now();
+
+  std::vector<RunResult> results(jobs_.size());
+  std::vector<std::exception_ptr> errors(jobs_.size());
+  const auto run_one = [&](std::size_t i) noexcept {
+    try {
+      std::unique_ptr<Engine> engine = make_engine(jobs_[i].kind, jobs_[i].image, jobs_[i].engine);
+      results[i] = engine->run(jobs_[i].run);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const std::size_t workers = std::min<std::size_t>(threads_, jobs_.size());
+  if (workers <= 1) {
+    // threads = 1 (or a single job): submission-order execution on the
+    // calling thread — the determinism baseline.
+    for (std::size_t i = 0; i < jobs_.size(); ++i) run_one(i);
+  } else {
+    // Work-stealing by atomic ticket: each worker pops the next unstarted
+    // job, so heterogeneous budgets load-balance without a queue lock.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < jobs_.size();
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          run_one(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  if (batch != nullptr) {
+    const std::chrono::duration<double> elapsed = clock::now() - t0;
+    *batch = BatchStats{};
+    batch->threads = static_cast<unsigned>(std::max<std::size_t>(workers, 1));
+    batch->wall_seconds = elapsed.count();
+    for (const RunResult& r : results) {
+      batch->instructions += r.stats.instructions;
+      batch->cycles += r.stats.cycles;
+    }
+  }
+  return results;
+}
+
+}  // namespace art9::sim

@@ -1,0 +1,82 @@
+// SimulationService: schedules a batch of independent simulation jobs
+// across a std::thread worker pool, one Engine per job.
+//
+// This replaces the sequential BatchRunner.  DecodedImages are immutable
+// after construction, so any number of jobs — across threads — share one
+// image with zero decode cost; every engine owns its private
+// architectural state.  Determinism: a job's result depends only on its
+// (image, kind, budget), never on scheduling, so `threads = N` returns
+// results bit-identical to `threads = 1` (locked by
+// tests/sim/service_test.cpp); results are indexed by job order, not by
+// completion order.  With `threads = 1` jobs additionally *execute* in
+// submission order on the calling thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/engine.hpp"
+
+namespace art9::sim {
+
+class SimulationService {
+ public:
+  /// One scheduled simulation: an engine kind over a shared image with a
+  /// private budget and (for kPipeline) microarchitecture options.
+  struct Job {
+    std::shared_ptr<const DecodedImage> image;
+    EngineKind kind = EngineKind::kFunctional;
+    RunOptions run;
+    EngineOptions engine;
+  };
+
+  /// Aggregate throughput of one run_all() call.
+  struct BatchStats {
+    unsigned threads = 0;       // workers actually used
+    double wall_seconds = 0.0;  // submission to last join
+    uint64_t instructions = 0;  // sum of retired instructions
+    uint64_t cycles = 0;        // sum of simulated cycles
+
+    /// Aggregate simulated instructions per host second.
+    [[nodiscard]] double steps_per_sec() const {
+      return wall_seconds > 0.0 ? static_cast<double>(instructions) / wall_seconds : 0.0;
+    }
+  };
+
+  /// `threads = 0` uses std::thread::hardware_concurrency() (min 1).
+  explicit SimulationService(unsigned threads = 0);
+
+  /// The resolved worker-pool width.
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Queues `job`.  Returns the job index (== result index).
+  /// Throws std::invalid_argument on a null image.
+  std::size_t add(Job job);
+
+  /// Queues a run of an already-decoded image.
+  std::size_t add(std::shared_ptr<const DecodedImage> image,
+                  EngineKind kind = EngineKind::kFunctional, RunOptions run = {});
+
+  /// Queues `program`, decoding it into a fresh image.  Returns the image
+  /// so further jobs can share it.
+  std::shared_ptr<const DecodedImage> add(const isa::Program& program,
+                                          EngineKind kind = EngineKind::kFunctional,
+                                          RunOptions run = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+
+  /// Runs every queued job and returns one RunResult per job, in job
+  /// order.  The queue is left intact, so run_all() is repeatable.  If any
+  /// job throws (e.g. SimError on an uninitialised fetch), the
+  /// lowest-indexed exception is rethrown after all workers drain.
+  /// `batch`, when non-null, receives aggregate throughput stats.
+  [[nodiscard]] std::vector<RunResult> run_all(BatchStats* batch = nullptr) const;
+
+ private:
+  unsigned threads_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace art9::sim

@@ -1,0 +1,369 @@
+// Engine conformance suite: one parameterized fixture run over every
+// EngineKind, asserting the unified contract of sim::Engine on the four
+// translated paper benchmarks plus an every-opcode assembly corpus.
+//
+// Contract (see engine.hpp):
+//  * every functional kind (lazy, functional, packed) is bit-identical to
+//    the golden FunctionalSimulator in ArchState (registers, TDM contents
+//    *and* access counters, PC) and SimStats;
+//  * the pipeline kind matches ArchState, retired-instruction count and
+//    halt reason (its cycle accounting legitimately differs);
+//  * budget exhaustion reports HaltReason::kMaxCycles on every kind;
+//  * the retired-instruction observer sees the same (inst, pc, index)
+//    stream on every kind, and step() matches run().
+//
+// This replaces the per-backend copies that used to live in
+// packed_sim_test.cpp and batch_runner_test.cpp.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/benchmarks.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "rv32/rv32_assembler.hpp"
+#include "sim/functional_sim.hpp"
+#include "xlat/framework.hpp"
+
+namespace art9::sim {
+namespace {
+
+isa::Program translated(const core::BenchmarkSources& bench) {
+  xlat::SoftwareFramework framework;
+  return framework.translate(rv32::assemble_rv32(bench.rv32)).program;
+}
+
+/// Small programs that collectively execute all 24 opcodes, both branch
+/// polarities, register and immediate shifts, LUI/LI field insertion,
+/// memory traffic, JAL/JALR linkage and the never-halts budget path.
+const std::array<std::string, 7>& opcode_corpus() {
+  static const std::array<std::string, 7> kPrograms = {
+      // Arithmetic + logic + inverters.
+      R"(
+        LIMM T1, 1234
+        LIMM T2, -77
+        ADD  T1, T2
+        SUB  T2, T1
+        AND  T1, T2
+        OR   T2, T1
+        XOR  T1, T2
+        STI  T3, T1
+        NTI  T4, T1
+        PTI  T5, T2
+        MV   T6, T5
+        COMP T6, T4
+        HALT
+      )",
+      // Immediate forms incl. LUI/LI partial writes and ANDI.
+      R"(
+        LIMM T1, -9841
+        ANDI T1, 13
+        ADDI T1, -13
+        LUI  T2, -40
+        LI   T2, 121
+        LUI  T3, 40
+        LI   T3, -121
+        HALT
+      )",
+      // Register and immediate shifts, incl. amounts from a register.
+      R"(
+        LIMM T1, 9841
+        LIMM T2, 5
+        SR   T1, T2
+        SL   T1, T2
+        SRI  T1, 8
+        SLI  T1, 3
+        HALT
+      )",
+      // Branch polarities: all three condition trits, taken and fallthrough.
+      R"(
+        LIMM T1, 1
+        COMP T1, T0
+        BEQ  T1, +, fwd
+        LIMM T7, 111
+      fwd:
+        BNE  T1, -, fwd2
+        LIMM T7, 222
+      fwd2:
+        BEQ  T1, 0, never
+        ADDI T6, 4
+      never:
+        HALT
+      )",
+      // JAL / JALR call-and-return with link registers.
+      R"(
+        LIMM T5, 0
+        JAL  T8, sub
+        ADDI T5, 2
+        HALT
+      sub:
+        ADDI T5, 5
+        JALR T0, T8, 0
+      )",
+      // Memory traffic: negative addresses, overlapping rows.
+      R"(
+        LIMM T1, -9000
+        LIMM T2, 42
+        STORE T2, -3(T1)
+        LOAD  T3, -3(T1)
+        STORE T3, 13(T1)
+        LOAD  T4, 13(T1)
+        HALT
+      )",
+      // Never halts: the budget path must report kMaxCycles identically.
+      "loop:\n  ADDI T1, 1\n  JAL T0, loop\n",
+  };
+  return kPrograms;
+}
+
+constexpr uint64_t kBudget = 100'000'000;
+
+[[nodiscard]] bool is_functional(EngineKind kind) { return kind != EngineKind::kPipeline; }
+
+class EngineConformance : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  /// Golden reference: a standalone FunctionalSimulator run.
+  static RunResult reference(const std::shared_ptr<const DecodedImage>& image, uint64_t budget) {
+    FunctionalSimulator sim(image);
+    SimStats stats = sim.run(budget);
+    return RunResult{sim.state(), stats, stats.halt};
+  }
+
+  void expect_conforms(const isa::Program& program, uint64_t budget = kBudget) {
+    const std::shared_ptr<const DecodedImage> image = decode(program);
+    const RunResult golden = reference(image, budget);
+    std::unique_ptr<Engine> engine = make_engine(GetParam(), image);
+    ASSERT_EQ(engine->kind(), GetParam());
+    const RunResult got = engine->run({budget});
+    EXPECT_EQ(got.halt, got.stats.halt);
+    if (is_functional(GetParam())) {
+      EXPECT_EQ(got.stats, golden.stats);
+      EXPECT_EQ(got.state, golden.state);
+      EXPECT_EQ(got.halt, golden.halt);
+    } else if (golden.halt == HaltReason::kHalted) {
+      // The pipeline retires the same instruction stream on its own clock;
+      // final architectural state and retired count must still match.
+      EXPECT_EQ(got.halt, HaltReason::kHalted);
+      EXPECT_EQ(got.stats.instructions, golden.stats.instructions);
+      EXPECT_EQ(got.state.trf, golden.state.trf);
+      // No PC assertion: the pipeline's architectural PC rests on the next
+      // fetch address when HALT retires, one past the functional models'
+      // convention of resting *on* the halt instruction.  TDM contents
+      // must match; access counters differ (the pipeline's wrong-path and
+      // per-stage accesses are part of its model).
+      for (int64_t a = -ternary::Word9::kMaxValue; a <= ternary::Word9::kMaxValue; ++a) {
+        if (got.state.tdm.peek(a) != golden.state.tdm.peek(a)) {
+          FAIL() << "TDM mismatch at address " << a;
+        }
+      }
+    } else {
+      // Budget-exhausted on the pipeline (its budget is cycles, the
+      // golden model's is instructions): the cycle allowance must be
+      // consumed exactly, and the register file must equal the golden
+      // model replayed to the same retire count — TRF writes land at
+      // retire, so the instruction-accurate model at N retired
+      // instructions is the oracle.  (TDM may differ by in-flight
+      // stores, which execute in MEM before their instruction retires.)
+      EXPECT_EQ(got.halt, HaltReason::kMaxCycles);
+      EXPECT_EQ(got.stats.cycles, budget);
+      EXPECT_LE(got.stats.instructions, budget);
+      std::unique_ptr<Engine> replay = make_engine(EngineKind::kFunctional, image);
+      const RunResult r = replay->run({got.stats.instructions});
+      EXPECT_EQ(got.state.trf, r.state.trf);
+    }
+  }
+};
+
+// --- the acceptance corpus: all four paper benchmarks ------------------------
+
+TEST_P(EngineConformance, BitIdenticalOnBenchmarkCorpus) {
+  for (const core::BenchmarkSources* bench : core::all_benchmarks()) {
+    SCOPED_TRACE(bench->name);
+    expect_conforms(translated(*bench));
+  }
+}
+
+// --- every-opcode assembly corpus --------------------------------------------
+
+TEST_P(EngineConformance, BitIdenticalOnOpcodeCorpus) {
+  for (const std::string& source : opcode_corpus()) {
+    expect_conforms(isa::assemble(source), 2'000);
+  }
+}
+
+// --- budget exhaustion: HaltReason::kMaxCycles on every kind -----------------
+
+TEST_P(EngineConformance, TinyBudgetOnInfiniteLoopReportsMaxCycles) {
+  const isa::Program loop = isa::assemble("loop:\n  ADDI T1, 1\n  JAL T0, loop\n");
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), loop);
+  const RunResult r = engine->run({50});
+  EXPECT_EQ(r.halt, HaltReason::kMaxCycles);
+  EXPECT_EQ(r.stats.halt, HaltReason::kMaxCycles);
+  if (is_functional(GetParam())) {
+    EXPECT_EQ(r.stats.instructions, 50u);  // budget is an instruction count
+  } else {
+    EXPECT_EQ(r.stats.cycles, 50u);  // budget is a cycle count
+  }
+}
+
+TEST_P(EngineConformance, RepeatedRunsReportPerCallStats) {
+  // Every kind reports per-call stats: a second run with the same budget
+  // accounts only its own steps, never the lifetime total.
+  const isa::Program loop = isa::assemble("loop:\n  ADDI T1, 1\n  JAL T0, loop\n");
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), loop);
+  const RunResult first = engine->run({50});
+  const RunResult second = engine->run({50});
+  EXPECT_EQ(first.halt, HaltReason::kMaxCycles);
+  EXPECT_EQ(second.halt, HaltReason::kMaxCycles);
+  EXPECT_EQ(first.stats.cycles, 50u);
+  EXPECT_EQ(second.stats.cycles, 50u);
+  // The architectural state, by contrast, does advance across runs.
+  EXPECT_NE(first.state.trf.read(1), second.state.trf.read(1));
+}
+
+TEST_P(EngineConformance, PipelineConfigBudgetCapsEachRun) {
+  // EngineOptions.pipeline.max_cycles is honoured behind the facade as a
+  // per-run cap (the tighter of it and RunOptions.max_steps wins); the
+  // functional kinds ignore it.
+  const isa::Program loop = isa::assemble("loop:\n  ADDI T1, 1\n  JAL T0, loop\n");
+  EngineOptions options;
+  options.pipeline.max_cycles = 40;
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), decode(loop), options);
+  const RunResult r = engine->run({100});
+  EXPECT_EQ(r.halt, HaltReason::kMaxCycles);
+  EXPECT_EQ(r.stats.cycles, GetParam() == EngineKind::kPipeline ? 40u : 100u);
+}
+
+TEST_P(EngineConformance, HaltingProgramReportsHalted) {
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), isa::assemble("LIMM T1, 7\nHALT\n"));
+  const RunResult r = engine->run({});
+  EXPECT_EQ(r.halt, HaltReason::kHalted);
+  EXPECT_EQ(r.state.trf.read(1).to_int(), 7);
+}
+
+// --- run_stats() is run() without the snapshot -------------------------------
+
+TEST_P(EngineConformance, RunStatsMatchesRun) {
+  const std::shared_ptr<const DecodedImage> image = decode(isa::assemble(opcode_corpus()[0]));
+  std::unique_ptr<Engine> stats_only = make_engine(GetParam(), image);
+  std::unique_ptr<Engine> full = make_engine(GetParam(), image);
+  const SimStats stats = stats_only->run_stats({});
+  const RunResult r = full->run({});
+  EXPECT_EQ(stats, r.stats);
+  EXPECT_EQ(stats_only->state(), r.state);
+}
+
+// --- step() matches run() ----------------------------------------------------
+
+TEST_P(EngineConformance, StepLoopMatchesRun) {
+  const isa::Program program = isa::assemble(opcode_corpus()[0]);
+  const std::shared_ptr<const DecodedImage> image = decode(program);
+  std::unique_ptr<Engine> stepped = make_engine(GetParam(), image);
+  std::unique_ptr<Engine> ran = make_engine(GetParam(), image);
+  uint64_t guard = 0;
+  while (stepped->step() && ++guard < 1'000'000) {
+  }
+  const RunResult r = ran->run({});
+  EXPECT_EQ(stepped->state(), r.state);
+}
+
+// --- the retired-instruction observer ----------------------------------------
+
+TEST_P(EngineConformance, ObserverSeesEveryRetiredInstruction) {
+  const isa::Program program = isa::assemble(opcode_corpus()[4]);  // JAL/JALR linkage
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), program);
+  std::vector<Retired> stream;
+  engine->set_observer([&](const Retired& r) { stream.push_back(r); });
+  const RunResult r = engine->run({});
+  ASSERT_EQ(stream.size(), r.stats.instructions);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].index, i);
+    // The stream is the executed path: each pc must hold the instruction
+    // the observer reported.
+    EXPECT_EQ(isa::to_string(engine->image().fetch(stream[i].pc).inst),
+              isa::to_string(stream[i].inst));
+  }
+  // First retired instruction is the entry instruction.
+  EXPECT_EQ(stream.front().pc, program.entry);
+
+  // The stream is identical to the golden model's (same corpus, every
+  // kind): lock against the functional engine's stream.
+  std::unique_ptr<Engine> golden = make_engine(EngineKind::kFunctional, program);
+  std::vector<Retired> golden_stream;
+  golden->set_observer([&](const Retired& g) { golden_stream.push_back(g); });
+  static_cast<void>(golden->run({}));
+  ASSERT_EQ(stream.size(), golden_stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].pc, golden_stream[i].pc) << "index " << i;
+    EXPECT_EQ(isa::to_string(stream[i].inst), isa::to_string(golden_stream[i].inst));
+  }
+}
+
+TEST_P(EngineConformance, ObserverInstalledMidRunNumbersFromZero) {
+  // The stream is numbered from each installation, on every kind — even
+  // when the engine has already retired instructions.
+  const isa::Program loop = isa::assemble("loop:\n  ADDI T1, 1\n  JAL T0, loop\n");
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), loop);
+  static_cast<void>(engine->run({10}));  // retire a few first
+  std::vector<Retired> stream;
+  engine->set_observer([&](const Retired& r) { stream.push_back(r); });
+  static_cast<void>(engine->run({10}));
+  ASSERT_FALSE(stream.empty());
+  for (std::size_t i = 0; i < stream.size(); ++i) EXPECT_EQ(stream[i].index, i);
+}
+
+TEST_P(EngineConformance, ObserverRemovalRestoresFastPath) {
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), isa::assemble("LIMM T1, 3\nHALT\n"));
+  uint64_t fires = 0;
+  engine->set_observer([&](const Retired&) { ++fires; });
+  engine->set_observer({});
+  const RunResult r = engine->run({});
+  EXPECT_EQ(fires, 0u);
+  EXPECT_EQ(r.halt, HaltReason::kHalted);
+}
+
+// --- uninitialised-fetch trap parity ----------------------------------------
+
+TEST_P(EngineConformance, UninitialisedFetchTraps) {
+  // Fall off the end of a program with no halt: every kind must throw.
+  isa::Program program;
+  program.code.push_back(isa::Instruction{isa::Opcode::kAddi, 1, 0, ternary::kTritZ, 1});
+  program.entry = 0;
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), program);
+  EXPECT_THROW(static_cast<void>(engine->run({})), SimError);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EngineConformance, ::testing::ValuesIn(all_engine_kinds()),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return std::string(engine_kind_name(info.param));
+                         });
+
+// --- facade plumbing ---------------------------------------------------------
+
+TEST(Engine, KindNamesRoundTrip) {
+  for (EngineKind kind : all_engine_kinds()) {
+    EXPECT_EQ(parse_engine_kind(engine_kind_name(kind)), kind);
+  }
+  EXPECT_EQ(parse_engine_kind("no-such-engine"), std::nullopt);
+}
+
+TEST(Engine, NullImageThrows) {
+  EXPECT_THROW(static_cast<void>(make_engine(EngineKind::kPacked, nullptr)),
+               std::invalid_argument);
+}
+
+TEST(Engine, SharedImageIsExposed) {
+  const std::shared_ptr<const DecodedImage> image = decode(isa::assemble("HALT\n"));
+  for (EngineKind kind : all_engine_kinds()) {
+    std::unique_ptr<Engine> engine = make_engine(kind, image);
+    EXPECT_EQ(&engine->image(), image.get()) << engine_kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace art9::sim

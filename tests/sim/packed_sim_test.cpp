@@ -1,180 +1,16 @@
-// The plane-packed SWAR backend must be observationally identical to the
-// reference functional simulator: bit-identical ArchState (registers, TDM
-// contents *and* access counters, PC) and SimStats on the full translated
-// benchmark corpus (Dhrystone, Sobel, GEMM, bubble sort), on an
-// every-opcode assembly corpus, and through the BatchRunner backend
-// switch.  Also locks the decode-time immediate validation: a malformed
-// immediate now raises SimError at image construction, not mid-run.
+// Packed-backend specifics: decode-time immediate validation, trap
+// parity with the reference path, and the inspection-boundary accessors.
+// Corpus-wide bit-identity across backends lives in the parameterized
+// engine conformance suite (engine_conformance_test.cpp).
 #include "sim/packed_sim.hpp"
 
 #include <gtest/gtest.h>
 
-#include <array>
-#include <string>
-
-#include "core/benchmarks.hpp"
 #include "isa/assembler.hpp"
-#include "rv32/rv32_assembler.hpp"
-#include "sim/batch_runner.hpp"
 #include "sim/functional_sim.hpp"
-#include "xlat/framework.hpp"
 
 namespace art9::sim {
 namespace {
-
-isa::Program translated(const core::BenchmarkSources& bench) {
-  xlat::SoftwareFramework framework;
-  return framework.translate(rv32::assemble_rv32(bench.rv32)).program;
-}
-
-void expect_bit_identical(const isa::Program& program, uint64_t budget = 100'000'000) {
-  const std::shared_ptr<const DecodedImage> image = decode(program);
-  FunctionalSimulator reference(image);
-  PackedFunctionalSimulator packed(image);
-  const SimStats ref_stats = reference.run(budget);
-  const SimStats packed_stats = packed.run(budget);
-  EXPECT_EQ(ref_stats, packed_stats);
-  const ArchState unpacked = packed.unpack_state();
-  EXPECT_EQ(reference.state().trf, unpacked.trf);
-  EXPECT_EQ(reference.state().pc, unpacked.pc);
-  // TernaryMemory operator== covers contents and access counters.
-  EXPECT_EQ(reference.state().tdm, unpacked.tdm);
-  EXPECT_EQ(reference.state(), unpacked);
-}
-
-// --- the acceptance corpus: all four paper benchmarks ------------------------
-
-TEST(PackedSim, BitIdenticalOnBenchmarkCorpus) {
-  for (const core::BenchmarkSources* bench : core::all_benchmarks()) {
-    SCOPED_TRACE(bench->name);
-    expect_bit_identical(translated(*bench));
-  }
-}
-
-// --- every-opcode assembly corpus --------------------------------------------
-
-/// Small programs that collectively execute all 24 opcodes, both branch
-/// polarities, register and immediate shifts, LUI/LI field insertion,
-/// memory traffic and the never-halts budget path.
-const std::array<std::string, 7>& opcode_corpus() {
-  static const std::array<std::string, 7> kPrograms = {
-      // Arithmetic + logic + inverters.
-      R"(
-        LIMM T1, 1234
-        LIMM T2, -77
-        ADD  T1, T2
-        SUB  T2, T1
-        AND  T1, T2
-        OR   T2, T1
-        XOR  T1, T2
-        STI  T3, T1
-        NTI  T4, T1
-        PTI  T5, T2
-        MV   T6, T5
-        COMP T6, T4
-        HALT
-      )",
-      // Immediate forms incl. LUI/LI partial writes and ANDI.
-      R"(
-        LIMM T1, -9841
-        ANDI T1, 13
-        ADDI T1, -13
-        LUI  T2, -40
-        LI   T2, 121
-        LUI  T3, 40
-        LI   T3, -121
-        HALT
-      )",
-      // Register and immediate shifts, incl. amounts from a register.
-      R"(
-        LIMM T1, 9841
-        LIMM T2, 5
-        SR   T1, T2
-        SL   T1, T2
-        SRI  T1, 8
-        SLI  T1, 3
-        HALT
-      )",
-      // Branch polarities: all three condition trits, taken and fallthrough.
-      R"(
-        LIMM T1, 1
-        COMP T1, T0
-        BEQ  T1, +, fwd
-        LIMM T7, 111
-      fwd:
-        BNE  T1, -, fwd2
-        LIMM T7, 222
-      fwd2:
-        BEQ  T1, 0, never
-        ADDI T6, 4
-      never:
-        HALT
-      )",
-      // JAL / JALR call-and-return with link registers.
-      R"(
-        LIMM T5, 0
-        JAL  T8, sub
-        ADDI T5, 2
-        HALT
-      sub:
-        ADDI T5, 5
-        JALR T0, T8, 0
-      )",
-      // Memory traffic: negative addresses, overlapping rows.
-      R"(
-        LIMM T1, -9000
-        LIMM T2, 42
-        STORE T2, -3(T1)
-        LOAD  T3, -3(T1)
-        STORE T3, 13(T1)
-        LOAD  T4, 13(T1)
-        HALT
-      )",
-      // Never halts: the step-budget path must round-trip identically.
-      "loop:\n  ADDI T1, 1\n  JAL T0, loop\n",
-  };
-  return kPrograms;
-}
-
-TEST(PackedSim, BitIdenticalOnOpcodeCorpus) {
-  for (const std::string& source : opcode_corpus()) {
-    expect_bit_identical(isa::assemble(source), 2'000);
-  }
-}
-
-TEST(PackedSim, AgreesWithLazyBaseline) {
-  for (const std::string& source : opcode_corpus()) {
-    const isa::Program program = isa::assemble(source);
-    LazyFunctionalSimulator lazy(program);
-    PackedFunctionalSimulator packed(program);
-    const SimStats lazy_stats = lazy.run(2'000);
-    const SimStats packed_stats = packed.run(2'000);
-    EXPECT_EQ(lazy_stats, packed_stats);
-    EXPECT_EQ(lazy.state(), packed.unpack_state());
-  }
-}
-
-// --- BatchRunner backend switch ----------------------------------------------
-
-TEST(PackedSim, BatchRunnerPackedBackendMatchesReference) {
-  BatchRunner reference(2'000, SimBackend::kReference);
-  BatchRunner packed(2'000, SimBackend::kPacked);
-  EXPECT_EQ(packed.backend(), SimBackend::kPacked);
-  for (const std::string& source : opcode_corpus()) {
-    const isa::Program program = isa::assemble(source);
-    reference.add(program);
-    packed.add(program);
-  }
-  const auto ref_results = reference.run_all();
-  const auto packed_results = packed.run_all();
-  ASSERT_EQ(ref_results.size(), packed_results.size());
-  for (std::size_t i = 0; i < ref_results.size(); ++i) {
-    EXPECT_EQ(ref_results[i].state, packed_results[i].state) << "job " << i;
-    EXPECT_EQ(ref_results[i].stats, packed_results[i].stats) << "job " << i;
-  }
-}
-
-// --- trap parity + decode-time immediate validation ---------------------------
 
 TEST(PackedSim, UninitialisedFetchTrapsLikeReference) {
   // Fall off the end of a program with no halt: both backends must throw.

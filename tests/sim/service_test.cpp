@@ -1,0 +1,225 @@
+// SimulationService: the thread-parallel batch scheduler must be
+// observationally identical to standalone Engine runs — bit-identical
+// results in job order, regardless of worker-pool width — and must
+// propagate job failures instead of swallowing them.
+#include "sim/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/benchmarks.hpp"
+#include "isa/assembler.hpp"
+#include "rv32/rv32_assembler.hpp"
+#include "xlat/framework.hpp"
+
+namespace art9::sim {
+namespace {
+
+/// Eight small programs covering every instruction class: straight-line
+/// arithmetic, loops, memory traffic, JALR returns, and one that never
+/// halts (so kMaxCycles must round-trip too).
+const std::array<std::string, 8>& batch_programs() {
+  static const std::array<std::string, 8> kPrograms = {
+      "LIMM T1, 1234\nLIMM T2, -77\nADD T1, T2\nHALT\n",
+      R"(
+        LIMM T1, 50
+        LIMM T2, 0
+      loop:
+        ADD  T2, T1
+        ADDI T1, -1
+        MV   T3, T1
+        COMP T3, T4
+        BNE  T3, 0, loop
+        HALT
+      )",
+      R"(
+        LIMM T1, 60
+        LIMM T2, 42
+        STORE T2, 3(T1)
+        LOAD  T3, 3(T1)
+        HALT
+      )",
+      R"(
+        LIMM T5, 0
+        JAL  T8, sub
+        ADDI T5, 2
+        HALT
+      sub:
+        ADDI T5, 5
+        JALR T0, T8, 0
+      )",
+      R"(
+        LIMM T1, 1000
+        SRI  T1, 2
+        SLI  T1, 1
+        LIMM T2, -481
+        AND  T1, T2
+        OR   T1, T2
+        XOR  T1, T2
+        HALT
+      )",
+      R"(
+        LIMM T1, 88
+        MV   T2, T1
+        STI  T2, T2
+        PTI  T3, T1
+        NTI  T4, T1
+        COMP T2, T1
+        HALT
+      )",
+      R"(
+        LIMM T1, 1
+        COMP T1, T0
+        BEQ  T1, +, skip
+        LIMM T7, 9841
+      skip:
+        ADDI T6, 4
+        HALT
+      )",
+      "loop:\n  ADDI T1, 1\n  JAL T0, loop\n",
+  };
+  return kPrograms;
+}
+
+constexpr RunOptions kBudget{2'000};
+
+/// A mixed batch: every program on every engine kind, one job each.
+SimulationService mixed_batch(unsigned threads) {
+  SimulationService service(threads);
+  for (const std::string& source : batch_programs()) {
+    const std::shared_ptr<const DecodedImage> image =
+        service.add(isa::assemble(source), EngineKind::kLazy, kBudget);
+    service.add(image, EngineKind::kFunctional, kBudget);
+    service.add(image, EngineKind::kPacked, kBudget);
+    service.add(image, EngineKind::kPipeline, kBudget);
+  }
+  return service;
+}
+
+TEST(SimulationService, MatchesStandaloneEngineRuns) {
+  SimulationService service(1);
+  for (const std::string& source : batch_programs()) {
+    service.add(isa::assemble(source), EngineKind::kFunctional, kBudget);
+  }
+  ASSERT_EQ(service.size(), 8u);
+
+  const std::vector<RunResult> results = service.run_all();
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::unique_ptr<Engine> standalone =
+        make_engine(EngineKind::kFunctional, isa::assemble(batch_programs()[i]));
+    const RunResult expected = standalone->run(kBudget);
+    EXPECT_EQ(results[i].state, expected.state) << "program " << i;
+    EXPECT_EQ(results[i].stats, expected.stats) << "program " << i;
+    EXPECT_EQ(results[i].halt, i == 7 ? HaltReason::kMaxCycles : HaltReason::kHalted)
+        << "program " << i;
+  }
+}
+
+TEST(SimulationService, ThreadedResultsBitIdenticalToSequential) {
+  // The acceptance gate: threads=N returns results bit-identical to
+  // threads=1, across a 32-job mixed-kind batch.
+  const std::vector<RunResult> sequential = mixed_batch(1).run_all();
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const std::vector<RunResult> parallel = mixed_batch(threads).run_all();
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      EXPECT_EQ(parallel[i].state, sequential[i].state) << threads << " threads, job " << i;
+      EXPECT_EQ(parallel[i].stats, sequential[i].stats) << threads << " threads, job " << i;
+    }
+  }
+}
+
+TEST(SimulationService, SharedImageMatchesPerJobDecode) {
+  const isa::Program program = isa::assemble(batch_programs()[1]);
+
+  SimulationService service(4);
+  const std::shared_ptr<const DecodedImage> image =
+      service.add(program, EngineKind::kPacked, kBudget);
+  for (int i = 0; i < 7; ++i) service.add(image, EngineKind::kPacked, kBudget);
+  ASSERT_EQ(service.size(), 8u);
+
+  const std::vector<RunResult> results = service.run_all();
+  std::unique_ptr<Engine> standalone = make_engine(EngineKind::kPacked, program);
+  const RunResult expected = standalone->run(kBudget);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].state, expected.state) << "job " << i;
+    EXPECT_EQ(results[i].stats, expected.stats) << "job " << i;
+  }
+}
+
+TEST(SimulationService, RunAllIsRepeatableAndReportsBatchStats) {
+  SimulationService service(0);  // hardware_concurrency default
+  EXPECT_GE(service.threads(), 1u);
+  service.add(isa::assemble(batch_programs()[1]), EngineKind::kFunctional, kBudget);
+  service.add(isa::assemble(batch_programs()[7]), EngineKind::kPacked, kBudget);
+
+  SimulationService::BatchStats batch;
+  const std::vector<RunResult> first = service.run_all(&batch);
+  const std::vector<RunResult> second = service.run_all();
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_EQ(second.size(), 2u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].state, second[i].state);
+    EXPECT_EQ(first[i].stats, second[i].stats);
+  }
+
+  EXPECT_EQ(batch.instructions, first[0].stats.instructions + first[1].stats.instructions);
+  EXPECT_EQ(batch.cycles, first[0].stats.cycles + first[1].stats.cycles);
+  EXPECT_GT(batch.wall_seconds, 0.0);
+  EXPECT_GE(batch.threads, 1u);
+  EXPECT_GT(batch.steps_per_sec(), 0.0);
+}
+
+TEST(SimulationService, JobFailurePropagatesAcrossThreads) {
+  // A program that falls off the end traps with SimError inside a worker;
+  // run_all must rethrow it on the calling thread.
+  isa::Program trap;
+  trap.code.push_back(isa::Instruction{isa::Opcode::kAddi, 1, 0, ternary::kTritZ, 1});
+  trap.entry = 0;
+  for (unsigned threads : {1u, 4u}) {
+    SimulationService service(threads);
+    service.add(isa::assemble(batch_programs()[0]), EngineKind::kFunctional, kBudget);
+    service.add(decode(trap), EngineKind::kPacked, kBudget);
+    service.add(isa::assemble(batch_programs()[2]), EngineKind::kPipeline, kBudget);
+    EXPECT_THROW(static_cast<void>(service.run_all()), SimError) << threads << " threads";
+  }
+}
+
+TEST(SimulationService, NullImageRejectedAtAdd) {
+  SimulationService service(1);
+  EXPECT_THROW(service.add(std::shared_ptr<const DecodedImage>{}, EngineKind::kPacked),
+               std::invalid_argument);
+}
+
+TEST(SimulationService, TranslatedBenchmarkBatchAcrossKinds) {
+  // The paper's evaluation loop as one batch: all four translated
+  // benchmarks, each on the packed and pipeline engines, scheduled wide.
+  xlat::SoftwareFramework framework;
+  SimulationService service(0);
+  std::vector<std::shared_ptr<const DecodedImage>> images;
+  for (const core::BenchmarkSources* bench : core::all_benchmarks()) {
+    images.push_back(decode(framework.translate(rv32::assemble_rv32(bench->rv32)).program));
+    service.add(images.back(), EngineKind::kPacked);
+    service.add(images.back(), EngineKind::kPipeline);
+  }
+  const std::vector<RunResult> results = service.run_all();
+  ASSERT_EQ(results.size(), images.size() * 2);
+  for (std::size_t b = 0; b < images.size(); ++b) {
+    const RunResult& packed = results[2 * b];
+    const RunResult& pipeline = results[2 * b + 1];
+    EXPECT_EQ(packed.halt, HaltReason::kHalted);
+    EXPECT_EQ(pipeline.halt, HaltReason::kHalted);
+    // Functional and cycle-accurate models agree architecturally.
+    EXPECT_EQ(packed.state.trf, pipeline.state.trf);
+    EXPECT_EQ(packed.stats.instructions, pipeline.stats.instructions);
+    EXPECT_GE(pipeline.stats.cycles, pipeline.stats.instructions);
+  }
+}
+
+}  // namespace
+}  // namespace art9::sim

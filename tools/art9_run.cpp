@@ -1,25 +1,26 @@
-// art9-run — execute a .t9 program image on the ART-9 simulators.
+// art9-run — execute a .t9 program image on any ART-9 simulation engine
+// through the unified sim::Engine facade.
 //
-//   art9-run program.t9 [--functional | --packed] [--max-cycles N]
-//            [--dump-regs] [--dump-mem LO HI] [--no-forwarding]
-//            [--branch-in-ex] [--stats]
+//   art9-run program.t9 [--engine=lazy|functional|packed|pipeline]
+//            [--max-cycles N] [--dump-regs] [--dump-mem LO HI]
+//            [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "isa/image_io.hpp"
-#include "sim/functional_sim.hpp"
-#include "sim/packed_sim.hpp"
-#include "sim/pipeline.hpp"
+#include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: art9-run <program.t9> [--functional | --packed] [--max-cycles N]\n"
-               "                [--dump-regs] [--dump-mem LO HI] [--no-forwarding]\n"
-               "                [--branch-in-ex] [--stats] [--trace N]\n");
+               "usage: art9-run <program.t9> [--engine=lazy|functional|packed|pipeline]\n"
+               "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
+               "                [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]\n"
+               "engine defaults to pipeline (the cycle-accurate model); --trace and the\n"
+               "microarchitecture switches apply to the pipeline engine only\n");
   return 2;
 }
 
@@ -31,41 +32,29 @@ void dump_regs(const art9::sim::ArchState& state) {
   }
 }
 
-/// Shared run report of the two functional engines (the pipeline engine
-/// prints cycles/CPI separately): halt line, optional registers, optional
-/// TDM window.
-void report_functional_run(const art9::sim::ArchState& state, const art9::sim::SimStats& stats,
-                           bool want_regs, int64_t mem_lo, int64_t mem_hi) {
-  std::printf("halted=%s instructions=%llu\n",
-              stats.halt == art9::sim::HaltReason::kHalted ? "yes" : "budget",
-              static_cast<unsigned long long>(stats.instructions));
-  if (want_regs) dump_regs(state);
-  for (int64_t a = mem_lo; a <= mem_hi; ++a) {
-    std::printf("  tdm[%lld] = %lld\n", static_cast<long long>(a),
-                static_cast<long long>(state.tdm.peek(a).to_int()));
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string input;
-  bool functional = false;
-  bool packed = false;
+  art9::sim::EngineKind kind = art9::sim::EngineKind::kPipeline;
   bool want_regs = false;
   bool want_stats = false;
   int64_t mem_lo = 0;
   int64_t mem_hi = -1;
   long long trace_cycles = 0;
-  art9::sim::PipelineConfig config;
+  uint64_t max_cycles = 100'000'000;
+  art9::sim::EngineOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--functional") {
-      functional = true;
-    } else if (arg == "--packed") {
-      packed = true;
+    if (arg.rfind("--engine=", 0) == 0) {
+      const auto parsed = art9::sim::parse_engine_kind(arg.substr(9));
+      if (!parsed) {
+        std::fprintf(stderr, "art9-run: unknown engine '%s'\n", arg.substr(9).c_str());
+        return usage();
+      }
+      kind = *parsed;
     } else if (arg == "--max-cycles" && i + 1 < argc) {
-      config.max_cycles = static_cast<uint64_t>(std::atoll(argv[++i]));
+      max_cycles = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--dump-regs") {
       want_regs = true;
     } else if (arg == "--stats") {
@@ -76,9 +65,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_cycles = std::atoll(argv[++i]);
     } else if (arg == "--no-forwarding") {
-      config.ex_forwarding = false;
+      options.pipeline.ex_forwarding = false;
     } else if (arg == "--branch-in-ex") {
-      config.branch_in_id = false;
+      options.pipeline.branch_in_id = false;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (input.empty()) {
@@ -91,45 +80,44 @@ int main(int argc, char** argv) {
 
   try {
     const art9::isa::Program program = art9::isa::read_image_file(input);
-    if (packed) {
-      art9::sim::PackedFunctionalSimulator sim(program);
-      const art9::sim::SimStats stats = sim.run(config.max_cycles);
-      report_functional_run(sim.unpack_state(), stats, want_regs, mem_lo, mem_hi);
-      return 0;
-    }
-    if (functional) {
-      art9::sim::FunctionalSimulator sim(program);
-      const art9::sim::SimStats stats = sim.run(config.max_cycles);
-      report_functional_run(sim.state(), stats, want_regs, mem_lo, mem_hi);
-      return 0;
-    }
-    art9::sim::PipelineSimulator sim(program, config);
     if (trace_cycles > 0) {
-      sim.set_tracer([&](const art9::sim::CycleTrace& t) {
+      options.tracer = [trace_cycles](const art9::sim::CycleTrace& t) {
         if (static_cast<long long>(t.cycle) <= trace_cycles) {
           std::printf("%s\n", art9::sim::render_trace(t).c_str());
         }
-      });
+      };
     }
-    const art9::sim::SimStats stats = sim.run();
-    std::printf("halted=%s cycles=%llu instructions=%llu CPI=%.3f\n",
-                stats.halt == art9::sim::HaltReason::kHalted ? "yes" : "budget",
-                static_cast<unsigned long long>(stats.cycles),
-                static_cast<unsigned long long>(stats.instructions), stats.cpi());
-    if (want_stats) {
+    // The CLI budget is the whole budget: mirror it into the pipeline
+    // config so the engine's per-run cap (the tighter of the two) is
+    // exactly the flag value.
+    options.pipeline.max_cycles = max_cycles;
+    const std::unique_ptr<art9::sim::Engine> engine = art9::sim::make_engine(kind, program, options);
+    const art9::sim::RunResult result = engine->run({max_cycles});
+
+    const bool cycle_accurate = kind == art9::sim::EngineKind::kPipeline;
+    std::printf("engine=%s halted=%s instructions=%llu",
+                std::string(art9::sim::engine_kind_name(kind)).c_str(),
+                result.halt == art9::sim::HaltReason::kHalted ? "yes" : "budget",
+                static_cast<unsigned long long>(result.stats.instructions));
+    if (cycle_accurate) {
+      std::printf(" cycles=%llu CPI=%.3f", static_cast<unsigned long long>(result.stats.cycles),
+                  result.stats.cpi());
+    }
+    std::printf("\n");
+    if (want_stats && cycle_accurate) {
       std::printf("  load-use stalls      = %llu\n",
-                  static_cast<unsigned long long>(stats.stall_load_use));
+                  static_cast<unsigned long long>(result.stats.stall_load_use));
       std::printf("  branch-hazard stalls = %llu\n",
-                  static_cast<unsigned long long>(stats.stall_branch_hazard));
+                  static_cast<unsigned long long>(result.stats.stall_branch_hazard));
       std::printf("  raw stalls           = %llu\n",
-                  static_cast<unsigned long long>(stats.stall_raw));
+                  static_cast<unsigned long long>(result.stats.stall_raw));
       std::printf("  taken-branch flushes = %llu\n",
-                  static_cast<unsigned long long>(stats.flush_taken_branch));
+                  static_cast<unsigned long long>(result.stats.flush_taken_branch));
     }
-    if (want_regs) dump_regs(sim.state());
+    if (want_regs) dump_regs(result.state);
     for (int64_t a = mem_lo; a <= mem_hi; ++a) {
       std::printf("  tdm[%lld] = %lld\n", static_cast<long long>(a),
-                  static_cast<long long>(sim.state().tdm.peek(a).to_int()));
+                  static_cast<long long>(result.state.tdm.peek(a).to_int()));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "art9-run: %s\n", e.what());
