@@ -154,11 +154,14 @@ int run_json_report(const std::string& path) {
   const double predecoded = engine_rate(sim::EngineKind::kFunctional);
   const double packed = engine_rate(sim::EngineKind::kPacked);
   const double pipeline = engine_rate(sim::EngineKind::kPipeline);
+  const double pipeline_packed = engine_rate(sim::EngineKind::kPackedPipeline);
   bench::note("lazy decode-on-fetch:   " + std::to_string(lazy / 1e6) + " M steps/s");
   bench::note("pre-decoded dispatch:   " + std::to_string(predecoded / 1e6) + " M steps/s");
   bench::note("plane-packed SWAR:      " + std::to_string(packed / 1e6) + " M steps/s");
   bench::note("pipeline (cycles/s):    " + std::to_string(pipeline / 1e6) + " M steps/s");
+  bench::note("packed pipeline:        " + std::to_string(pipeline_packed / 1e6) + " M steps/s");
   bench::note("packed / pre-decoded:   x" + std::to_string(packed / predecoded));
+  bench::note("packed pipe / pipe:     x" + std::to_string(pipeline_packed / pipeline));
 
   bench::heading("batch_parallel — SimulationService, 8 packed Dhrystone jobs");
   constexpr int kJobs = 8;
@@ -180,8 +183,10 @@ int run_json_report(const std::string& path) {
   json.add("predecoded_steps_per_sec", predecoded);
   json.add("packed_steps_per_sec", packed);
   json.add("pipeline_cycles_per_sec", pipeline);
+  json.add("pipeline_packed_cycles_per_sec", pipeline_packed);
   json.add("packed_vs_predecoded", predecoded > 0.0 ? packed / predecoded : 0.0);
   json.add("predecoded_vs_lazy", lazy > 0.0 ? predecoded / lazy : 0.0);
+  json.add("pipeline_packed_vs_pipeline", pipeline > 0.0 ? pipeline_packed / pipeline : 0.0);
   json.add("batch_parallel_jobs", static_cast<double>(kJobs));
   json.add("batch_parallel_engine", "packed");
   json.add("batch_threads_1_steps_per_sec", batch1);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sim/functional_sim.hpp"
+#include "sim/packed_pipeline.hpp"
 #include "sim/packed_sim.hpp"
 
 namespace art9::sim {
@@ -19,6 +20,8 @@ std::string_view engine_kind_name(EngineKind kind) noexcept {
       return "packed";
     case EngineKind::kPipeline:
       return "pipeline";
+    case EngineKind::kPackedPipeline:
+      return "pipeline_packed";
   }
   return "unknown";
 }
@@ -137,11 +140,14 @@ class PackedEngine final : public FunctionalEngineBase {
   PackedFunctionalSimulator sim_;
 };
 
-/// The cycle-accurate pipeline behind the same contract: step() is one
+/// The cycle-accurate pipelines behind the same contract: step() is one
 /// clock, run()'s budget is a cycle budget, and stats carry the full
 /// microarchitectural accounting.  The retired-instruction observer rides
 /// the WB retire hook, so it sees exactly the same stream (instruction,
-/// pc, index) the functional kinds produce.
+/// pc, index) the functional kinds produce.  One template serves both
+/// datapaths: Sim is PipelineSimulator (kPipeline) or
+/// PackedPipelineSimulator (kPackedPipeline).
+template <class Sim, EngineKind Kind>
 class PipelineEngine final : public Engine {
  public:
   PipelineEngine(std::shared_ptr<const DecodedImage> image, const EngineOptions& options)
@@ -162,7 +168,7 @@ class PipelineEngine final : public Engine {
     return a;  // halt carries the outcome of this run
   }
 
-  [[nodiscard]] EngineKind kind() const noexcept override { return EngineKind::kPipeline; }
+  [[nodiscard]] EngineKind kind() const noexcept override { return Kind; }
 
   bool step() override { return sim_.step(); }
 
@@ -201,7 +207,7 @@ class PipelineEngine final : public Engine {
 
  private:
   std::shared_ptr<const DecodedImage> image_;
-  PipelineSimulator sim_;
+  Sim sim_;
 };
 
 }  // namespace
@@ -217,7 +223,12 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, std::shared_ptr<const Decod
     case EngineKind::kPacked:
       return std::make_unique<PackedEngine>(std::move(image));
     case EngineKind::kPipeline:
-      return std::make_unique<PipelineEngine>(std::move(image), options);
+      return std::make_unique<PipelineEngine<PipelineSimulator, EngineKind::kPipeline>>(
+          std::move(image), options);
+    case EngineKind::kPackedPipeline:
+      return std::make_unique<
+          PipelineEngine<PackedPipelineSimulator, EngineKind::kPackedPipeline>>(std::move(image),
+                                                                                options);
   }
   throw std::invalid_argument("make_engine: unknown EngineKind");
 }

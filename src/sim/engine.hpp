@@ -1,6 +1,6 @@
 // Unified simulation-engine facade: one API over every ART-9 execution
 // backend (lazy decode-on-fetch, pre-decoded dispatch, plane-packed SWAR,
-// cycle-accurate pipeline).
+// cycle-accurate pipeline on the reference or the plane-packed datapath).
 //
 // The paper's evaluation framework runs the same program through a
 // functional model and a cycle-accurate model and compares them; before
@@ -44,30 +44,39 @@ namespace art9::sim {
 
 /// Every execution backend the facade can construct.
 enum class EngineKind : uint8_t {
-  kLazy,        // seed decode-on-fetch loop (baseline for differential runs)
-  kFunctional,  // pre-decoded dispatch fast path (golden model)
-  kPacked,      // plane-packed SWAR datapath
-  kPipeline,    // cycle-accurate 5-stage pipeline
+  kLazy,            // seed decode-on-fetch loop (baseline for differential runs)
+  kFunctional,      // pre-decoded dispatch fast path (golden model)
+  kPacked,          // plane-packed SWAR datapath
+  kPipeline,        // cycle-accurate 5-stage pipeline (reference datapath)
+  kPackedPipeline,  // the same 5-stage control logic over plane-packed words
 };
 
 /// All kinds, in factory order — for generic sweeps (benches, conformance).
-[[nodiscard]] constexpr std::array<EngineKind, 4> all_engine_kinds() noexcept {
-  return {EngineKind::kLazy, EngineKind::kFunctional, EngineKind::kPacked, EngineKind::kPipeline};
+[[nodiscard]] constexpr std::array<EngineKind, 5> all_engine_kinds() noexcept {
+  return {EngineKind::kLazy, EngineKind::kFunctional, EngineKind::kPacked, EngineKind::kPipeline,
+          EngineKind::kPackedPipeline};
 }
 
-/// Stable lower-case name ("lazy", "functional", "packed", "pipeline") —
-/// the vocabulary of art9-run's --engine= flag and the bench JSON keys.
+/// True for the cycle-accurate kinds (step() is one clock, budgets are
+/// cycle counts, SimStats carry the microarchitectural accounting).
+[[nodiscard]] constexpr bool is_cycle_accurate(EngineKind kind) noexcept {
+  return kind == EngineKind::kPipeline || kind == EngineKind::kPackedPipeline;
+}
+
+/// Stable lower-case name ("lazy", "functional", "packed", "pipeline",
+/// "pipeline_packed") — the vocabulary of art9-run's --engine= flag and
+/// the bench JSON keys.
 [[nodiscard]] std::string_view engine_kind_name(EngineKind kind) noexcept;
 
 /// Inverse of engine_kind_name; nullopt for unknown names.
 [[nodiscard]] std::optional<EngineKind> parse_engine_kind(std::string_view name) noexcept;
 
 /// Construction-time options.  Functional kinds ignore both fields.
-/// `pipeline.max_cycles` caps each run() of a kPipeline engine in
+/// `pipeline.max_cycles` caps each run() of a cycle-accurate engine in
 /// addition to RunOptions::max_steps (the tighter budget wins).
 struct EngineOptions {
-  PipelineConfig pipeline;  // microarchitecture switches for kPipeline
-  TraceObserver tracer;     // per-cycle pipeline trace stream (kPipeline)
+  PipelineConfig pipeline;  // microarchitecture switches (both pipeline kinds)
+  TraceObserver tracer;     // per-cycle pipeline trace stream (both pipeline kinds)
 };
 
 /// Per-run options.  `max_steps` is the step() budget: retired

@@ -1,0 +1,83 @@
+// The plane-packed TALU: data-processing semantics of one pre-decoded
+// PackedOp on binary-coded-ternary plane pairs — the packed mirror of
+// sim::execute(const DecodedOp&, ...).
+//
+// This is the single definition shared by the packed backends'
+// maintainable paths: PackedFunctionalSimulator::step() and the packed
+// pipeline's EX stage (PackedPipelineDatapath::alu) both dispatch here.
+// The computed-goto run loop in packed_sim.cpp intentionally unrolls the
+// same cells into its per-opcode labels (each handler ends in its own
+// indirect jump); its bodies must be kept in lock-step with this switch —
+// the differential suites run both.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/instruction.hpp"
+#include "sim/decoded_image.hpp"
+#include "ternary/bct.hpp"
+#include "ternary/packed.hpp"
+
+namespace art9::sim {
+
+/// Executes the data-processing portion of `op` on packed operands
+/// `a` (= TRF[Ta]) and `b` (= TRF[Tb]); for LUI/LI, `a` is the old
+/// destination value.  Branches/jumps/memory ops are *not* handled here
+/// (control flow and memory access belong to the dispatch loop / pipeline
+/// stages).  Throws std::logic_error for such kinds, mirroring execute().
+[[nodiscard]] inline ternary::BctWord9 packed_alu(const PackedOp& op, const ternary::BctWord9& a,
+                                                  const ternary::BctWord9& b) {
+  namespace pk = ternary::packed;
+  using ternary::BctWord9;
+  switch (op.kind) {
+    case DispatchKind::kMv:
+      return b;
+    case DispatchKind::kPti:
+      return b.pti();
+    case DispatchKind::kNti:
+      return b.nti();
+    case DispatchKind::kSti:
+      return b.sti();
+    case DispatchKind::kAnd:
+      return BctWord9::tand(a, b);
+    case DispatchKind::kOr:
+      return BctWord9::tor(a, b);
+    case DispatchKind::kXor:
+      return BctWord9::txor(a, b);
+    case DispatchKind::kAdd:
+      return pk::add(a, b);
+    case DispatchKind::kSub:
+      return pk::sub(a, b);
+    case DispatchKind::kSr:
+      return a.shr(pk::shift_amount(b));
+    case DispatchKind::kSl:
+      return a.shl(pk::shift_amount(b));
+    case DispatchKind::kComp:
+      return pk::comp_word(a, b);
+    case DispatchKind::kAndi:
+      return BctWord9::tand(a, op.word());
+    case DispatchKind::kAddi:
+      return pk::add_int(a, op.imm);
+    case DispatchKind::kSri:
+      // Negative amounts wrap to huge unsigned values and clear the word —
+      // same contract as the reference path's size_t cast.
+      return a.shr(static_cast<unsigned>(static_cast<int>(op.imm)));
+    case DispatchKind::kSli:
+      return a.shl(static_cast<unsigned>(static_cast<int>(op.imm)));
+    case DispatchKind::kLui:
+      return op.word();  // complete result, pre-packed at decode
+    case DispatchKind::kLi: {
+      // {Ta[8:5], imm[4:0]}: keep the high-trit plane bits, OR in the
+      // pre-packed low-5 immediate.
+      constexpr uint32_t kHigh4 = BctWord9::kMask & ~0x1Fu;
+      return BctWord9::from_planes_unchecked((a.neg_plane() & kHigh4) | op.word_neg,
+                                             (a.pos_plane() & kHigh4) | op.word_pos);
+    }
+    default:
+      throw std::logic_error("packed TALU: kind has no data-processing result: kind " +
+                             std::to_string(static_cast<int>(op.kind)));
+  }
+}
+
+}  // namespace art9::sim

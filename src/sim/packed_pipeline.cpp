@@ -1,0 +1,40 @@
+#include "sim/packed_pipeline.hpp"
+
+#include <utility>
+
+#include "sim/packed_alu.hpp"
+
+namespace art9::sim {
+namespace detail {
+
+using Word = PackedPipelineDatapath::Word;
+
+Word PackedPipelineDatapath::alu(const DecodedOp& dop, const Word& a, const Word& b) const {
+  // The shared packed TALU (packed_alu.hpp) — the same cells the
+  // PackedFunctionalSimulator dispatches; BctWord9 <-> PackedWord<9>
+  // conversions are free plane copies.
+  return ternary::packed::from_bct(
+      packed_alu(packed(dop), ternary::packed::to_bct(a), ternary::packed::to_bct(b)));
+}
+
+ArchState PackedPipelineDatapath::unpack_state() const {
+  ArchState out;
+  for (int i = 0; i < isa::kNumRegisters; ++i) {
+    out.trf.write(i, trf_[static_cast<std::size_t>(i)].decode());
+  }
+  out.tdm = tdm_.unpack();
+  out.pc = pc_;
+  return out;
+}
+
+}  // namespace detail
+
+PackedPipelineSimulator::PackedPipelineSimulator(const isa::Program& program,
+                                                 PipelineConfig config)
+    : PackedPipelineSimulator(decode(program), config) {}
+
+PackedPipelineSimulator::PackedPipelineSimulator(std::shared_ptr<const DecodedImage> image,
+                                                 PipelineConfig config)
+    : PipelineModel(std::move(image), config) {}
+
+}  // namespace art9::sim

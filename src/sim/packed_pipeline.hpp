@@ -1,0 +1,128 @@
+// Plane-packed cycle-accurate pipeline — the SWAR datapath under the
+// 5-stage control logic.
+//
+// Instantiates the shared detail::PipelineModel (pipeline_model.hpp) with
+// a datapath whose every latched payload is a ternary::packed::PackedWord<9>
+// plane pair: a packed TRF (nine plane-pair words), a packed TDM
+// (sim::PackedMemory rows, identical access accounting) and the image's
+// 24-byte PackedOp rows supplying pre-packed immediates and link words.
+// The forwarding muxes, the one-trit condition bypass and the EX TALU all
+// operate on planes — no std::array<Trit, 9> is touched between reset and
+// halt; conversion to the reference representation happens only at the
+// inspection boundary (state(), reg()).
+//
+// Because the HDU/stall/squash logic is the *same template* the reference
+// PipelineSimulator runs, cycle counts, stall/squash/prediction
+// accounting, CycleTrace streams and retired-instruction observer streams
+// are bit-identical to the reference pipeline on every PipelineConfig
+// combination — locked by tests/sim/packed_pipeline_test.cpp and
+// trace_golden_test.cpp.  Selectable through the sim::Engine facade as
+// EngineKind::kPackedPipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "isa/program.hpp"
+#include "sim/pipeline_model.hpp"
+#include "ternary/bct.hpp"
+#include "ternary/packed.hpp"
+
+namespace art9::sim {
+namespace detail {
+
+/// Packed datapath policy: PackedWord<9> latched payloads, a packed TRF
+/// and PackedMemory TDM, and the branchless plane/table TALU.
+class PackedPipelineDatapath {
+ public:
+  using Word = ternary::packed::PackedWord<9>;
+
+  explicit PackedPipelineDatapath(const DecodedImage& image)
+      : rows_(&image.row(0)), prows_(image.packed_rows()) {
+    for (const isa::DataWord& d : image.program().data) {
+      tdm_.poke(d.address, ternary::BctWord9::encode(d.value));
+    }
+    pc_ = image.program().entry;
+  }
+
+  [[nodiscard]] int64_t pc() const noexcept { return pc_; }
+  void set_pc(int64_t pc) noexcept { pc_ = pc; }
+
+  [[nodiscard]] Word read_reg(int index) const noexcept {
+    return trf_[static_cast<std::size_t>(index)];
+  }
+  void write_reg(int index, const Word& value) noexcept {
+    trf_[static_cast<std::size_t>(index)] = value;
+  }
+
+  [[nodiscard]] Word mem_load(const Word& address) noexcept {
+    return ternary::packed::from_bct(tdm_.read_row(Word::row_of(address.to_int())));
+  }
+  void mem_store(const Word& address, const Word& value) noexcept {
+    tdm_.write_row(Word::row_of(address.to_int()), ternary::packed::to_bct(value));
+  }
+
+  /// Balanced LST value in {-1, 0, +1} (branch condition compare).
+  [[nodiscard]] static int lst(const Word& w) noexcept { return w.lst_value(); }
+
+  /// EX evaluations on planes: the packed TALU, branchless wrapped address
+  /// adds, the pre-packed link word, and the JALR target calculator.
+  [[nodiscard]] Word alu(const DecodedOp& op, const Word& a, const Word& b) const;
+  [[nodiscard]] static Word addr_word(const Word& base, int imm) noexcept {
+    return Word::from_int(Word::wrap(base.to_int() + imm));
+  }
+  [[nodiscard]] Word link(const DecodedOp& op) const noexcept {
+    const PackedOp& p = packed(op);
+    return Word::from_planes_unchecked(p.word_neg, p.word_pos);
+  }
+  [[nodiscard]] static int64_t jalr_target(const Word& base, int imm) noexcept {
+    return Word::wrap(base.to_int() + imm);
+  }
+
+  /// Inspection-boundary conversion: decode the packed state into the
+  /// reference representation (registers, TDM contents + counters, PC).
+  [[nodiscard]] ArchState unpack_state() const;
+
+  /// Raw packed register (tests, tracing hooks).
+  [[nodiscard]] const Word& reg_packed(int index) const {
+    return trf_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  /// The packed TIM row of a decoded row: the two tables are parallel, so
+  /// the row index is plain pointer arithmetic.
+  [[nodiscard]] const PackedOp& packed(const DecodedOp& op) const noexcept {
+    return prows_[static_cast<std::size_t>(&op - rows_)];
+  }
+
+  const DecodedOp* rows_;   // the image's reference TIM base
+  const PackedOp* prows_;   // the image's packed TIM base (built on first use)
+  std::array<Word, isa::kNumRegisters> trf_{};
+  PackedMemory tdm_;
+  int64_t pc_ = 0;
+};
+
+}  // namespace detail
+
+class PackedPipelineSimulator : public detail::PipelineModel<detail::PackedPipelineDatapath> {
+ public:
+  explicit PackedPipelineSimulator(const isa::Program& program, PipelineConfig config = {});
+
+  /// Runs off a shared pre-decoded image (SimulationService, ablation
+  /// sweeps).  `image` must be non-null.
+  explicit PackedPipelineSimulator(std::shared_ptr<const DecodedImage> image,
+                                   PipelineConfig config = {});
+
+  /// Architectural snapshot, decoded at this boundary (registers, TDM
+  /// contents + access counters, PC).
+  [[nodiscard]] ArchState state() const { return datapath().unpack_state(); }
+
+  /// Convenience accessors (decode on access).
+  [[nodiscard]] ternary::Word9 reg(int index) const {
+    return datapath().reg_packed(index).decode();
+  }
+  [[nodiscard]] int64_t reg_int(int index) const { return datapath().reg_packed(index).to_int(); }
+};
+
+}  // namespace art9::sim

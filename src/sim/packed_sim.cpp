@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/packed_alu.hpp"
 #include "ternary/packed.hpp"
 
 namespace art9::sim {
@@ -28,67 +29,6 @@ bool PackedFunctionalSimulator::step() {
   const std::size_t ta = op.ta;
   const std::size_t tb = op.tb;
   switch (op.kind) {
-    case DispatchKind::kMv:
-      trf[ta] = trf[tb];
-      break;
-    case DispatchKind::kPti:
-      trf[ta] = trf[tb].pti();
-      break;
-    case DispatchKind::kNti:
-      trf[ta] = trf[tb].nti();
-      break;
-    case DispatchKind::kSti:
-      trf[ta] = trf[tb].sti();
-      break;
-    case DispatchKind::kAnd:
-      trf[ta] = BctWord9::tand(trf[ta], trf[tb]);
-      break;
-    case DispatchKind::kOr:
-      trf[ta] = BctWord9::tor(trf[ta], trf[tb]);
-      break;
-    case DispatchKind::kXor:
-      trf[ta] = BctWord9::txor(trf[ta], trf[tb]);
-      break;
-    case DispatchKind::kAdd:
-      trf[ta] = pk::add(trf[ta], trf[tb]);
-      break;
-    case DispatchKind::kSub:
-      trf[ta] = pk::sub(trf[ta], trf[tb]);
-      break;
-    case DispatchKind::kSr:
-      trf[ta] = trf[ta].shr(pk::shift_amount(trf[tb]));
-      break;
-    case DispatchKind::kSl:
-      trf[ta] = trf[ta].shl(pk::shift_amount(trf[tb]));
-      break;
-    case DispatchKind::kComp:
-      trf[ta] = pk::comp_word(trf[ta], trf[tb]);
-      break;
-    case DispatchKind::kAndi:
-      trf[ta] = BctWord9::tand(trf[ta], op.word());
-      break;
-    case DispatchKind::kAddi:
-      trf[ta] = pk::add_int(trf[ta], op.imm);
-      break;
-    case DispatchKind::kSri:
-      // Negative amounts wrap to huge unsigned values and clear the word —
-      // same contract as the reference path's size_t cast.
-      trf[ta] = trf[ta].shr(static_cast<unsigned>(static_cast<int>(op.imm)));
-      break;
-    case DispatchKind::kSli:
-      trf[ta] = trf[ta].shl(static_cast<unsigned>(static_cast<int>(op.imm)));
-      break;
-    case DispatchKind::kLui:
-      trf[ta] = op.word();  // complete result, pre-packed at decode
-      break;
-    case DispatchKind::kLi: {
-      // {Ta[8:5], imm[4:0]}: keep the high-trit plane bits, OR in the
-      // pre-packed low-5 immediate.
-      constexpr uint32_t kHigh4 = BctWord9::kMask & ~0x1Fu;
-      trf[ta] = BctWord9::from_planes_unchecked((trf[ta].neg_plane() & kHigh4) | op.word_neg,
-                                                (trf[ta].pos_plane() & kHigh4) | op.word_pos);
-      break;
-    }
     case DispatchKind::kBeq:
     case DispatchKind::kBne: {
       const bool eq = trf[tb].lst_value() == op.bcond;
@@ -129,6 +69,10 @@ bool PackedFunctionalSimulator::step() {
     }
     case DispatchKind::kInvalid:
       throw SimError("fetch from uninitialised TIM address " + std::to_string(op.pc));
+    default:
+      // Every data-processing opcode: one shared packed TALU cell.
+      trf[ta] = packed_alu(op, trf[ta], trf[tb]);
+      break;
   }
   pc_ = op.next_pc;
   row_ = op.next_row;
@@ -149,8 +93,10 @@ SimStats PackedFunctionalSimulator::run(uint64_t max_instructions) {
   // architectural position is one 32-bit row index — pc_ is recovered from
   // the row table at the exit boundary.  Each handler ends in its own
   // indirect jump, so the host branch predictor learns per-opcode successor
-  // patterns instead of sharing one switch branch.  Handlers mirror step()
-  // exactly — the differential suite runs both.
+  // patterns instead of sharing one switch branch.  The data-processing
+  // handler bodies intentionally unroll the shared packed_alu() cells
+  // (packed_alu.hpp) per label and must be kept in lock-step with that
+  // switch — the differential suite runs both paths.
   static const void* const kHandlers[] = {
       &&h_mv,   &&h_pti,  &&h_nti, &&h_sti,  &&h_and,  &&h_or,   &&h_xor,
       &&h_add,  &&h_sub,  &&h_sr,  &&h_sl,   &&h_comp, &&h_andi, &&h_addi,

@@ -1,410 +1,14 @@
 #include "sim/pipeline.hpp"
 
-#include <string>
 #include <utility>
 
-#include "sim/talu.hpp"
-
 namespace art9::sim {
-
-using isa::Instruction;
-using isa::Opcode;
-using isa::OpcodeSpec;
-using ternary::Trit;
-using ternary::Word9;
 
 PipelineSimulator::PipelineSimulator(const isa::Program& program, PipelineConfig config)
     : PipelineSimulator(decode(program), config) {}
 
 PipelineSimulator::PipelineSimulator(std::shared_ptr<const DecodedImage> image,
                                      PipelineConfig config)
-    : config_(config), image_(std::move(image)) {
-  load_data(image_->program(), state_);
-}
-
-bool PipelineSimulator::step() {
-  ++stats_.cycles;
-
-  CycleTrace trace;
-  if (tracer_) {
-    trace.cycle = stats_.cycles;
-    trace.fetch_active = !fetch_stopped_;
-    trace.fetch_pc = state_.pc;
-    trace.stages[0] = {ifid_.valid, ifid_.pc, ifid_.inst};
-    trace.stages[1] = {idex_.valid, idex_.pc, idex_.inst};
-    trace.stages[2] = {exmem_.valid, exmem_.pc, exmem_.inst};
-    trace.stages[3] = {memwb_.valid, memwb_.pc, memwb_.inst};
-  }
-
-  // ==== WB =================================================================
-  // Executes "first" so that, with regfile_write_through, the ID reads
-  // later this cycle observe the write (read-during-write bypass).
-  bool retire_halt = false;
-  struct PendingWrite {
-    bool valid = false;
-    int rd = 0;
-    Word9 value;
-  } pending_write;
-  if (memwb_.valid) {
-    if (memwb_.is_halt) {
-      retire_halt = true;
-    } else {
-      ++stats_.instructions;
-      if (retire_observer_) retire_observer_(memwb_.inst, memwb_.pc, stats_.instructions - 1);
-      if (writes_reg(memwb_.inst)) {
-        if (config_.regfile_write_through) {
-          state_.trf.write(memwb_.inst.ta, memwb_.result);
-        } else {
-          pending_write = {true, memwb_.inst.ta, memwb_.result};
-        }
-      }
-    }
-  }
-
-  // ==== MEM ================================================================
-  MemWb memwb_next;
-  if (exmem_.valid) {
-    memwb_next.valid = true;
-    memwb_next.is_halt = exmem_.is_halt;
-    memwb_next.inst = exmem_.inst;
-    memwb_next.pc = exmem_.pc;
-    if (exmem_.inst.op == Opcode::kLoad) {
-      memwb_next.result = state_.tdm.read(exmem_.result.to_int());
-    } else if (exmem_.inst.op == Opcode::kStore) {
-      state_.tdm.write(exmem_.result.to_int(), exmem_.store_val);
-    } else {
-      memwb_next.result = exmem_.result;
-    }
-  }
-
-  // ==== EX =================================================================
-  // Operand forwarding.  Priority: EX/MEM (distance 1), MEM/WB (distance
-  // 2); distance 3 is covered by the write-through read in ID (or by a
-  // one-cycle interlock when write-through is disabled).
-  auto forward_operand = [&](int reg, const Word9& id_read) -> Word9 {
-    if (config_.ex_forwarding) {
-      if (exmem_.valid && writes_reg(exmem_.inst) && exmem_.inst.ta == reg &&
-          exmem_.inst.op != Opcode::kLoad) {
-        return exmem_.result;
-      }
-      if (memwb_.valid && writes_reg(memwb_.inst) && memwb_.inst.ta == reg) {
-        return memwb_.result;
-      }
-    }
-    return id_read;
-  };
-
-  ExMem exmem_next;
-  bool ex_redirect = false;       // branch_in_id == false: EX resolves control flow
-  int64_t ex_redirect_target = 0;
-  bool ex_sees_halt = false;
-  // EX combinational result, visible to the ID condition checker this cycle.
-  bool ex_value_ready = false;
-  Word9 ex_value;
-  int ex_value_rd = -1;
-  if (idex_.valid) {
-    const Instruction& inst = idex_.inst;
-    const OpcodeSpec& s = isa::spec(inst.op);
-    const Word9 a = s.reads_ta ? forward_operand(inst.ta, idex_.a) : idex_.a;
-    const Word9 b = s.reads_tb ? forward_operand(inst.tb, idex_.b) : idex_.b;
-
-    exmem_next.valid = true;
-    exmem_next.is_halt = idex_.is_halt;
-    exmem_next.inst = inst;
-    exmem_next.pc = idex_.pc;
-    switch (inst.op) {
-      case Opcode::kLoad:
-      case Opcode::kStore:
-        exmem_next.result = Word9::from_int_wrapped(b.to_int() + inst.imm);
-        exmem_next.store_val = a;
-        break;
-      case Opcode::kJal:
-      case Opcode::kJalr:
-        exmem_next.result = Word9::from_int_wrapped(idex_.pc + 1);  // link
-        if (!config_.branch_in_id && !idex_.is_halt) {
-          if (inst.op == Opcode::kJal) {
-            if (inst.imm == 0) {
-              ex_sees_halt = true;
-              exmem_next.is_halt = true;
-            } else {
-              ex_redirect = true;
-              ex_redirect_target = ArchState::wrap(idex_.pc + inst.imm);
-            }
-          } else {
-            const int64_t target = ArchState::wrap(b.to_int() + inst.imm);
-            if (target == idex_.pc) {
-              ex_sees_halt = true;
-              exmem_next.is_halt = true;
-            } else {
-              ex_redirect = true;
-              ex_redirect_target = target;
-            }
-          }
-        }
-        break;
-      case Opcode::kBeq:
-      case Opcode::kBne:
-        if (!config_.branch_in_id) {
-          const bool eq = b.lst() == inst.bcond;
-          const bool taken = inst.op == Opcode::kBeq ? eq : !eq;
-          if (taken) {
-            ex_redirect = true;
-            ex_redirect_target = ArchState::wrap(idex_.pc + inst.imm);
-          }
-        }
-        break;
-      default:
-        exmem_next.result = execute(inst, a, b);
-        break;
-    }
-    if (writes_reg(inst) && inst.op != Opcode::kLoad && !exmem_next.is_halt) {
-      ex_value_ready = true;
-      ex_value = exmem_next.result;
-      ex_value_rd = inst.ta;
-    }
-  }
-
-  // ==== ID =================================================================
-  IdEx idex_next;
-  bool stall = false;
-  CycleEvent stall_kind = CycleEvent::kNone;
-  bool id_redirect = false;
-  int64_t id_redirect_target = 0;
-  bool id_sees_halt = false;
-
-  // A poisoned entry only traps if nothing squashes it this cycle (an
-  // EX-resolved redirect may still kill it); checked after the IF section.
-  const bool poison_pending = ifid_.valid && ifid_.poisoned;
-  if (ifid_.valid && !ifid_.poisoned) {
-    const Instruction& inst = ifid_.inst;
-    const OpcodeSpec& s = isa::spec(inst.op);
-
-    // Is `reg` produced by an instruction still in flight (for stall
-    // decisions)?  `allow_exmem`/`allow_memwb` say whether a forwarding
-    // path can cover that distance for this consumer.
-    auto in_flight_hazard = [&](int reg, bool allow_ex_fwd, bool allow_exmem_fwd,
-                                bool allow_memwb_fwd) -> bool {
-      if (idex_.valid && writes_reg(idex_.inst) && idex_.inst.ta == reg) {
-        if (idex_.inst.op == Opcode::kLoad) return true;  // data not ready before MEM
-        if (!allow_ex_fwd) return true;
-      }
-      if (exmem_.valid && writes_reg(exmem_.inst) && exmem_.inst.ta == reg) {
-        // A load's data is being read from the TDM this very cycle; an ID
-        // consumer cannot see it until it lands in MEM/WB.
-        if (exmem_.inst.op == Opcode::kLoad) return true;
-        if (!allow_exmem_fwd) return true;
-      }
-      if (memwb_.valid && writes_reg(memwb_.inst) && memwb_.inst.ta == reg) {
-        // With write-through, WB already updated the TRF this cycle.
-        if (!config_.regfile_write_through && !allow_memwb_fwd) return true;
-      }
-      return false;
-    };
-
-    // --- EX-stage operand hazards (ALU/memory consumers) -----------------
-    const bool needs_a_in_ex = s.reads_ta;
-    const bool needs_b_in_ex =
-        s.reads_tb && !(config_.branch_in_id && (s.is_branch || inst.op == Opcode::kJalr));
-    uint64_t* stall_counter = nullptr;
-    if (config_.ex_forwarding) {
-      // Only load-use distance-1 stalls remain.
-      auto load_use = [&](int reg) {
-        return idex_.valid && idex_.inst.op == Opcode::kLoad && idex_.inst.ta == reg;
-      };
-      if ((needs_a_in_ex && load_use(inst.ta)) || (needs_b_in_ex && load_use(inst.tb))) {
-        stall = true;
-        stall_counter = &stats_.stall_load_use;
-        stall_kind = CycleEvent::kLoadUseStall;
-      }
-    } else {
-      if ((needs_a_in_ex && in_flight_hazard(inst.ta, false, false, false)) ||
-          (needs_b_in_ex && in_flight_hazard(inst.tb, false, false, false))) {
-        stall = true;
-        stall_counter = &stats_.stall_raw;
-        stall_kind = CycleEvent::kRawStall;
-      }
-    }
-    // Without the read-during-write bypass, a distance-3 producer is
-    // writing the TRF this very cycle: the stale ID read must retry.
-    if (!stall && !config_.regfile_write_through) {
-      auto wb_now = [&](int reg) {
-        return memwb_.valid && writes_reg(memwb_.inst) && memwb_.inst.ta == reg;
-      };
-      if ((needs_a_in_ex && wb_now(inst.ta)) || (needs_b_in_ex && wb_now(inst.tb))) {
-        stall = true;
-        stall_counter = &stats_.stall_raw;
-        stall_kind = CycleEvent::kRawStall;
-      }
-    }
-
-    // --- ID-stage consumers: branch condition and JALR base --------------
-    Word9 id_b_value;  // resolved TRF[Tb] for ID-stage use
-    if (!stall && config_.branch_in_id && (s.is_branch || inst.op == Opcode::kJalr)) {
-      const bool is_jalr = inst.op == Opcode::kJalr;
-      // JALR's 9-trit base has no EX combinational bypass (long path —
-      // paper forwards only the one-trit condition from EX).
-      const bool allow_ex_fwd = config_.id_forwarding && !is_jalr;
-      const bool allow_exmem_fwd = config_.id_forwarding;
-      const bool allow_memwb_fwd = config_.id_forwarding;
-      if (in_flight_hazard(inst.tb, allow_ex_fwd, allow_exmem_fwd, allow_memwb_fwd)) {
-        stall = true;
-        stall_counter = &stats_.stall_branch_hazard;
-        stall_kind = CycleEvent::kBranchHazardStall;
-      } else {
-        // Resolve the value through the allowed paths, newest first.
-        if (allow_ex_fwd && ex_value_ready && ex_value_rd == inst.tb) {
-          id_b_value = ex_value;
-        } else if (config_.id_forwarding && exmem_.valid && writes_reg(exmem_.inst) &&
-                   exmem_.inst.ta == inst.tb && exmem_.inst.op != Opcode::kLoad) {
-          id_b_value = exmem_.result;
-        } else if (!config_.regfile_write_through && config_.id_forwarding && memwb_.valid &&
-                   writes_reg(memwb_.inst) && memwb_.inst.ta == inst.tb) {
-          id_b_value = memwb_.result;
-        } else {
-          id_b_value = state_.trf.read(inst.tb);
-        }
-      }
-    }
-
-    if (stall) {
-      ++*stall_counter;
-    } else {
-      // Control-flow resolution in ID.
-      if (is_halt_jal(inst)) {
-        id_sees_halt = true;
-      } else if (config_.branch_in_id) {
-        switch (inst.op) {
-          case Opcode::kBeq:
-          case Opcode::kBne: {
-            const bool eq = id_b_value.lst() == inst.bcond;
-            const bool taken = inst.op == Opcode::kBeq ? eq : !eq;
-            if (taken != ifid_.predicted_taken) {
-              id_redirect = true;
-              id_redirect_target =
-                  taken ? ArchState::wrap(ifid_.pc + inst.imm) : ArchState::wrap(ifid_.pc + 1);
-              if (ifid_.predicted_taken) ++stats_.predictions_wrong;
-            } else if (ifid_.predicted_taken) {
-              ++stats_.predictions_correct;  // bubble avoided
-            }
-            break;
-          }
-          case Opcode::kJal:
-            if (ifid_.predicted_taken) {
-              ++stats_.predictions_correct;  // target folded into the fetch
-            } else {
-              id_redirect = true;
-              id_redirect_target = ArchState::wrap(ifid_.pc + inst.imm);
-            }
-            break;
-          case Opcode::kJalr: {
-            const int64_t target = ArchState::wrap(id_b_value.to_int() + inst.imm);
-            if (target == ifid_.pc) {
-              id_sees_halt = true;
-            } else {
-              id_redirect = true;
-              id_redirect_target = target;
-            }
-            break;
-          }
-          default:
-            break;
-        }
-      }
-      idex_next.valid = true;
-      idex_next.is_halt = id_sees_halt;
-      idex_next.inst = inst;
-      idex_next.pc = ifid_.pc;
-      idex_next.a = state_.trf.read(inst.ta);
-      idex_next.b = state_.trf.read(inst.tb);
-    }
-  }
-
-  // ==== IF =================================================================
-  IfId ifid_next;
-  int64_t pc_next = state_.pc;
-  if (ex_redirect || ex_sees_halt) {
-    // EX-resolved control flow (ablation mode): squash both younger stages.
-    ifid_next.valid = false;
-    idex_next = IdEx{};
-    if (ex_redirect) {
-      pc_next = ex_redirect_target;
-      stats_.flush_taken_branch += 2;
-    }
-    if (ex_sees_halt) fetch_stopped_ = true;
-  } else if (stall) {
-    // Hold PC and IF/ID; a bubble (already-empty idex_next) enters EX.
-    ifid_next = ifid_;
-  } else {
-    if (id_sees_halt) fetch_stopped_ = true;
-    if (id_redirect) {
-      // The instruction fetched this cycle is wrong-path: squash it.
-      ifid_next.valid = false;
-      pc_next = id_redirect_target;
-      ++stats_.flush_taken_branch;
-    } else if (!fetch_stopped_) {
-      const DecodedOp& fetched = image_->fetch(state_.pc);
-      const bool ok = fetched.kind != DispatchKind::kInvalid;
-      ifid_next.valid = true;
-      ifid_next.poisoned = !ok;
-      ifid_next.inst = ok ? fetched.inst : Instruction::nop();
-      ifid_next.pc = state_.pc;
-      pc_next = fetched.next_pc;
-      // Extension: static prediction at fetch — backward conditional
-      // branches predict taken, JAL targets fold directly.  (A JAL row can
-      // only carry kJal here: the imm == 0 halt was folded to kHalt.)
-      if (config_.static_prediction && config_.branch_in_id && ok) {
-        const bool backward_branch =
-            (fetched.kind == DispatchKind::kBeq || fetched.kind == DispatchKind::kBne) &&
-            fetched.inst.imm < 0;
-        const bool direct_jump = fetched.kind == DispatchKind::kJal;
-        if (backward_branch || direct_jump) {
-          ifid_next.predicted_taken = true;
-          pc_next = fetched.taken_pc;
-        }
-      }
-    }
-  }
-
-  if (poison_pending && !(ex_redirect || ex_sees_halt)) {
-    throw SimError("executing instruction fetched from uninitialised TIM at pc " +
-                   std::to_string(ifid_.pc));
-  }
-
-  // ==== commit clock edge ==================================================
-  if (pending_write.valid) state_.trf.write(pending_write.rd, pending_write.value);
-  state_.pc = pc_next;
-  ifid_ = ifid_next;
-  idex_ = idex_next;
-  exmem_ = exmem_next;
-  memwb_ = memwb_next;
-
-  if (tracer_) {
-    if (retire_halt || id_sees_halt || ex_sees_halt) {
-      trace.event = CycleEvent::kHaltSeen;
-    } else if (id_redirect || ex_redirect) {
-      trace.event = CycleEvent::kTakenBranchFlush;
-    } else if (stall) {
-      trace.event = stall_kind;
-    }
-    tracer_(trace);
-  }
-
-  if (retire_halt) {
-    halted_ = true;
-    stats_.halt = HaltReason::kHalted;
-    return false;
-  }
-  return true;
-}
-
-SimStats PipelineSimulator::run() { return run(config_.max_cycles); }
-
-SimStats PipelineSimulator::run(uint64_t max_cycles) {
-  while (stats_.cycles < max_cycles) {
-    if (!step()) return stats_;
-  }
-  stats_.halt = HaltReason::kMaxCycles;
-  return stats_;
-}
+    : PipelineModel(std::move(image), config) {}
 
 }  // namespace art9::sim

@@ -123,7 +123,7 @@ const std::array<std::string, 7>& opcode_corpus() {
 
 constexpr uint64_t kBudget = 100'000'000;
 
-[[nodiscard]] bool is_functional(EngineKind kind) { return kind != EngineKind::kPipeline; }
+[[nodiscard]] bool is_functional(EngineKind kind) { return !is_cycle_accurate(kind); }
 
 class EngineConformance : public ::testing::TestWithParam<EngineKind> {
  protected:
@@ -236,7 +236,7 @@ TEST_P(EngineConformance, PipelineConfigBudgetCapsEachRun) {
   std::unique_ptr<Engine> engine = make_engine(GetParam(), decode(loop), options);
   const RunResult r = engine->run({100});
   EXPECT_EQ(r.halt, HaltReason::kMaxCycles);
-  EXPECT_EQ(r.stats.cycles, GetParam() == EngineKind::kPipeline ? 40u : 100u);
+  EXPECT_EQ(r.stats.cycles, is_cycle_accurate(GetParam()) ? 40u : 100u);
 }
 
 TEST_P(EngineConformance, HaltingProgramReportsHalted) {

@@ -1,0 +1,264 @@
+// Packed-pipeline parity suite: the plane-packed cycle-accurate pipeline
+// must be *bit-identical* to the reference PipelineSimulator — cycle
+// counts, every stall/squash/prediction counter, architectural state
+// (registers, TDM contents *and* access counters, PC), retired-instruction
+// observer streams and rendered CycleTrace output — across every
+// PipelineConfig ablation combination, on the translated paper benchmarks
+// and an every-opcode assembly corpus.
+//
+// The two simulators share the control-logic template by construction
+// (pipeline_model.hpp); what this suite actually locks is the datapath:
+// any packed ALU/forwarding/condition/address divergence changes branch
+// outcomes, stall placement or latched values and shows up here.
+#include "sim/packed_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/benchmarks.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "rv32/rv32_assembler.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/trace.hpp"
+#include "xlat/framework.hpp"
+
+namespace art9::sim {
+namespace {
+
+isa::Program translated(const core::BenchmarkSources& bench) {
+  xlat::SoftwareFramework framework;
+  return framework.translate(rv32::assemble_rv32(bench.rv32)).program;
+}
+
+/// Every combination of the five PipelineConfig switches (2^5 = 32),
+/// including the static_prediction-without-branch_in_id corner the config
+/// documents as ignored.
+std::vector<PipelineConfig> all_config_combinations() {
+  std::vector<PipelineConfig> configs;
+  for (unsigned bits = 0; bits < 32; ++bits) {
+    PipelineConfig c;
+    c.ex_forwarding = (bits & 1u) != 0;
+    c.id_forwarding = (bits & 2u) != 0;
+    c.regfile_write_through = (bits & 4u) != 0;
+    c.branch_in_id = (bits & 8u) != 0;
+    c.static_prediction = (bits & 16u) != 0;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+std::string config_name(const PipelineConfig& c) {
+  std::string name;
+  name += c.ex_forwarding ? "exfwd," : "noexfwd,";
+  name += c.id_forwarding ? "idfwd," : "noidfwd,";
+  name += c.regfile_write_through ? "wt," : "nowt,";
+  name += c.branch_in_id ? "brid," : "brex,";
+  name += c.static_prediction ? "pred" : "nopred";
+  return name;
+}
+
+/// Small programs that collectively execute all 24 opcodes: ALU/logic
+/// traffic, every branch polarity, register and immediate shifts, LUI/LI
+/// field inserts, memory traffic and JAL/JALR linkage.
+const std::vector<std::string>& opcode_corpus() {
+  static const std::vector<std::string> kPrograms = {
+      R"(
+        LIMM T1, 1234
+        LIMM T2, -77
+        ADD  T1, T2
+        SUB  T2, T1
+        AND  T1, T2
+        OR   T2, T1
+        XOR  T1, T2
+        STI  T3, T1
+        NTI  T4, T1
+        PTI  T5, T2
+        MV   T6, T5
+        COMP T6, T4
+        ANDI T1, 13
+        ADDI T1, -13
+        LUI  T7, -40
+        LI   T7, 121
+        HALT
+      )",
+      R"(
+        LIMM T1, 9841
+        LIMM T2, 5
+        SR   T1, T2
+        SL   T1, T2
+        SRI  T1, 8
+        SLI  T1, 3
+        HALT
+      )",
+      R"(
+        LIMM T1, 1
+        COMP T1, T0
+        BEQ  T1, +, fwd
+        LIMM T7, 111
+      fwd:
+        BNE  T1, -, fwd2
+        LIMM T7, 222
+      fwd2:
+        BEQ  T1, 0, never
+        ADDI T6, 4
+      never:
+        LIMM T5, 0
+        JAL  T8, sub
+        ADDI T5, 2
+        HALT
+      sub:
+        ADDI T5, 5
+        JALR T0, T8, 0
+      )",
+      R"(
+        LIMM T1, -9000
+        LIMM T2, 42
+        STORE T2, -3(T1)
+        LOAD  T3, -3(T1)
+        ADD   T3, T3
+        STORE T3, 13(T1)
+        LOAD  T4, 13(T1)
+        HALT
+      )",
+  };
+  return kPrograms;
+}
+
+void expect_bit_identical(const std::shared_ptr<const DecodedImage>& image,
+                          const PipelineConfig& config, uint64_t max_cycles = 50'000'000) {
+  SCOPED_TRACE(config_name(config));
+  PipelineSimulator reference(image, config);
+  PackedPipelineSimulator packed(image, config);
+  const SimStats ref_stats = reference.run(max_cycles);
+  const SimStats packed_stats = packed.run(max_cycles);
+  // The whole SimStats struct: cycles, instructions, every stall/flush/
+  // prediction counter and the halt reason.
+  EXPECT_EQ(packed_stats, ref_stats);
+  // The whole ArchState: registers, TDM contents *and* access counters, PC.
+  EXPECT_EQ(packed.state(), reference.state());
+}
+
+// --- the acceptance matrix: 4 translated benchmarks x 32 configs -------------
+
+class PackedPipelineAblationParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackedPipelineAblationParity, TranslatedBenchmarkBitIdenticalOnAllConfigs) {
+  const core::BenchmarkSources& bench = *core::all_benchmarks()[GetParam()];
+  const std::shared_ptr<const DecodedImage> image = decode(translated(bench));
+  for (const PipelineConfig& config : all_config_combinations()) {
+    expect_bit_identical(image, config);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PackedPipelineAblationParity,
+                         ::testing::Range<std::size_t>(0, 4),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           std::string name = core::all_benchmarks()[info.param]->name;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- every-opcode corpus x 32 configs ----------------------------------------
+
+TEST(PackedPipeline, OpcodeCorpusBitIdenticalOnAllConfigs) {
+  for (const std::string& source : opcode_corpus()) {
+    const std::shared_ptr<const DecodedImage> image = decode(isa::assemble(source));
+    for (const PipelineConfig& config : all_config_combinations()) {
+      expect_bit_identical(image, config);
+    }
+  }
+}
+
+// --- budget exhaustion: identical mid-flight cut -----------------------------
+
+TEST(PackedPipeline, BudgetExhaustionBitIdenticalOnAllConfigs) {
+  const std::shared_ptr<const DecodedImage> image =
+      decode(isa::assemble("loop:\n  ADDI T1, 1\n  COMP T2, T1\n  JAL T0, loop\n"));
+  for (const PipelineConfig& config : all_config_combinations()) {
+    expect_bit_identical(image, config, 73);  // budget cuts mid-iteration
+  }
+}
+
+// --- retired-instruction observer stream parity ------------------------------
+
+TEST(PackedPipeline, RetireStreamBitIdenticalOnAllConfigs) {
+  struct Retire {
+    std::string inst;
+    int64_t pc;
+    uint64_t index;
+    bool operator==(const Retire&) const = default;
+  };
+  const std::shared_ptr<const DecodedImage> image = decode(translated(*core::all_benchmarks()[0]));
+  for (const PipelineConfig& config : all_config_combinations()) {
+    SCOPED_TRACE(config_name(config));
+    std::vector<Retire> ref_stream;
+    std::vector<Retire> packed_stream;
+    PipelineSimulator reference(image, config);
+    reference.set_retire_observer([&](const isa::Instruction& inst, int64_t pc, uint64_t index) {
+      ref_stream.push_back({isa::to_string(inst), pc, index});
+    });
+    PackedPipelineSimulator packed(image, config);
+    packed.set_retire_observer([&](const isa::Instruction& inst, int64_t pc, uint64_t index) {
+      packed_stream.push_back({isa::to_string(inst), pc, index});
+    });
+    static_cast<void>(reference.run());
+    static_cast<void>(packed.run());
+    ASSERT_FALSE(ref_stream.empty());
+    EXPECT_EQ(packed_stream, ref_stream);
+  }
+}
+
+// --- rendered CycleTrace parity ----------------------------------------------
+
+TEST(PackedPipeline, RenderedTraceBitIdenticalOnAllConfigs) {
+  // The trace-golden program: load-use stall, taken backward branch,
+  // straight-line ALU traffic and the halt — every trace event.
+  const std::shared_ptr<const DecodedImage> image = decode(isa::assemble(R"(
+      LIMM T1, 60
+      LIMM T2, 2
+      STORE T2, 0(T1)
+  loop:
+      LOAD  T3, 0(T1)
+      ADD   T4, T3
+      ADDI  T2, -1
+      MV    T5, T2
+      COMP  T5, T0
+      BNE   T5, 0, loop
+      HALT
+  )"));
+  for (const PipelineConfig& config : all_config_combinations()) {
+    SCOPED_TRACE(config_name(config));
+    std::vector<std::string> ref_lines;
+    std::vector<std::string> packed_lines;
+    PipelineSimulator reference(image, config);
+    reference.set_tracer([&](const CycleTrace& t) { ref_lines.push_back(render_trace(t)); });
+    PackedPipelineSimulator packed(image, config);
+    packed.set_tracer([&](const CycleTrace& t) { packed_lines.push_back(render_trace(t)); });
+    static_cast<void>(reference.run());
+    static_cast<void>(packed.run());
+    ASSERT_FALSE(ref_lines.empty());
+    EXPECT_EQ(packed_lines, ref_lines);
+  }
+}
+
+// --- uninitialised-fetch trap parity -----------------------------------------
+
+TEST(PackedPipeline, UninitialisedFetchTrapsLikeReference) {
+  isa::Program program;
+  program.code.push_back(isa::Instruction{isa::Opcode::kAddi, 1, 0, ternary::kTritZ, 1});
+  program.entry = 0;
+  const std::shared_ptr<const DecodedImage> image = decode(program);
+  PipelineSimulator reference(image);
+  PackedPipelineSimulator packed(image);
+  EXPECT_THROW(static_cast<void>(reference.run()), SimError);
+  EXPECT_THROW(static_cast<void>(packed.run()), SimError);
+}
+
+}  // namespace
+}  // namespace art9::sim

@@ -96,6 +96,7 @@ SimulationService mixed_batch(unsigned threads) {
     service.add(image, EngineKind::kFunctional, kBudget);
     service.add(image, EngineKind::kPacked, kBudget);
     service.add(image, EngineKind::kPipeline, kBudget);
+    service.add(image, EngineKind::kPackedPipeline, kBudget);
   }
   return service;
 }
@@ -122,7 +123,8 @@ TEST(SimulationService, MatchesStandaloneEngineRuns) {
 
 TEST(SimulationService, ThreadedResultsBitIdenticalToSequential) {
   // The acceptance gate: threads=N returns results bit-identical to
-  // threads=1, across a 32-job mixed-kind batch.
+  // threads=1, across a 40-job mixed-kind batch (every program on all
+  // five engine kinds).
   const std::vector<RunResult> sequential = mixed_batch(1).run_all();
   for (unsigned threads : {2u, 4u, 8u}) {
     const std::vector<RunResult> parallel = mixed_batch(threads).run_all();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "isa/assembler.hpp"
+#include "sim/packed_pipeline.hpp"
 #include "sim/pipeline.hpp"
 #include "sim/trace.hpp"
 
@@ -31,20 +32,45 @@ loop:
     HALT
 )";
 
+template <class Simulator>
 std::vector<std::string> rendered_trace() {
-  PipelineSimulator sim(isa::assemble(kProgram));
+  Simulator sim(isa::assemble(kProgram));
   std::vector<std::string> lines;
   sim.set_tracer([&](const CycleTrace& t) { lines.push_back(render_trace(t)); });
   sim.run();
   return lines;
 }
 
-TEST(TraceGolden, RenderedTraceIsStable) {
-  const std::vector<std::string> actual = rendered_trace();
+/// The locked golden trace (2026-07): regenerate only for a *deliberate*
+/// trace-format or microarchitecture change, never for a hot-loop
+/// refactor.  Both pipeline datapaths must render it verbatim.
+const std::vector<std::string>& golden_trace();
 
-  // Locked 2026-07: regenerate only for a *deliberate* trace-format or
-  // microarchitecture change, never for a hot-loop refactor.
-  const std::vector<std::string> expected = {
+template <class Simulator>
+void expect_matches_golden() {
+  const std::vector<std::string> actual = rendered_trace<Simulator>();
+  const std::vector<std::string>& expected = golden_trace();
+  std::ostringstream dump;
+  for (const std::string& line : actual) dump << line << '\n';
+  ASSERT_EQ(actual.size(), expected.size()) << "full trace:\n" << dump.str();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "cycle index " << i << "\nfull trace:\n" << dump.str();
+  }
+}
+
+TEST(TraceGolden, RenderedTraceIsStable) { expect_matches_golden<PipelineSimulator>(); }
+
+// Tracer parity: the plane-packed pipeline streams the *identical*
+// CycleTrace sequence — same stage occupancy, same stall/flush/halt
+// events, same rendering — as the reference datapath.
+TEST(TraceGolden, PackedPipelineRendersIdenticalTrace) {
+  expect_matches_golden<PackedPipelineSimulator>();
+  EXPECT_EQ(rendered_trace<PackedPipelineSimulator>(), rendered_trace<PipelineSimulator>());
+}
+
+const std::vector<std::string>& golden_trace() {
+
+  static const std::vector<std::string> kExpected = {
       "     1 | IF@0 | ID - | EX - | MEM - | WB -",
       "     2 | IF@1 | ID 0:LUI T1, 0 | EX - | MEM - | WB -",
       "     3 | IF@2 | ID 1:LI T1, 60 | EX 0:LUI T1, 0 | MEM - | WB -",
@@ -77,17 +103,12 @@ TEST(TraceGolden, RenderedTraceIsStable) {
       "    24 | IF-- | ID - | EX - | MEM 11:JAL T0, 0 | WB 10:BNE T5, 0, -5",
       "    25 | IF-- | ID - | EX - | MEM - | WB 11:JAL T0, 0  <halt>",
   };
-
-  std::ostringstream dump;
-  for (const std::string& line : actual) dump << line << '\n';
-  ASSERT_EQ(actual.size(), expected.size()) << "full trace:\n" << dump.str();
-  for (std::size_t i = 0; i < expected.size(); ++i) {
-    EXPECT_EQ(actual[i], expected[i]) << "cycle index " << i << "\nfull trace:\n" << dump.str();
-  }
+  return kExpected;
 }
 
 TEST(TraceGolden, TraceIsDeterministic) {
-  EXPECT_EQ(rendered_trace(), rendered_trace());
+  EXPECT_EQ(rendered_trace<PipelineSimulator>(), rendered_trace<PipelineSimulator>());
+  EXPECT_EQ(rendered_trace<PackedPipelineSimulator>(), rendered_trace<PackedPipelineSimulator>());
 }
 
 }  // namespace

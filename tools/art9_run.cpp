@@ -1,7 +1,7 @@
 // art9-run — execute a .t9 program image on any ART-9 simulation engine
 // through the unified sim::Engine facade.
 //
-//   art9-run program.t9 [--engine=lazy|functional|packed|pipeline]
+//   art9-run program.t9 [--engine=lazy|functional|packed|pipeline|pipeline_packed]
 //            [--max-cycles N] [--dump-regs] [--dump-mem LO HI]
 //            [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]
 #include <cstdio>
@@ -16,11 +16,13 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: art9-run <program.t9> [--engine=lazy|functional|packed|pipeline]\n"
+               "usage: art9-run <program.t9>\n"
+               "                [--engine=lazy|functional|packed|pipeline|pipeline_packed]\n"
                "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
                "                [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]\n"
-               "engine defaults to pipeline (the cycle-accurate model); --trace and the\n"
-               "microarchitecture switches apply to the pipeline engine only\n");
+               "engine defaults to pipeline (the cycle-accurate model); pipeline_packed is\n"
+               "the same 5-stage model on plane-packed words; --trace and the\n"
+               "microarchitecture switches apply to the pipeline engines only\n");
   return 2;
 }
 
@@ -94,7 +96,7 @@ int main(int argc, char** argv) {
     const std::unique_ptr<art9::sim::Engine> engine = art9::sim::make_engine(kind, program, options);
     const art9::sim::RunResult result = engine->run({max_cycles});
 
-    const bool cycle_accurate = kind == art9::sim::EngineKind::kPipeline;
+    const bool cycle_accurate = art9::sim::is_cycle_accurate(kind);
     std::printf("engine=%s halted=%s instructions=%llu",
                 std::string(art9::sim::engine_kind_name(kind)).c_str(),
                 result.halt == art9::sim::HaltReason::kHalted ? "yes" : "budget",
