@@ -25,6 +25,7 @@
 #include "isa/assembler.hpp"
 #include "report.hpp"
 #include "rv32/rv32_assembler.hpp"
+#include "rv32/rv32_decoded_image.hpp"
 #include "rv32/rv32_sim.hpp"
 #include "sim/engine.hpp"
 #include "sim/service.hpp"
@@ -47,6 +48,19 @@ const std::shared_ptr<const sim::DecodedImage>& dhrystone_image() {
   return kImage;
 }
 
+const std::shared_ptr<const rv32::Rv32DecodedImage>& dhrystone_rv32_image() {
+  static const std::shared_ptr<const rv32::Rv32DecodedImage> kImage =
+      rv32::decode(rv32::assemble_rv32(core::dhrystone().rv32));
+  return kImage;
+}
+
+/// The Dhrystone image matching a kind's ISA: the rv32 kinds run the
+/// source program, the ART-9 kinds its translation.
+sim::EngineImage engine_image_for(sim::EngineKind kind) {
+  if (sim::is_rv32(kind)) return dhrystone_rv32_image();
+  return dhrystone_image();
+}
+
 // --- one benchmark per engine kind, registered generically -------------------
 // Throughput counter is steps/s in the engine's own step unit: retired
 // instructions for the functional kinds, clock cycles for the pipeline.
@@ -54,7 +68,7 @@ const std::shared_ptr<const sim::DecodedImage>& dhrystone_image() {
 void BM_Engine(benchmark::State& state, sim::EngineKind kind) {
   uint64_t steps = 0;
   for (auto _ : state) {
-    std::unique_ptr<sim::Engine> engine = sim::make_engine(kind, dhrystone_image());
+    std::unique_ptr<sim::Engine> engine = sim::make_engine(kind, engine_image_for(kind));
     steps += engine->run_stats({}).cycles;
   }
   state.counters["steps/s"] =
@@ -89,17 +103,19 @@ void register_engine_benches() {
   }
 }
 
-void BM_Rv32Simulator(benchmark::State& state) {
+void BM_LazyRv32Simulator(benchmark::State& state) {
+  // The seed decode-on-fetch rv32 loop — the differential baseline the
+  // pre-decoded BM_Engine/rv32 path is measured against.
   const rv32::Rv32Program program = rv32::assemble_rv32(core::dhrystone().rv32);
   uint64_t instructions = 0;
   for (auto _ : state) {
-    rv32::Rv32Simulator sim(program);
+    rv32::LazyRv32Simulator sim(program);
     instructions += sim.run().instructions;
   }
   state.counters["sim_instr/s"] =
       benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Rv32Simulator)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LazyRv32Simulator)->Unit(benchmark::kMillisecond);
 
 void BM_TranslationPipeline(benchmark::State& state) {
   const rv32::Rv32Program program = rv32::assemble_rv32(core::dhrystone().rv32);
@@ -133,7 +149,7 @@ BENCHMARK(BM_Art9Assembler)->Unit(benchmark::kMicrosecond);
 
 double engine_rate(sim::EngineKind kind) {
   return bench::median_rate([&] {
-    std::unique_ptr<sim::Engine> engine = sim::make_engine(kind, dhrystone_image());
+    std::unique_ptr<sim::Engine> engine = sim::make_engine(kind, engine_image_for(kind));
     return engine->run_stats({}).cycles;  // == instructions on functional kinds
   });
 }
@@ -163,6 +179,13 @@ int run_json_report(const std::string& path) {
   bench::note("packed / pre-decoded:   x" + std::to_string(packed / predecoded));
   bench::note("packed pipe / pipe:     x" + std::to_string(pipeline_packed / pipeline));
 
+  bench::heading("rv32 engine steps/s — source Dhrystone (single stream)");
+  const double rv32_predecoded = engine_rate(sim::EngineKind::kRv32);
+  const double rv32_packed = engine_rate(sim::EngineKind::kRv32Packed);
+  bench::note("rv32 pre-decoded:       " + std::to_string(rv32_predecoded / 1e6) + " M steps/s");
+  bench::note("rv32 packed (21-trit):  " + std::to_string(rv32_packed / 1e6) + " M steps/s");
+  bench::note("rv32 packed / predec:   x" + std::to_string(rv32_packed / rv32_predecoded));
+
   bench::heading("batch_parallel — SimulationService, 8 packed Dhrystone jobs");
   constexpr int kJobs = 8;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -187,6 +210,10 @@ int run_json_report(const std::string& path) {
   json.add("packed_vs_predecoded", predecoded > 0.0 ? packed / predecoded : 0.0);
   json.add("predecoded_vs_lazy", lazy > 0.0 ? predecoded / lazy : 0.0);
   json.add("pipeline_packed_vs_pipeline", pipeline > 0.0 ? pipeline_packed / pipeline : 0.0);
+  json.add("rv32_predecoded_steps_per_sec", rv32_predecoded);
+  json.add("rv32_packed_steps_per_sec", rv32_packed);
+  json.add("rv32_packed_vs_predecoded",
+           rv32_predecoded > 0.0 ? rv32_packed / rv32_predecoded : 0.0);
   json.add("batch_parallel_jobs", static_cast<double>(kJobs));
   json.add("batch_parallel_engine", "packed");
   json.add("batch_threads_1_steps_per_sec", batch1);

@@ -7,7 +7,7 @@
 #include "report.hpp"
 #include "rv32/cycle_models.hpp"
 #include "rv32/rv32_assembler.hpp"
-#include "rv32/rv32_sim.hpp"
+#include "sim/engine.hpp"
 #include "xlat/framework.hpp"
 
 int main() {
@@ -17,14 +17,17 @@ int main() {
   const core::BenchmarkSources& dhry = core::dhrystone();
   const rv32::Rv32Program rp = rv32::assemble_rv32(dhry.rv32);
 
-  // Baselines: one functional execution feeds both cycle models.
-  rv32::Rv32Simulator rv(rp);
+  // Baselines: one functional execution through the cross-ISA engine
+  // facade feeds both cycle models via the retired-instruction observer.
+  const std::unique_ptr<sim::Engine> rv = sim::make_engine(sim::EngineKind::kRv32, rp);
   rv32::PicoRv32CycleModel pico;
   rv32::VexRiscvCycleModel vex;
-  if (!rv.run(500'000'000, [&](const rv32::Rv32Retired& r) {
-        pico.observe(r);
-        vex.observe(r);
-      }).halted) {
+  rv->set_observer([&](const sim::Retired& r) {
+    const rv32::Rv32Retired retired = r.to_rv32();
+    pico.observe(retired);
+    vex.observe(retired);
+  });
+  if (rv->run_stats({500'000'000}).halt != sim::HaltReason::kHalted) {
     std::fprintf(stderr, "rv32 dhrystone did not halt\n");
     return 1;
   }

@@ -6,8 +6,7 @@
 #include "report.hpp"
 #include "rv32/cycle_models.hpp"
 #include "rv32/rv32_assembler.hpp"
-#include "rv32/rv32_sim.hpp"
-#include "sim/pipeline.hpp"
+#include "sim/engine.hpp"
 #include "xlat/framework.hpp"
 
 namespace {
@@ -37,17 +36,18 @@ int main() {
   int index = 0;
   for (const core::BenchmarkSources* b : core::all_benchmarks()) {
     const rv32::Rv32Program rp = rv32::assemble_rv32(b->rv32);
-    rv32::Rv32Simulator rv(rp);
+    const std::unique_ptr<sim::Engine> rv = sim::make_engine(sim::EngineKind::kRv32, rp);
     rv32::PicoRv32CycleModel pico;
-    if (!rv.run(500'000'000, [&](const rv32::Rv32Retired& r) { pico.observe(r); }).halted) {
+    rv->set_observer([&](const sim::Retired& r) { pico.observe(r.to_rv32()); });
+    if (rv->run_stats({500'000'000}).halt != sim::HaltReason::kHalted) {
       std::fprintf(stderr, "%s: rv32 run did not halt\n", b->name.c_str());
       return 1;
     }
 
     xlat::SoftwareFramework framework;
     const xlat::TranslationResult xl = framework.translate(rp);
-    sim::PipelineSimulator pipe(xl.program);
-    const sim::SimStats stats = pipe.run();
+    const std::unique_ptr<sim::Engine> pipe = sim::make_engine(sim::EngineKind::kPipeline, xl.program);
+    const sim::SimStats stats = pipe->run_stats({});
     if (stats.halt != sim::HaltReason::kHalted) {
       std::fprintf(stderr, "%s: ART-9 run did not halt\n", b->name.c_str());
       return 1;

@@ -49,7 +49,7 @@ int main() {
   int32_t max_value = 1;
   for (int i = 0; i < inner * inner; ++i) {
     const auto v = static_cast<int32_t>(
-        result.state.tdm.peek(core::kSobelOutAddr + static_cast<int64_t>(i) * 4).to_int());
+        result.state.art9().tdm.peek(core::kSobelOutAddr + static_cast<int64_t>(i) * 4).to_int());
     out.push_back(v);
     if (v > max_value) max_value = v;
   }

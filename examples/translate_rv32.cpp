@@ -61,7 +61,7 @@ done:
   const auto t9 = sim::make_engine(sim::EngineKind::kFunctional, result.program);
   const sim::RunResult t9_result = t9->run({});
   const auto rv_gcd = static_cast<int32_t>(rv.load_word(64));
-  const auto t9_gcd = t9_result.state.tdm.peek(64).to_int();
+  const auto t9_gcd = t9_result.state.art9().tdm.peek(64).to_int();
   std::printf("\ngcd(252, 105) -> rv32: %d, art9: %lld (both should be 21)\n", rv_gcd,
               static_cast<long long>(t9_gcd));
   return (rv_gcd == 21 && t9_gcd == 21) ? 0 : 1;

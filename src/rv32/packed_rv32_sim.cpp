@@ -1,0 +1,155 @@
+#include "rv32/packed_rv32_sim.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rv32/rv32_exec.hpp"
+
+namespace art9::rv32 {
+
+namespace {
+
+/// Byte-span mask within a row: `take` bytes starting at byte `offset`.
+constexpr uint32_t row_mask(uint32_t offset, uint32_t take) noexcept {
+  const uint32_t bits = 8 * take;
+  return (bits == 32 ? 0xFFFFFFFFu : (1u << bits) - 1u) << (8 * offset);
+}
+
+/// LE byte assembly over the packed word rows (bounds in logical bytes).
+/// Sub-word and unaligned traffic is grouped per covering row, so each
+/// row crosses the plane/value boundary once, not once per byte.
+uint32_t packed_load(const std::vector<PackedU32>& ram, std::size_t ram_bytes, uint32_t address,
+                     uint32_t size) {
+  check_ram_range(address, size, ram_bytes, "load");
+  if (size == 4 && (address & 3u) == 0) return unpack_u32(ram[address >> 2]);
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < size;) {
+    const uint32_t a = address + i;
+    const uint32_t offset = a & 3u;
+    const uint32_t take = std::min(size - i, 4u - offset);
+    const uint32_t word = unpack_u32(ram[a >> 2]);
+    v |= ((word & row_mask(offset, take)) >> (8 * offset)) << (8 * i);
+    i += take;
+  }
+  return v;
+}
+
+void packed_store(std::vector<PackedU32>& ram, std::size_t ram_bytes, uint32_t address,
+                  uint32_t value, uint32_t size) {
+  check_ram_range(address, size, ram_bytes, "store");
+  if (size == 4 && (address & 3u) == 0) {
+    ram[address >> 2] = pack_u32(value);
+    return;
+  }
+  // Read-modify-write each covering row once.
+  for (uint32_t i = 0; i < size;) {
+    const uint32_t a = address + i;
+    const uint32_t offset = a & 3u;
+    const uint32_t take = std::min(size - i, 4u - offset);
+    const uint32_t mask = row_mask(offset, take);
+    uint32_t word = unpack_u32(ram[a >> 2]);
+    word = (word & ~mask) | (((value >> (8 * i)) << (8 * offset)) & mask);
+    ram[a >> 2] = pack_u32(word);
+    i += take;
+  }
+}
+
+/// The plane-pair datapath: values cross the representation boundary per
+/// operand (table loads), never per run.
+struct PackedDatapath {
+  std::array<PackedU32, 32>& regs;
+  std::vector<PackedU32>& ram;
+  std::size_t ram_bytes;
+
+  [[nodiscard]] uint32_t read(unsigned reg) const { return unpack_u32(regs[reg]); }
+  void write(unsigned reg, uint32_t value) {
+    if (reg != 0) regs[reg] = pack_u32(value);
+  }
+  [[nodiscard]] uint32_t load(uint32_t address, uint32_t size) const {
+    return packed_load(ram, ram_bytes, address, size);
+  }
+  void store(uint32_t address, uint32_t value, uint32_t size) {
+    packed_store(ram, ram_bytes, address, value, size);
+  }
+};
+
+}  // namespace
+
+PackedRv32Simulator::PackedRv32Simulator(const Rv32Program& program, std::size_t ram_bytes)
+    : PackedRv32Simulator(decode(program), ram_bytes) {}
+
+PackedRv32Simulator::PackedRv32Simulator(std::shared_ptr<const Rv32DecodedImage> image,
+                                         std::size_t ram_bytes)
+    : image_(std::move(image)), ram_bytes_(ram_bytes), ram_((ram_bytes + 3) / 4) {
+  if (!image_) throw Rv32SimError("PackedRv32Simulator: null image");
+  pc_ = image_->entry();
+  row_ = image_->row_of(pc_);
+  for (const Rv32DataWord& d : image_->program().data) store_word(d.address, d.value);
+}
+
+uint32_t PackedRv32Simulator::mem_load(uint32_t address, uint32_t size) const {
+  return packed_load(ram_, ram_bytes_, address, size);
+}
+
+void PackedRv32Simulator::mem_store(uint32_t address, uint32_t value, uint32_t size) {
+  packed_store(ram_, ram_bytes_, address, value, size);
+}
+
+uint32_t PackedRv32Simulator::load_word(uint32_t address) const { return mem_load(address, 4); }
+
+uint8_t PackedRv32Simulator::load_byte(uint32_t address) const {
+  return static_cast<uint8_t>(mem_load(address, 1));
+}
+
+void PackedRv32Simulator::store_word(uint32_t address, uint32_t value) {
+  mem_store(address, value, 4);
+}
+
+bool PackedRv32Simulator::step() {
+  const uint32_t row = row_;
+  const Rv32DecodedOp& op = image_->row(row);
+  const uint32_t pc = pc_;
+  uint32_t next_pc = op.next_pc;
+  uint32_t next_row = op.next_row;
+  bool taken = false;
+
+  PackedDatapath dp{regs_, ram_, ram_bytes_};
+  if (!detail::execute_rv32(dp, *image_, op, pc, next_pc, next_row, taken)) {
+    if (observer_) observer_(Rv32Retired{image_->instruction(row), pc, false});
+    return false;  // halt convention
+  }
+
+  pc_ = next_pc;
+  row_ = next_row;
+  if (observer_) observer_(Rv32Retired{image_->instruction(row), pc, taken});
+  return true;
+}
+
+Rv32RunStats PackedRv32Simulator::run(uint64_t max_instructions, const Observer& observer) {
+  const detail::ScopedObserver scope(observer_, observer);
+  Rv32RunStats stats;
+  while (stats.instructions < max_instructions) {
+    if (!step()) {
+      stats.halted = true;
+      break;
+    }
+    ++stats.instructions;
+  }
+  return stats;
+}
+
+Rv32ArchState PackedRv32Simulator::state() const {
+  Rv32ArchState state;
+  for (std::size_t r = 0; r < regs_.size(); ++r) state.regs[r] = unpack_u32(regs_[r]);
+  state.ram.resize(ram_bytes_);
+  for (std::size_t row = 0; row < ram_.size(); ++row) {
+    const uint32_t word = unpack_u32(ram_[row]);
+    for (std::size_t b = 0; b < 4 && 4 * row + b < ram_bytes_; ++b) {
+      state.ram[4 * row + b] = static_cast<uint8_t>(word >> (8 * b));
+    }
+  }
+  state.pc = pc_;
+  return state;
+}
+
+}  // namespace art9::rv32

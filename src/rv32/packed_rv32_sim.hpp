@@ -1,0 +1,102 @@
+// PackedRv32Simulator — the RV32 reference semantics with every
+// architectural 32-bit value held as a ternary plane pair
+// (ternary::packed::PackedWord<21>): the binary-on-ternary direction of
+// Etiemble's ternary-arithmetic line of work, and the paper's premise
+// that a 32-bit binary word fits in 21 trits (3^21 > 2^32) run in the
+// packed SWAR representation the ART-9 simulators already use.
+//
+// Representation: a uint32_t value v is stored as the balanced-ternary
+// word whose value *is* v (v < 2^32 - 1 < PackedWord<21>::kMaxValue, so
+// the unsigned range embeds directly — no bias).  The register file is
+// 32 packed words; data memory is one packed word per aligned 32-bit
+// row, assembled to/from the byte view only at the access boundary.
+// Conversions run through the same L1-resident plane/value tables as the
+// ternary backends (ternary/packed.hpp); full binary materialization
+// happens only at load time and at state() snapshots.
+//
+// The execution semantics are the shared pre-decoded control logic
+// (rv32_exec.hpp), so this backend is bit-identical to Rv32Simulator in
+// registers, memory, PC, stats and observer stream — locked by
+// tests/rv32/packed_rv32_sim_test.cpp and the engine conformance suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rv32/rv32_decoded_image.hpp"
+#include "rv32/rv32_sim.hpp"
+#include "ternary/packed.hpp"
+
+namespace art9::rv32 {
+
+/// A 32-bit binary value on the ternary datapath: 21 trits, two planes.
+using PackedU32 = ternary::packed::PackedWord<21>;
+
+/// uint32_t -> plane pair (table loads; the unsigned range embeds into
+/// the balanced range unbiased).
+[[nodiscard]] constexpr PackedU32 pack_u32(uint32_t value) noexcept {
+  return PackedU32::from_int(static_cast<int64_t>(value));
+}
+
+/// Plane pair -> uint32_t.  Precondition: holds a value in [0, 2^32).
+[[nodiscard]] constexpr uint32_t unpack_u32(const PackedU32& word) noexcept {
+  return static_cast<uint32_t>(word.to_int());
+}
+
+class PackedRv32Simulator {
+ public:
+  using Observer = Rv32Simulator::Observer;
+
+  explicit PackedRv32Simulator(const Rv32Program& program, std::size_t ram_bytes = 1u << 20);
+
+  /// Runs off a shared pre-decoded image.  `image` must be non-null.
+  explicit PackedRv32Simulator(std::shared_ptr<const Rv32DecodedImage> image,
+                               std::size_t ram_bytes = 1u << 20);
+
+  /// Executes one instruction; false when ECALL/EBREAK retires.  Same
+  /// observer convention as Rv32Simulator (the halting event included).
+  bool step();
+
+  Rv32RunStats run(uint64_t max_instructions = 100'000'000, const Observer& observer = {});
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  [[nodiscard]] uint32_t reg(int index) const {
+    return unpack_u32(regs_.at(static_cast<std::size_t>(index)));
+  }
+  void set_reg(int index, uint32_t value) {
+    if (index != 0) regs_.at(static_cast<std::size_t>(index)) = pack_u32(value);
+  }
+  [[nodiscard]] uint32_t pc() const noexcept { return pc_; }
+
+  [[nodiscard]] uint32_t load_word(uint32_t address) const;
+  void store_word(uint32_t address, uint32_t value);
+  [[nodiscard]] uint8_t load_byte(uint32_t address) const;
+
+  /// Full binary materialization of registers, RAM bytes and PC — the
+  /// only place the packed state is decoded wholesale.
+  [[nodiscard]] Rv32ArchState state() const;
+
+  [[nodiscard]] const Rv32DecodedImage& image() const noexcept { return *image_; }
+
+  /// Direct plane-pair access (tests, representation checks).
+  [[nodiscard]] const PackedU32& packed_reg(int index) const {
+    return regs_.at(static_cast<std::size_t>(index));
+  }
+
+ private:
+  [[nodiscard]] uint32_t mem_load(uint32_t address, uint32_t size) const;
+  void mem_store(uint32_t address, uint32_t value, uint32_t size);
+
+  std::shared_ptr<const Rv32DecodedImage> image_;
+  std::size_t ram_bytes_;             // logical byte size (bounds checks)
+  std::vector<PackedU32> ram_;        // one packed word per aligned 32-bit row
+  std::array<PackedU32, 32> regs_{};  // packed TRF; regs_[0] stays zero
+  uint32_t pc_ = 0;
+  uint32_t row_ = 0;
+  Observer observer_;
+};
+
+}  // namespace art9::rv32

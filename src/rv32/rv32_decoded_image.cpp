@@ -1,0 +1,76 @@
+#include "rv32/rv32_decoded_image.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace art9::rv32 {
+
+Rv32DecodedImage::Rv32DecodedImage(const Rv32Program& program)
+    : program_(program), entry_(program.entry) {
+  rows_.resize(program.code.size() + 1);  // + shared trap row
+  for (std::size_t r = 0; r < program.code.size(); ++r) {
+    const Rv32Instruction& inst = program.code[r];
+    // Field validation: every instruction must round-trip through the
+    // 32-bit encoder.  A register index or immediate outside its format's
+    // range is a malformed encoding — reject it here, at load time.
+    try {
+      static_cast<void>(encode(inst));
+    } catch (const std::exception& e) {
+      throw Rv32SimError("rv32 malformed encoding at pc=" +
+                         std::to_string(entry_ + 4 * static_cast<uint32_t>(r)) + ": " + e.what());
+    }
+
+    Rv32DecodedOp& op = rows_[r];
+    op.kind = static_cast<Rv32Dispatch>(inst.op);
+    op.rd = static_cast<uint8_t>(inst.rd);
+    op.rs1 = static_cast<uint8_t>(inst.rs1);
+    op.rs2 = static_cast<uint8_t>(inst.rs2);
+    const uint32_t pc = entry_ + 4 * static_cast<uint32_t>(r);
+    op.next_pc = pc + 4;
+    op.next_row = row_of(op.next_pc);
+    op.link = pc + 4;
+
+    const uint32_t imm_u = static_cast<uint32_t>(inst.imm);
+    switch (inst.op) {
+      case Rv32Op::kLui:
+        op.imm_u = imm_u << 12;
+        break;
+      case Rv32Op::kAuipc:
+        op.imm_u = pc + (imm_u << 12);  // the complete result
+        break;
+      case Rv32Op::kSlli:
+      case Rv32Op::kSrli:
+      case Rv32Op::kSrai:
+        op.imm_u = imm_u & 31u;
+        break;
+      default:
+        op.imm_u = imm_u;
+        break;
+    }
+
+    switch (inst.op) {
+      case Rv32Op::kJal:
+      case Rv32Op::kBeq:
+      case Rv32Op::kBne:
+      case Rv32Op::kBlt:
+      case Rv32Op::kBge:
+      case Rv32Op::kBltu:
+      case Rv32Op::kBgeu:
+        op.taken_pc = pc + imm_u;
+        op.taken_row = row_of(op.taken_pc);
+        break;
+      default:
+        op.taken_pc = op.next_pc;
+        op.taken_row = op.next_row;
+        break;
+    }
+  }
+  // The trap row keeps its default kTrap kind; the executing simulator's
+  // pc names the faulting address when it dispatches here.
+}
+
+std::shared_ptr<const Rv32DecodedImage> decode(const Rv32Program& program) {
+  return std::make_shared<const Rv32DecodedImage>(program);
+}
+
+}  // namespace art9::rv32

@@ -1,29 +1,66 @@
 #include "rv32/rv32_sim.hpp"
 
+#include "rv32/rv32_exec.hpp"
+
 #include <string>
+#include <utility>
 
 namespace art9::rv32 {
 
-Rv32Simulator::Rv32Simulator(const Rv32Program& program, std::size_t ram_bytes)
-    : code_(program.code), entry_(program.entry), ram_(ram_bytes, 0), pc_(program.entry) {
-  for (const Rv32DataWord& d : program.data) store_word(d.address, d.value);
+namespace {
+
+/// Little-endian byte assembly over a bounds-checked range.
+uint32_t ram_load(const std::vector<uint8_t>& ram, uint32_t address, uint32_t size,
+                  const char* what) {
+  check_ram_range(address, size, ram.size(), what);
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < size; ++i) v |= static_cast<uint32_t>(ram[address + i]) << (8 * i);
+  return v;
 }
 
-const Rv32Instruction& Rv32Simulator::fetch() const {
-  if (pc_ < entry_ || (pc_ - entry_) % 4 != 0 ||
-      (pc_ - entry_) / 4 >= code_.size()) {
-    throw Rv32SimError("rv32 fetch outside program at pc=" + std::to_string(pc_));
+void ram_store(std::vector<uint8_t>& ram, uint32_t address, uint32_t value, uint32_t size,
+               const char* what) {
+  check_ram_range(address, size, ram.size(), what);
+  for (uint32_t i = 0; i < size; ++i) ram[address + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+/// The reference datapath: host uint32_t registers and a byte RAM.
+struct HostDatapath {
+  std::array<uint32_t, 32>& regs;
+  std::vector<uint8_t>& ram;
+
+  [[nodiscard]] uint32_t read(unsigned reg) const { return regs[reg]; }
+  void write(unsigned reg, uint32_t value) {
+    if (reg != 0) regs[reg] = value;
   }
-  return code_[(pc_ - entry_) / 4];
+  [[nodiscard]] uint32_t load(uint32_t address, uint32_t size) const {
+    return ram_load(ram, address, size, "load");
+  }
+  void store(uint32_t address, uint32_t value, uint32_t size) {
+    ram_store(ram, address, value, size, "store");
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rv32Simulator — the pre-decoded reference model.
+// ---------------------------------------------------------------------------
+
+Rv32Simulator::Rv32Simulator(const Rv32Program& program, std::size_t ram_bytes)
+    : Rv32Simulator(decode(program), ram_bytes) {}
+
+Rv32Simulator::Rv32Simulator(std::shared_ptr<const Rv32DecodedImage> image, std::size_t ram_bytes)
+    : image_(std::move(image)), ram_(ram_bytes, 0) {
+  if (!image_) throw Rv32SimError("Rv32Simulator: null image");
+  rows_ = image_->rows_data();
+  pc_ = image_->entry();
+  row_ = image_->row_of(pc_);
+  for (const Rv32DataWord& d : image_->program().data) store_word(d.address, d.value);
 }
 
 uint32_t Rv32Simulator::ram_at(uint32_t address, uint32_t size) const {
-  if (address + size > ram_.size() || address + size < address) {
-    throw Rv32SimError("rv32 memory access out of range at " + std::to_string(address));
-  }
-  uint32_t v = 0;
-  for (uint32_t i = 0; i < size; ++i) v |= static_cast<uint32_t>(ram_[address + i]) << (8 * i);
-  return v;
+  return ram_load(ram_, address, size, "load");
 }
 
 uint32_t Rv32Simulator::load_word(uint32_t address) const { return ram_at(address, 4); }
@@ -33,13 +70,105 @@ uint8_t Rv32Simulator::load_byte(uint32_t address) const {
 }
 
 void Rv32Simulator::store_word(uint32_t address, uint32_t value) {
-  if (address + 4 > ram_.size()) {
-    throw Rv32SimError("rv32 memory store out of range at " + std::to_string(address));
-  }
-  for (int i = 0; i < 4; ++i) ram_[address + static_cast<uint32_t>(i)] = static_cast<uint8_t>(value >> (8 * i));
+  ram_store(ram_, address, value, 4, "store");
 }
 
 bool Rv32Simulator::step() {
+  const uint32_t row = row_;
+  const Rv32DecodedOp& op = rows_[row];
+  const uint32_t pc = pc_;
+  uint32_t next_pc = op.next_pc;
+  uint32_t next_row = op.next_row;
+  bool taken = false;
+
+  HostDatapath dp{regs_, ram_};
+  if (!detail::execute_rv32(dp, *image_, op, pc, next_pc, next_row, taken)) {
+    if (observer_) observer_(Rv32Retired{image_->instruction(row), pc, false});
+    return false;  // halt convention
+  }
+
+  pc_ = next_pc;
+  row_ = next_row;
+  if (observer_) observer_(Rv32Retired{image_->instruction(row), pc, taken});
+  return true;
+}
+
+Rv32RunStats Rv32Simulator::run(uint64_t max_instructions, const Observer& observer) {
+  const detail::ScopedObserver scope(observer_, observer);
+  Rv32RunStats stats;
+  if (observer_) {
+    // Instrumented loop: one observer call per retire, via step().
+    while (stats.instructions < max_instructions) {
+      if (!step()) {
+        stats.halted = true;
+        break;
+      }
+      ++stats.instructions;
+    }
+    return stats;
+  }
+  // Native hot loop: position lives in registers; pc_/row_ are committed
+  // only at exit (including the trap path, so a fault leaves the
+  // architectural pc on the faulting address exactly like step()).
+  uint32_t pc = pc_;
+  uint32_t row = row_;
+  const Rv32DecodedOp* const rows = rows_;
+  HostDatapath dp{regs_, ram_};
+  try {
+    while (stats.instructions < max_instructions) {
+      const Rv32DecodedOp& op = rows[row];
+      uint32_t next_pc = op.next_pc;
+      uint32_t next_row = op.next_row;
+      bool taken = false;
+      if (!detail::execute_rv32(dp, *image_, op, pc, next_pc, next_row, taken)) {
+        stats.halted = true;
+        break;
+      }
+      pc = next_pc;
+      row = next_row;
+      ++stats.instructions;
+    }
+  } catch (...) {
+    pc_ = pc;
+    row_ = row;
+    throw;
+  }
+  pc_ = pc;
+  row_ = row;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// LazyRv32Simulator — the seed decode-on-fetch loop (differential baseline).
+// ---------------------------------------------------------------------------
+
+LazyRv32Simulator::LazyRv32Simulator(const Rv32Program& program, std::size_t ram_bytes)
+    : code_(program.code), entry_(program.entry), ram_(ram_bytes, 0), pc_(program.entry) {
+  for (const Rv32DataWord& d : program.data) store_word(d.address, d.value);
+}
+
+const Rv32Instruction& LazyRv32Simulator::fetch() const {
+  if (pc_ < entry_ || (pc_ - entry_) % 4 != 0 || (pc_ - entry_) / 4 >= code_.size()) {
+    throw Rv32SimError("rv32 fetch outside program at pc=" + std::to_string(pc_));
+  }
+  return code_[(pc_ - entry_) / 4];
+}
+
+uint32_t LazyRv32Simulator::ram_at(uint32_t address, uint32_t size) const {
+  return ram_load(ram_, address, size, "load");
+}
+
+uint32_t LazyRv32Simulator::load_word(uint32_t address) const { return ram_at(address, 4); }
+
+uint8_t LazyRv32Simulator::load_byte(uint32_t address) const {
+  return static_cast<uint8_t>(ram_at(address, 1));
+}
+
+void LazyRv32Simulator::store_word(uint32_t address, uint32_t value) {
+  ram_store(ram_, address, value, 4, "store");
+}
+
+bool LazyRv32Simulator::step() {
   const Rv32Instruction inst = fetch();
   const uint32_t pc = pc_;
   uint32_t next_pc = pc_ + 4;
@@ -114,21 +243,14 @@ bool Rv32Simulator::step() {
     case Rv32Op::kLhu:
       wr(ram_at(rs1() + imm_u, 2));
       break;
-    case Rv32Op::kSb: {
-      const uint32_t a = rs1() + imm_u;
-      if (a >= ram_.size()) throw Rv32SimError("rv32 sb out of range");
-      ram_[a] = static_cast<uint8_t>(rs2());
+    case Rv32Op::kSb:
+      ram_store(ram_, rs1() + imm_u, rs2(), 1, "store");
       break;
-    }
-    case Rv32Op::kSh: {
-      const uint32_t a = rs1() + imm_u;
-      if (a + 2 > ram_.size()) throw Rv32SimError("rv32 sh out of range");
-      ram_[a] = static_cast<uint8_t>(rs2());
-      ram_[a + 1] = static_cast<uint8_t>(rs2() >> 8);
+    case Rv32Op::kSh:
+      ram_store(ram_, rs1() + imm_u, rs2(), 2, "store");
       break;
-    }
     case Rv32Op::kSw:
-      store_word(rs1() + imm_u, rs2());
+      ram_store(ram_, rs1() + imm_u, rs2(), 4, "store");
       break;
     case Rv32Op::kAddi:
       wr(rs1() + imm_u);
@@ -197,16 +319,14 @@ bool Rv32Simulator::step() {
       wr(rs1() * rs2());
       break;
     case Rv32Op::kMulh:
-      wr(static_cast<uint32_t>(
-          (static_cast<int64_t>(s1()) * static_cast<int64_t>(s2())) >> 32));
+      wr(static_cast<uint32_t>((static_cast<int64_t>(s1()) * static_cast<int64_t>(s2())) >> 32));
       break;
     case Rv32Op::kMulhsu:
       wr(static_cast<uint32_t>(
           (static_cast<int64_t>(s1()) * static_cast<int64_t>(static_cast<uint64_t>(rs2()))) >> 32));
       break;
     case Rv32Op::kMulhu:
-      wr(static_cast<uint32_t>(
-          (static_cast<uint64_t>(rs1()) * static_cast<uint64_t>(rs2())) >> 32));
+      wr(static_cast<uint32_t>((static_cast<uint64_t>(rs1()) * static_cast<uint64_t>(rs2())) >> 32));
       break;
     case Rv32Op::kDiv:
       if (rs2() == 0) {
@@ -239,18 +359,16 @@ bool Rv32Simulator::step() {
   return true;
 }
 
-Rv32RunStats Rv32Simulator::run(uint64_t max_instructions, const Observer& observer) {
-  observer_ = observer;
+Rv32RunStats LazyRv32Simulator::run(uint64_t max_instructions, const Observer& observer) {
+  const detail::ScopedObserver scope(observer_, observer);
   Rv32RunStats stats;
   while (stats.instructions < max_instructions) {
     if (!step()) {
       stats.halted = true;
-      observer_ = nullptr;
-      return stats;
+      break;
     }
     ++stats.instructions;
   }
-  observer_ = nullptr;
   return stats;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rv32/packed_rv32_sim.hpp"
 #include "sim/functional_sim.hpp"
 #include "sim/packed_pipeline.hpp"
 #include "sim/packed_sim.hpp"
@@ -22,6 +23,10 @@ std::string_view engine_kind_name(EngineKind kind) noexcept {
       return "pipeline";
     case EngineKind::kPackedPipeline:
       return "pipeline_packed";
+    case EngineKind::kRv32:
+      return "rv32";
+    case EngineKind::kRv32Packed:
+      return "rv32_packed";
   }
   return "unknown";
 }
@@ -69,7 +74,7 @@ class FunctionalEngineBase : public Engine {
     return stats;
   }
 
-  [[nodiscard]] ArchState state() const final { return snapshot(); }
+  [[nodiscard]] MachineState state() const final { return MachineState{snapshot()}; }
   [[nodiscard]] const DecodedImage& image() const noexcept final { return *image_; }
   void set_observer(Observer observer) final {
     observer_ = std::move(observer);
@@ -187,7 +192,7 @@ class PipelineEngine final : public Engine {
     return minus(sim_.run(limit), before);
   }
 
-  [[nodiscard]] ArchState state() const override { return sim_.state(); }
+  [[nodiscard]] MachineState state() const override { return MachineState{sim_.state()}; }
   [[nodiscard]] const DecodedImage& image() const noexcept override { return *image_; }
 
   void set_observer(Observer observer) override {
@@ -210,6 +215,54 @@ class PipelineEngine final : public Engine {
   Sim sim_;
 };
 
+/// The RV32 baseline backends behind the same contract.  One template
+/// serves both datapaths: Sim is rv32::Rv32Simulator (kRv32, host words)
+/// or rv32::PackedRv32Simulator (kRv32Packed, PackedWord<21> plane
+/// pairs).  The wrapped simulators already carry the observer hook in
+/// their native loop (guarded by one branch per retire, exactly the
+/// zero-cost-when-unset contract), so the facade only adapts the event
+/// type and renumbers the stream from each installation.
+template <class Sim, EngineKind Kind>
+class Rv32Engine final : public Engine {
+ public:
+  Rv32Engine(std::shared_ptr<const rv32::Rv32DecodedImage> image, const EngineOptions& options)
+      : image_(std::move(image)), sim_(image_, options.rv32_ram_bytes) {}
+
+  [[nodiscard]] EngineKind kind() const noexcept override { return Kind; }
+
+  bool step() override { return sim_.step(); }
+
+  SimStats run_stats(const RunOptions& options) override {
+    const rv32::Rv32RunStats stats = sim_.run(options.max_steps);
+    SimStats out;
+    out.instructions = stats.instructions;
+    out.cycles = stats.instructions;  // == instructions on functional kinds
+    out.halt = stats.halted ? HaltReason::kHalted : HaltReason::kMaxCycles;
+    return out;
+  }
+
+  [[nodiscard]] MachineState state() const override { return MachineState{sim_.state()}; }
+  [[nodiscard]] const rv32::Rv32DecodedImage& rv32_image() const override { return *image_; }
+
+  void set_observer(Observer observer) override {
+    if (!observer) {
+      sim_.set_observer({});
+      return;
+    }
+    // Renumber from 0 at installation; the native stream keeps its own
+    // convention (the halting ECALL/EBREAK is observed, `taken` carries
+    // the branch outcome) — what the baseline cycle models consume.
+    sim_.set_observer([observer = std::move(observer),
+                       index = uint64_t{0}](const rv32::Rv32Retired& r) mutable {
+      observer(Retired{r.inst, static_cast<int64_t>(r.pc), index++, r.taken});
+    });
+  }
+
+ private:
+  std::shared_ptr<const rv32::Rv32DecodedImage> image_;
+  Sim sim_;
+};
+
 }  // namespace
 
 std::unique_ptr<Engine> make_engine(EngineKind kind, std::shared_ptr<const DecodedImage> image,
@@ -229,13 +282,43 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, std::shared_ptr<const Decod
       return std::make_unique<
           PipelineEngine<PackedPipelineSimulator, EngineKind::kPackedPipeline>>(std::move(image),
                                                                                 options);
+    case EngineKind::kRv32:
+    case EngineKind::kRv32Packed:
+      throw std::invalid_argument("make_engine: rv32 kind needs an Rv32DecodedImage");
   }
   throw std::invalid_argument("make_engine: unknown EngineKind");
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                    std::shared_ptr<const rv32::Rv32DecodedImage> image,
+                                    const EngineOptions& options) {
+  if (!image) throw std::invalid_argument("make_engine: null image");
+  switch (kind) {
+    case EngineKind::kRv32:
+      return std::make_unique<Rv32Engine<rv32::Rv32Simulator, EngineKind::kRv32>>(std::move(image),
+                                                                                  options);
+    case EngineKind::kRv32Packed:
+      return std::make_unique<Rv32Engine<rv32::PackedRv32Simulator, EngineKind::kRv32Packed>>(
+          std::move(image), options);
+    default:
+      throw std::invalid_argument("make_engine: ART-9 kind needs a DecodedImage");
+  }
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, EngineImage image,
+                                    const EngineOptions& options) {
+  return std::visit([&](auto shared) { return make_engine(kind, std::move(shared), options); },
+                    std::move(image));
 }
 
 std::unique_ptr<Engine> make_engine(EngineKind kind, const isa::Program& program,
                                     const EngineOptions& options) {
   return make_engine(kind, decode(program), options);
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, const rv32::Rv32Program& program,
+                                    const EngineOptions& options) {
+  return make_engine(kind, rv32::decode(program), options);
 }
 
 }  // namespace art9::sim

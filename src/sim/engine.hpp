@@ -1,29 +1,34 @@
-// Unified simulation-engine facade: one API over every ART-9 execution
-// backend (lazy decode-on-fetch, pre-decoded dispatch, plane-packed SWAR,
-// cycle-accurate pipeline on the reference or the plane-packed datapath).
+// Unified simulation-engine facade: one API over every execution backend
+// of the paper's evaluation framework — both ISAs.
 //
-// The paper's evaluation framework runs the same program through a
-// functional model and a cycle-accurate model and compares them; before
-// this facade every consumer (batch sweeps, art9-run, the micro benches,
-// the differential tests) hand-rolled its own backend switch over four
-// diverging class surfaces.  An Engine gives them one contract:
+// The evaluation is inherently cross-ISA: RV32 baselines (the
+// PicoRV32/VexRiscv timing models of Tables II/III) are compared against
+// the translated ART-9 ternary core.  The facade therefore spans
+//
+//   * the five ART-9 kinds (lazy decode-on-fetch, pre-decoded dispatch,
+//     plane-packed SWAR, and the cycle-accurate pipeline on the reference
+//     or the plane-packed datapath), and
+//   * the two RV32 kinds (pre-decoded dispatch, and the PackedWord<21>
+//     plane-pair datapath of PackedRv32Simulator),
+//
+// behind one contract:
 //
 //   auto engine = make_engine(EngineKind::kPacked, image);
 //   RunResult r = engine->run({.max_steps = budget});
 //   // r.state / r.stats / r.halt — identical shape for every kind.
 //
 // Contract guarantees, locked by tests/sim/engine_conformance_test.cpp:
-//  * all functional kinds produce bit-identical ArchState and SimStats on
-//    the same program and budget (the pipeline kind matches ArchState and
-//    retired-instruction count; its cycle accounting is its whole point);
+//  * all functional kinds of one ISA produce bit-identical MachineState
+//    and SimStats on the same program and budget (the pipeline kinds
+//    match ArchState and retired-instruction count; their cycle
+//    accounting is their whole point);
 //  * budget exhaustion is reported as HaltReason::kMaxCycles by every
 //    kind — never left defaulted;
-//  * the retired-instruction observer (mirroring rv32::Rv32Simulator's
-//    Observer) is zero-cost when unset: engines only leave their native
-//    hot loop (e.g. the packed threaded dispatch) when an observer is
-//    installed.
+//  * the retired-instruction observer is zero-cost when unset: engines
+//    only leave their native hot loop (e.g. the packed threaded
+//    dispatch) when an observer is installed.
 //
-// New backends (wider packed words, a threaded pipeline) drop in as a new
+// New backends (wider packed words, another ISA) drop in as a new
 // EngineKind + factory case; no consumer changes.
 #pragma once
 
@@ -33,9 +38,13 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <utility>
+#include <variant>
 
 #include "isa/instruction.hpp"
 #include "isa/program.hpp"
+#include "rv32/rv32_decoded_image.hpp"
+#include "rv32/rv32_sim.hpp"
 #include "sim/decoded_image.hpp"
 #include "sim/machine.hpp"
 #include "sim/pipeline.hpp"
@@ -49,12 +58,32 @@ enum class EngineKind : uint8_t {
   kPacked,          // plane-packed SWAR datapath
   kPipeline,        // cycle-accurate 5-stage pipeline (reference datapath)
   kPackedPipeline,  // the same 5-stage control logic over plane-packed words
+  kRv32,            // RV32 baseline, pre-decoded dispatch (reference model)
+  kRv32Packed,      // RV32 on the ternary datapath: PackedWord<21> TRF + RAM
 };
 
 /// All kinds, in factory order — for generic sweeps (benches, conformance).
-[[nodiscard]] constexpr std::array<EngineKind, 5> all_engine_kinds() noexcept {
+[[nodiscard]] constexpr std::array<EngineKind, 7> all_engine_kinds() noexcept {
+  return {EngineKind::kLazy,           EngineKind::kFunctional, EngineKind::kPacked,
+          EngineKind::kPipeline,       EngineKind::kPackedPipeline,
+          EngineKind::kRv32,           EngineKind::kRv32Packed};
+}
+
+/// True for the kinds that execute RV32 programs (an Rv32DecodedImage);
+/// the others execute ART-9 programs (a DecodedImage).
+[[nodiscard]] constexpr bool is_rv32(EngineKind kind) noexcept {
+  return kind == EngineKind::kRv32 || kind == EngineKind::kRv32Packed;
+}
+
+/// The five ART-9 kinds, in factory order.
+[[nodiscard]] constexpr std::array<EngineKind, 5> art9_engine_kinds() noexcept {
   return {EngineKind::kLazy, EngineKind::kFunctional, EngineKind::kPacked, EngineKind::kPipeline,
           EngineKind::kPackedPipeline};
+}
+
+/// The two RV32 kinds, in factory order.
+[[nodiscard]] constexpr std::array<EngineKind, 2> rv32_engine_kinds() noexcept {
+  return {EngineKind::kRv32, EngineKind::kRv32Packed};
 }
 
 /// True for the cycle-accurate kinds (step() is one clock, budgets are
@@ -64,19 +93,21 @@ enum class EngineKind : uint8_t {
 }
 
 /// Stable lower-case name ("lazy", "functional", "packed", "pipeline",
-/// "pipeline_packed") — the vocabulary of art9-run's --engine= flag and
-/// the bench JSON keys.
+/// "pipeline_packed", "rv32", "rv32_packed") — the vocabulary of
+/// art9-run's --engine= flag and the bench JSON keys.
 [[nodiscard]] std::string_view engine_kind_name(EngineKind kind) noexcept;
 
 /// Inverse of engine_kind_name; nullopt for unknown names.
 [[nodiscard]] std::optional<EngineKind> parse_engine_kind(std::string_view name) noexcept;
 
-/// Construction-time options.  Functional kinds ignore both fields.
+/// Construction-time options.  Functional kinds ignore the pipeline
+/// fields; ART-9 kinds ignore rv32_ram_bytes.
 /// `pipeline.max_cycles` caps each run() of a cycle-accurate engine in
 /// addition to RunOptions::max_steps (the tighter budget wins).
 struct EngineOptions {
   PipelineConfig pipeline;  // microarchitecture switches (both pipeline kinds)
   TraceObserver tracer;     // per-cycle pipeline trace stream (both pipeline kinds)
+  std::size_t rv32_ram_bytes = 1u << 20;  // data RAM of the rv32 kinds
 };
 
 /// Per-run options.  `max_steps` is the step() budget: retired
@@ -86,20 +117,72 @@ struct RunOptions {
   uint64_t max_steps = 100'000'000;
 };
 
+/// The architectural state of either ISA, as one comparable value:
+/// ART-9 kinds snapshot an ArchState (TRF, TDM, balanced PC), rv32 kinds
+/// an Rv32ArchState (x-registers, RAM bytes, byte PC).  Accessors throw
+/// SimError when the wrong ISA's view is requested.
+class MachineState {
+ public:
+  MachineState() = default;  // a default-constructed ART-9 state
+  /*implicit*/ MachineState(ArchState state) : state_(std::move(state)) {}
+  /*implicit*/ MachineState(::art9::rv32::Rv32ArchState state) : state_(std::move(state)) {}
+
+  [[nodiscard]] bool is_art9() const noexcept { return state_.index() == 0; }
+  [[nodiscard]] bool is_rv32() const noexcept { return state_.index() == 1; }
+
+  /// The ART-9 view (registers, TDM, PC).
+  [[nodiscard]] const ArchState& art9() const {
+    if (const ArchState* s = std::get_if<ArchState>(&state_)) return *s;
+    throw SimError("MachineState: rv32 state has no ART-9 view");
+  }
+
+  /// The rv32 view (x-registers, RAM bytes, PC).
+  [[nodiscard]] const ::art9::rv32::Rv32ArchState& rv32() const {
+    if (const auto* s = std::get_if<::art9::rv32::Rv32ArchState>(&state_)) return *s;
+    throw SimError("MachineState: ART-9 state has no rv32 view");
+  }
+
+  friend bool operator==(const MachineState&, const MachineState&) = default;
+
+ private:
+  std::variant<ArchState, ::art9::rv32::Rv32ArchState> state_;
+};
+
 /// What a run returns, identical for every kind.  `halt` duplicates
 /// `stats.halt` so call sites can switch on the reason without digging.
 struct RunResult {
-  ArchState state;
+  MachineState state;
   SimStats stats;
   HaltReason halt = HaltReason::kHalted;
 };
 
-/// One retired instruction, as seen by Engine observers (the ART-9 mirror
-/// of rv32::Rv32Retired, which feeds the RV32 baseline cycle models).
+/// One retired instruction, as seen by Engine observers, for either ISA.
+/// ART-9 kinds stream isa::Instruction events (the halt pseudo-op never
+/// retires); rv32 kinds stream Rv32Instruction events with the native
+/// convention of rv32::Rv32Simulator::Observer — the halting ECALL/
+/// EBREAK is observed (it feeds the baseline cycle models) and `taken`
+/// carries the branch outcome.
 struct Retired {
-  isa::Instruction inst;
+  std::variant<isa::Instruction, ::art9::rv32::Rv32Instruction> inst;
   int64_t pc = 0;
   uint64_t index = 0;  // sequence number, 0-based from observer installation
+  bool taken = false;  // rv32 branches/jumps: condition outcome
+
+  [[nodiscard]] bool is_rv32() const noexcept { return inst.index() == 1; }
+
+  /// The ART-9 instruction (throws std::bad_variant_access on rv32 events).
+  [[nodiscard]] const isa::Instruction& art9() const { return std::get<isa::Instruction>(inst); }
+
+  /// The rv32 instruction (throws std::bad_variant_access on ART-9 events).
+  [[nodiscard]] const ::art9::rv32::Rv32Instruction& rv32() const {
+    return std::get<::art9::rv32::Rv32Instruction>(inst);
+  }
+
+  /// The event in the vocabulary of the RV32 timing models
+  /// (rv32::PicoRv32CycleModel / rv32::VexRiscvCycleModel::observe).
+  [[nodiscard]] ::art9::rv32::Rv32Retired to_rv32() const {
+    return ::art9::rv32::Rv32Retired{rv32(), static_cast<uint32_t>(pc), taken};
+  }
 };
 
 class Engine {
@@ -113,17 +196,18 @@ class Engine {
   [[nodiscard]] virtual EngineKind kind() const noexcept = 0;
 
   /// Executes one step (instruction, or clock cycle for the pipeline).
-  /// Returns false once the HALT convention retires.  Observers installed
-  /// via set_observer fire for instructions retired by step() too.
+  /// Returns false once the halt convention retires (the ART-9 self-jump
+  /// or the rv32 ECALL/EBREAK).  Observers installed via set_observer
+  /// fire for instructions retired by step() too.
   virtual bool step() = 0;
 
-  /// Runs from the current state until HALT or the step budget,
+  /// Runs from the current state until halt or the step budget,
   /// returning this run's statistics (per-call, not lifetime — repeated
   /// runs each report only their own steps, on every kind).
   /// `stats.halt` is kMaxCycles on budget exhaustion, kHalted
   /// otherwise — for every kind.  This is the
   /// throughput path: no architectural-state materialization (the packed
-  /// backend's snapshot decode costs a measurable fraction of a short
+  /// backends' snapshot decode costs a measurable fraction of a short
   /// run); inspect via state() or use run() when the state is wanted.
   virtual SimStats run_stats(const RunOptions& options = {}) = 0;
 
@@ -133,35 +217,65 @@ class Engine {
     return RunResult{state(), stats, stats.halt};
   }
 
-  /// Snapshot of the architectural state (registers, TDM contents and
-  /// access counters, PC).  Packed state is decoded at this boundary.
-  [[nodiscard]] virtual ArchState state() const = 0;
+  /// Snapshot of the architectural state.  Packed state — on either
+  /// datapath — is decoded at this boundary.
+  [[nodiscard]] virtual MachineState state() const = 0;
 
-  /// The shared pre-decoded image this engine executes.
-  [[nodiscard]] virtual const DecodedImage& image() const noexcept = 0;
+  /// The shared pre-decoded ART-9 image this engine executes.  Throws
+  /// SimError for the rv32 kinds (use rv32_image()).
+  [[nodiscard]] virtual const DecodedImage& image() const {
+    throw SimError("engine: rv32 kind has no ART-9 image");
+  }
+
+  /// The shared pre-decoded rv32 image this engine executes.  Throws
+  /// SimError for the ART-9 kinds (use image()).
+  [[nodiscard]] virtual const ::art9::rv32::Rv32DecodedImage& rv32_image() const {
+    throw SimError("engine: ART-9 kind has no rv32 image");
+  }
 
   /// Streams every retired instruction to `observer` (empty to remove).
   /// Engines fall back to an instrumented step loop only while an
   /// observer is installed; the native hot loops are untouched otherwise.
   virtual void set_observer(Observer observer) = 0;
 
-  /// Convenience accessors over state() for small inspections.
-  [[nodiscard]] ternary::Word9 reg(int index) const { return state().trf.read(index); }
+  /// Convenience accessors over state() for small inspections (ART-9
+  /// kinds; they throw SimError on the rv32 kinds).
+  [[nodiscard]] ternary::Word9 reg(int index) const { return state().art9().trf.read(index); }
   [[nodiscard]] int64_t reg_int(int index) const { return reg(index).to_int(); }
 
  protected:
   Engine() = default;
 };
 
-/// Constructs an engine of `kind` over a shared immutable image.  Any
-/// number of engines (across threads — see SimulationService) may share
-/// one image.  Throws std::invalid_argument on a null image.
+/// Either ISA's shareable pre-decoded image — the one-argument form every
+/// generic consumer (SimulationService, the benches) traffics in.
+using EngineImage = std::variant<std::shared_ptr<const DecodedImage>,
+                                 std::shared_ptr<const ::art9::rv32::Rv32DecodedImage>>;
+
+/// Constructs an engine of `kind` over a shared immutable ART-9 image.
+/// Any number of engines (across threads — see SimulationService) may
+/// share one image.  Throws std::invalid_argument on a null image or an
+/// rv32 kind (which needs an Rv32DecodedImage).
 [[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind,
                                                   std::shared_ptr<const DecodedImage> image,
                                                   const EngineOptions& options = {});
 
+/// Constructs an rv32 engine over a shared immutable rv32 image.  Throws
+/// std::invalid_argument on a null image or an ART-9 kind.
+[[nodiscard]] std::unique_ptr<Engine> make_engine(
+    EngineKind kind, std::shared_ptr<const ::art9::rv32::Rv32DecodedImage> image,
+    const EngineOptions& options = {});
+
+/// Cross-ISA form: dispatches on the image alternative.  The kind must
+/// match the image's ISA (std::invalid_argument otherwise).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind, EngineImage image,
+                                                  const EngineOptions& options = {});
+
 /// Convenience: decodes `program` into a fresh image first.
 [[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind, const isa::Program& program,
+                                                  const EngineOptions& options = {});
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                                  const ::art9::rv32::Rv32Program& program,
                                                   const EngineOptions& options = {});
 
 }  // namespace art9::sim

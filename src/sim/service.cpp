@@ -14,7 +14,9 @@ SimulationService::SimulationService(unsigned threads)
     : threads_(threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency())) {}
 
 std::size_t SimulationService::add(Job job) {
-  if (!job.image) throw std::invalid_argument("SimulationService::add: null image");
+  const bool null_image =
+      std::visit([](const auto& shared) { return shared == nullptr; }, job.image);
+  if (null_image) throw std::invalid_argument("SimulationService::add: null image");
   jobs_.push_back(std::move(job));
   return jobs_.size() - 1;
 }
@@ -24,9 +26,21 @@ std::size_t SimulationService::add(std::shared_ptr<const DecodedImage> image, En
   return add(Job{std::move(image), kind, run, {}});
 }
 
+std::size_t SimulationService::add(std::shared_ptr<const rv32::Rv32DecodedImage> image,
+                                   EngineKind kind, RunOptions run) {
+  return add(Job{std::move(image), kind, run, {}});
+}
+
 std::shared_ptr<const DecodedImage> SimulationService::add(const isa::Program& program,
                                                            EngineKind kind, RunOptions run) {
   std::shared_ptr<const DecodedImage> image = decode(program);
+  add(image, kind, run);
+  return image;
+}
+
+std::shared_ptr<const rv32::Rv32DecodedImage> SimulationService::add(
+    const rv32::Rv32Program& program, EngineKind kind, RunOptions run) {
+  std::shared_ptr<const rv32::Rv32DecodedImage> image = rv32::decode(program);
   add(image, kind, run);
   return image;
 }

@@ -1,10 +1,11 @@
 // SimulationService: schedules a batch of independent simulation jobs
-// across a std::thread worker pool, one Engine per job.
+// across a std::thread worker pool, one Engine per job — mixing ISAs
+// freely (ART-9 and rv32 jobs ride the same queue).
 //
-// This replaces the sequential BatchRunner.  DecodedImages are immutable
-// after construction, so any number of jobs — across threads — share one
-// image with zero decode cost; every engine owns its private
-// architectural state.  Determinism: a job's result depends only on its
+// This replaces the sequential BatchRunner.  Decoded images (either
+// ISA's) are immutable after construction, so any number of jobs —
+// across threads — share one image with zero decode cost; every engine
+// owns its private architectural state.  Determinism: a job's result depends only on its
 // (image, kind, budget), never on scheduling, so `threads = N` returns
 // results bit-identical to `threads = 1` (locked by
 // tests/sim/service_test.cpp); results are indexed by job order, not by
@@ -23,10 +24,11 @@ namespace art9::sim {
 
 class SimulationService {
  public:
-  /// One scheduled simulation: an engine kind over a shared image with a
-  /// private budget and (for kPipeline) microarchitecture options.
+  /// One scheduled simulation: an engine kind over a shared image of
+  /// either ISA, with a private budget and (for the pipeline kinds)
+  /// microarchitecture options.  The kind must match the image's ISA.
   struct Job {
-    std::shared_ptr<const DecodedImage> image;
+    EngineImage image;
     EngineKind kind = EngineKind::kFunctional;
     RunOptions run;
     EngineOptions engine;
@@ -55,15 +57,20 @@ class SimulationService {
   /// Throws std::invalid_argument on a null image.
   std::size_t add(Job job);
 
-  /// Queues a run of an already-decoded image.
+  /// Queues a run of an already-decoded image (either ISA).
   std::size_t add(std::shared_ptr<const DecodedImage> image,
                   EngineKind kind = EngineKind::kFunctional, RunOptions run = {});
+  std::size_t add(std::shared_ptr<const rv32::Rv32DecodedImage> image,
+                  EngineKind kind = EngineKind::kRv32, RunOptions run = {});
 
   /// Queues `program`, decoding it into a fresh image.  Returns the image
   /// so further jobs can share it.
   std::shared_ptr<const DecodedImage> add(const isa::Program& program,
                                           EngineKind kind = EngineKind::kFunctional,
                                           RunOptions run = {});
+  std::shared_ptr<const rv32::Rv32DecodedImage> add(const rv32::Rv32Program& program,
+                                                    EngineKind kind = EngineKind::kRv32,
+                                                    RunOptions run = {});
 
   [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
 

@@ -1,0 +1,248 @@
+// PackedRv32Simulator: the PackedWord<21> plane-pair datapath must be
+// bit-identical to the reference Rv32Simulator in registers, every RAM
+// byte, PC, stats and observer stream — on the whole benchmark corpus
+// and an every-opcode RV32I(+M) sweep — and its packed representation
+// must round-trip the full uint32_t range.
+#include "rv32/packed_rv32_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/benchmarks.hpp"
+#include "rv32/rv32_assembler.hpp"
+
+namespace art9::rv32 {
+namespace {
+
+/// Bit-identical end-to-end comparison of the two datapaths.
+void expect_packed_matches_reference(const Rv32Program& program,
+                                     uint64_t budget = 100'000'000) {
+  const std::shared_ptr<const Rv32DecodedImage> image = decode(program);
+  Rv32Simulator reference(image);
+  PackedRv32Simulator packed(image);
+
+  std::vector<Rv32Retired> reference_stream;
+  std::vector<Rv32Retired> packed_stream;
+  const Rv32RunStats ref_stats =
+      reference.run(budget, [&](const Rv32Retired& r) { reference_stream.push_back(r); });
+  const Rv32RunStats packed_stats =
+      packed.run(budget, [&](const Rv32Retired& r) { packed_stream.push_back(r); });
+
+  EXPECT_EQ(packed_stats, ref_stats);
+  EXPECT_EQ(packed.state(), reference.state());  // regs, every RAM byte, pc
+  ASSERT_EQ(packed_stream.size(), reference_stream.size());
+  for (std::size_t i = 0; i < packed_stream.size(); ++i) {
+    EXPECT_EQ(packed_stream[i].pc, reference_stream[i].pc) << "index " << i;
+    EXPECT_EQ(packed_stream[i].taken, reference_stream[i].taken) << "index " << i;
+    EXPECT_EQ(packed_stream[i].inst, reference_stream[i].inst) << "index " << i;
+  }
+}
+
+// --- representation ----------------------------------------------------------
+
+TEST(PackedU32, RoundTripsEdgeValues) {
+  // The unsigned 32-bit range embeds into the 21-trit balanced range
+  // unbiased (2^32 - 1 < (3^21 - 1) / 2).
+  static_assert(static_cast<int64_t>(0xFFFFFFFFu) < PackedU32::kMaxValue);
+  for (uint32_t v : {0u, 1u, 2u, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu, 0xDEADBEEFu, 19683u,
+                     0x55555555u, 0xAAAAAAAAu}) {
+    EXPECT_EQ(unpack_u32(pack_u32(v)), v) << v;
+  }
+}
+
+TEST(PackedU32, RandomRoundTrip) {
+  uint32_t x = 0x12345678u;
+  for (int i = 0; i < 20000; ++i) {
+    x = x * 1664525u + 1013904223u;  // LCG sweep
+    EXPECT_EQ(unpack_u32(pack_u32(x)), x);
+  }
+}
+
+TEST(PackedRv32Sim, RegistersLiveAsPlanePairs) {
+  PackedRv32Simulator sim(assemble_rv32("li a0, 1\nebreak\n"));
+  sim.set_reg(10, 0xCAFEF00Du);
+  // The stored representation is the 21-trit plane pair of the value,
+  // not a host word.
+  EXPECT_EQ(sim.packed_reg(10), pack_u32(0xCAFEF00Du));
+  EXPECT_EQ(sim.reg(10), 0xCAFEF00Du);
+  // x0 stays hard-wired zero through the packed write path too.
+  sim.set_reg(0, 123u);
+  EXPECT_EQ(sim.reg(0), 0u);
+}
+
+// --- the acceptance corpus ---------------------------------------------------
+
+TEST(PackedRv32Sim, BitIdenticalOnBenchmarkCorpus) {
+  for (const core::BenchmarkSources* bench : core::all_benchmarks()) {
+    SCOPED_TRACE(bench->name);
+    expect_packed_matches_reference(assemble_rv32(bench->rv32));
+  }
+}
+
+TEST(PackedRv32Sim, BenchmarkOutputsMatchHostReference) {
+  // End-to-end spot check against the host-side golden outputs: the
+  // packed datapath computes the same sorted array and checksum.
+  PackedRv32Simulator bubble(assemble_rv32(core::bubble_sort().rv32));
+  ASSERT_TRUE(bubble.run().halted);
+  const std::vector<int32_t> expected = core::bubble_expected();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(static_cast<int32_t>(
+                  bubble.load_word(core::kBubbleArrayAddr + 4 * static_cast<uint32_t>(i))),
+              expected[i]);
+  }
+
+  PackedRv32Simulator dhry(assemble_rv32(core::dhrystone().rv32));
+  ASSERT_TRUE(dhry.run().halted);
+  EXPECT_EQ(static_cast<int32_t>(dhry.load_word(core::kDhrystoneChecksumAddr)),
+            core::dhrystone_expected_checksum());
+}
+
+// --- every-opcode sweep ------------------------------------------------------
+
+TEST(PackedRv32Sim, BitIdenticalOnOpcodeSweep) {
+  // Compact per-class programs that collectively execute all 48 ops with
+  // operand patterns that stress the representation (sign boundaries,
+  // carries across plane chunks, sub-word memory overlap).
+  const std::vector<std::string> kPrograms = {
+      R"(
+        li    a0, -1
+        li    a1, 1
+        add   a2, a0, a1
+        sub   a3, a1, a0
+        and   a4, a0, a1
+        or    a5, a0, a1
+        xor   a6, a0, a1
+        sll   t0, a0, a1
+        srl   t1, a0, a1
+        sra   t2, a0, a1
+        slt   t3, a0, a1
+        sltu  t4, a0, a1
+        lui   s0, 524287
+        lui   s1, -524288
+        auipc s2, 0
+        addi  s3, a0, -2048
+        slti  s4, a0, -1
+        sltiu s5, a0, 2047
+        xori  s6, a0, -1
+        ori   s7, a0, 1365
+        andi  s8, a0, -1366
+        slli  s9, a1, 31
+        srli  s10, a0, 31
+        srai  s11, a0, 31
+        ebreak
+      )",
+      R"(
+        li     a0, 65536
+        li     a1, 65537
+        mul    a2, a0, a1
+        mulh   a3, a0, a1
+        mulhsu a4, a0, a1
+        mulhu  a5, a0, a1
+        li     t0, -2147483648
+        li     t1, -1
+        mulh   t2, t0, t1
+        mulhsu t3, t0, t1
+        mulhu  t4, t0, t1
+        div    s0, t0, t1
+        rem    s1, t0, t1
+        li     t5, 0
+        div    s2, a0, t5
+        divu   s3, a0, t5
+        rem    s4, a0, t5
+        remu   s5, a0, t5
+        div    s6, a1, a0
+        divu   s7, a1, a0
+        rem    s8, a1, a0
+        remu   s9, a1, a0
+        fence
+        ecall
+      )",
+      R"(
+        li   a0, -1
+        li   a1, 1
+        beq  a0, a1, never
+        bne  a0, a1, L1
+        addi s0, zero, 1
+      L1:
+        blt  a0, a1, L2
+        addi s0, zero, 2
+      L2:
+        bge  a1, a0, L3
+        addi s0, zero, 3
+      L3:
+        bltu a1, a0, L4
+        addi s0, zero, 4
+      L4:
+        bgeu a0, a1, L5
+        addi s0, zero, 5
+      L5:
+        bge  a0, a1, never
+        bltu a0, a1, never
+        jal  ra, leaf
+        ebreak
+      never:
+        addi s1, zero, 9
+        ebreak
+      leaf:
+        jalr zero, ra, 0
+      )",
+      R"(
+      .data
+      .org 128
+      words: .word -1, 0x7FFFFFFF, 0x80000000
+      .text
+        li   a0, 128
+        lw   a1, 0(a0)
+        lw   a2, 4(a0)
+        lw   a3, 8(a0)
+        lb   t0, 0(a0)
+        lbu  t1, 0(a0)
+        lh   t2, 2(a0)
+        lhu  t3, 2(a0)
+        lb   t4, 11(a0)
+        sb   a1, 64(a0)
+        sb   a2, 65(a0)
+        sh   a1, 66(a0)
+        sh   a3, 68(a0)
+        sw   a1, 72(a0)
+        lw   s0, 64(a0)
+        lw   s1, 68(a0)
+        lw   s2, 72(a0)
+        sh   a1, 79(a0)    ; crosses a row boundary
+        lh   s3, 79(a0)
+        sw   a2, 81(a0)    ; unaligned word spanning two rows
+        lw   s4, 81(a0)
+        lw   s5, 76(a0)
+        lw   s6, 80(a0)
+        ebreak
+      )",
+  };
+  for (const std::string& source : kPrograms) {
+    expect_packed_matches_reference(assemble_rv32(source), 2'000);
+  }
+}
+
+// --- trap parity -------------------------------------------------------------
+
+TEST(PackedRv32Sim, TrapsMatchReference) {
+  // Fetch outside the program.
+  {
+    PackedRv32Simulator sim(assemble_rv32("nop\n"));
+    EXPECT_TRUE(sim.step());
+    EXPECT_THROW(static_cast<void>(sim.step()), Rv32SimError);
+  }
+  // Out-of-range memory traffic, including the uint32 wraparound corner.
+  {
+    PackedRv32Simulator sim(assemble_rv32("li a0, -2\nlw a1, 0(a0)\nebreak\n"));
+    EXPECT_THROW(static_cast<void>(sim.run()), Rv32SimError);
+  }
+  {
+    PackedRv32Simulator sim(assemble_rv32("li a0, -2\nsh a1, 0(a0)\nebreak\n"));
+    EXPECT_THROW(static_cast<void>(sim.run()), Rv32SimError);
+  }
+}
+
+}  // namespace
+}  // namespace art9::rv32

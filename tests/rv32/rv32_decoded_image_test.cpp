@@ -1,0 +1,125 @@
+// Rv32DecodedImage: eager pre-decode contract — precomputed PC chains,
+// load-time rejection of malformed encodings, trap-row resolution — and
+// the pre-decoded Rv32Simulator's differential parity with the seed
+// LazyRv32Simulator loop.
+#include "rv32/rv32_decoded_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rv32/rv32_assembler.hpp"
+#include "rv32/rv32_sim.hpp"
+
+namespace art9::rv32 {
+namespace {
+
+TEST(Rv32DecodedImage, PrecomputesPcChainsAndOperands) {
+  const std::shared_ptr<const Rv32DecodedImage> image = decode(assemble_rv32(R"(
+    lui  a0, 18
+    auipc a1, 2
+    jal  ra, target
+    addi a2, zero, 5
+  target:
+    ebreak
+  )"));
+  ASSERT_EQ(image->rows(), 5u);
+  const Rv32DecodedOp& lui = image->row(0);
+  EXPECT_EQ(lui.kind, Rv32Dispatch::kLui);
+  EXPECT_EQ(lui.imm_u, 18u << 12);  // complete result folded at decode
+  EXPECT_EQ(lui.next_pc, 4u);
+  EXPECT_EQ(lui.next_row, 1u);
+
+  const Rv32DecodedOp& auipc = image->row(1);
+  EXPECT_EQ(auipc.imm_u, 4u + (2u << 12));  // pc + (imm << 12)
+
+  const Rv32DecodedOp& jal = image->row(2);
+  EXPECT_EQ(jal.kind, Rv32Dispatch::kJal);
+  EXPECT_EQ(jal.taken_pc, 16u);
+  EXPECT_EQ(jal.taken_row, 4u);
+  EXPECT_EQ(jal.link, 12u);  // pc + 4
+
+  // The row past the last instruction is the shared trap row.
+  EXPECT_EQ(image->row(4).next_row, image->trap_row());
+  EXPECT_EQ(image->row(image->trap_row()).kind, Rv32Dispatch::kTrap);
+
+  // row_of: dense for in-program 4-aligned PCs, trap otherwise.
+  EXPECT_EQ(image->row_of(8), 2u);
+  EXPECT_EQ(image->row_of(6), image->trap_row());    // misaligned
+  EXPECT_EQ(image->row_of(999), image->trap_row());  // outside
+}
+
+TEST(Rv32DecodedImage, MalformedEncodingRejectedAtLoad) {
+  // A register index outside [0, 31] cannot encode: the image must
+  // reject it at decode time, not on first execution.
+  Rv32Program program;
+  program.code.push_back(Rv32Instruction{Rv32Op::kAddi, 40, 0, 0, 1});
+  program.entry = 0;
+  EXPECT_THROW(static_cast<void>(Rv32DecodedImage(program)), Rv32SimError);
+
+  // So must an immediate outside its format's range.
+  Rv32Program bad_imm;
+  bad_imm.code.push_back(Rv32Instruction{Rv32Op::kAddi, 1, 0, 0, 5000});
+  bad_imm.entry = 0;
+  EXPECT_THROW(static_cast<void>(Rv32DecodedImage(bad_imm)), Rv32SimError);
+}
+
+TEST(Rv32DecodedImage, SharedAcrossSimulatorInstances) {
+  const std::shared_ptr<const Rv32DecodedImage> image = decode(assemble_rv32(R"(
+    li   a0, 21
+    add  a0, a0, a0
+    ebreak
+  )"));
+  Rv32Simulator a(image);
+  Rv32Simulator b(image);
+  EXPECT_TRUE(a.run().halted);
+  EXPECT_TRUE(b.run().halted);
+  EXPECT_EQ(a.reg(10), 42u);
+  EXPECT_EQ(a.state(), b.state());
+  EXPECT_EQ(&a.image(), image.get());
+}
+
+TEST(Rv32DecodedImage, PreDecodedMatchesLazyBaseline) {
+  // Differential lock: the pre-decoded loop is bit-identical to the seed
+  // decode-on-fetch loop on a control-flow-heavy program.
+  const std::string source = R"(
+    li   a0, 0
+    li   a1, 1
+  loop:
+    add  a0, a0, a1
+    addi a1, a1, 1
+    li   t0, 29
+    blt  a1, t0, loop
+    call square
+    ebreak
+  square:
+    mul  a0, a0, a0
+    ret
+  )";
+  const Rv32Program program = assemble_rv32(source);
+  Rv32Simulator predecoded(program);
+  LazyRv32Simulator lazy(program);
+  const Rv32RunStats fast = predecoded.run();
+  const Rv32RunStats seed = lazy.run();
+  EXPECT_EQ(fast, seed);
+  EXPECT_TRUE(fast.halted);
+  EXPECT_EQ(predecoded.state(), lazy.state());
+}
+
+TEST(Rv32DecodedImage, JalrToInvalidTargetTrapsLikeLazy) {
+  // A data-dependent jump outside the program faults on the *next* fetch
+  // with the faulting pc, exactly like the seed loop.
+  const std::string source = "li t0, 996\njalr ra, t0, 0\nebreak\n";
+  Rv32Simulator predecoded(assemble_rv32(source));
+  LazyRv32Simulator lazy(assemble_rv32(source));
+  EXPECT_TRUE(predecoded.step());  // li
+  EXPECT_TRUE(predecoded.step());  // jalr retires; pc now invalid
+  EXPECT_TRUE(lazy.step());
+  EXPECT_TRUE(lazy.step());
+  EXPECT_EQ(predecoded.pc(), lazy.pc());
+  EXPECT_THROW(static_cast<void>(predecoded.step()), Rv32SimError);
+  EXPECT_THROW(static_cast<void>(lazy.step()), Rv32SimError);
+}
+
+}  // namespace
+}  // namespace art9::rv32

@@ -183,10 +183,84 @@ TEST(Rv32Sim, ObserverStream) {
   EXPECT_EQ(trace[3].inst.op, Rv32Op::kEbreak);
 }
 
+TEST(Rv32Sim, ScopedRunObserverRestoresInstalledOne) {
+  // A per-run observer is installed for that run only: an observer set
+  // via set_observer must survive it (it feeds the cycle models across
+  // multiple run() calls).
+  Rv32Simulator sim(assemble_rv32("loop:\n  addi t0, t0, 1\n  j loop\n"));
+  uint64_t persistent = 0;
+  uint64_t scoped = 0;
+  sim.set_observer([&](const Rv32Retired&) { ++persistent; });
+  static_cast<void>(sim.run(4));
+  EXPECT_EQ(persistent, 4u);
+  static_cast<void>(sim.run(4, [&](const Rv32Retired&) { ++scoped; }));
+  EXPECT_EQ(scoped, 4u);
+  EXPECT_EQ(persistent, 4u);  // not fired during the scoped run
+  static_cast<void>(sim.run(4));
+  EXPECT_EQ(persistent, 8u);  // restored, not cleared
+}
+
 TEST(Rv32Sim, FetchOutsideProgramThrows) {
   Rv32Simulator sim(assemble_rv32("nop\n"));
   sim.step();
   EXPECT_THROW(sim.step(), Rv32SimError);
+}
+
+TEST(Rv32Sim, LazyBaselineMatchesPreDecoded) {
+  const Rv32Program program = assemble_rv32(R"(
+    li   a0, 0
+    li   a1, 1
+loop:
+    add  a0, a0, a1
+    addi a1, a1, 1
+    li   t0, 11
+    blt  a1, t0, loop
+    ebreak
+)");
+  Rv32Simulator predecoded(program);
+  LazyRv32Simulator lazy(program);
+  EXPECT_EQ(predecoded.run(), lazy.run());
+  EXPECT_EQ(predecoded.state(), lazy.state());
+  EXPECT_EQ(predecoded.reg(10), 55u);
+}
+
+// Regression: out-of-range data traffic must raise Rv32SimError naming
+// the faulting address — including addresses whose `address + size`
+// wraps uint32_t, which the seed's SH/SW checks missed (a store at
+// 0xFFFFFFFE wrapped past the bounds test straight into ram_[huge]).
+TEST(Rv32Sim, OutOfRangeAccessRaisesWithFaultingAddress) {
+  const auto expect_oob = [](const std::string& source) {
+    SCOPED_TRACE(source);
+    // Both loops share the bounds logic; check them independently.
+    Rv32Simulator predecoded(assemble_rv32(source));
+    EXPECT_THROW(static_cast<void>(predecoded.run()), Rv32SimError);
+    LazyRv32Simulator lazy(assemble_rv32(source));
+    EXPECT_THROW(static_cast<void>(lazy.run()), Rv32SimError);
+  };
+  expect_oob("li a0, -2\nsw a1, 0(a0)\nebreak\n");   // wraps address + 4
+  expect_oob("li a0, -1\nsh a1, 0(a0)\nebreak\n");   // wraps address + 2
+  expect_oob("li a0, -1\nsb a1, 0(a0)\nebreak\n");
+  expect_oob("li a0, -2\nlw a1, 0(a0)\nebreak\n");
+  expect_oob("li a0, -1\nlbu a1, 0(a0)\nebreak\n");
+  expect_oob("lui a0, 1024\nlw a1, 0(a0)\nebreak\n");  // just past 1 MiB
+
+  try {
+    Rv32Simulator sim(assemble_rv32("li a0, -2\nsw a1, 0(a0)\nebreak\n"));
+    static_cast<void>(sim.run());
+    FAIL() << "expected Rv32SimError";
+  } catch (const Rv32SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("4294967294"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Rv32Sim, DirectAccessorsBoundsChecked) {
+  Rv32Simulator sim(assemble_rv32("nop\n"));
+  EXPECT_THROW(static_cast<void>(sim.load_word(0xFFFFFFFCu)), Rv32SimError);
+  EXPECT_THROW(static_cast<void>(sim.load_byte(0xFFFFFFFFu)), Rv32SimError);
+  EXPECT_THROW(sim.store_word(0xFFFFFFFEu, 1), Rv32SimError);
+  EXPECT_THROW(sim.store_word((1u << 20) - 2, 1), Rv32SimError);  // straddles the end
+  sim.store_word((1u << 20) - 4, 0xAABBCCDDu);                    // last full word is fine
+  EXPECT_EQ(sim.load_word((1u << 20) - 4), 0xAABBCCDDu);
 }
 
 TEST(Rv32AsmErrors, Diagnostics) {

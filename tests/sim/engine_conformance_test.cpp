@@ -1,19 +1,19 @@
-// Engine conformance suite: one parameterized fixture run over every
-// EngineKind, asserting the unified contract of sim::Engine on the four
-// translated paper benchmarks plus an every-opcode assembly corpus.
+// Engine conformance suite: parameterized fixtures run over every
+// EngineKind of both ISAs, asserting the unified contract of sim::Engine
+// on the four paper benchmarks plus every-opcode assembly corpora.
 //
 // Contract (see engine.hpp):
-//  * every functional kind (lazy, functional, packed) is bit-identical to
-//    the golden FunctionalSimulator in ArchState (registers, TDM contents
-//    *and* access counters, PC) and SimStats;
-//  * the pipeline kind matches ArchState, retired-instruction count and
-//    halt reason (its cycle accounting legitimately differs);
+//  * every ART-9 functional kind (lazy, functional, packed) is
+//    bit-identical to the golden FunctionalSimulator in ArchState
+//    (registers, TDM contents *and* access counters, PC) and SimStats;
+//  * the pipeline kinds match ArchState, retired-instruction count and
+//    halt reason (their cycle accounting legitimately differs);
+//  * every rv32 kind (pre-decoded reference, PackedWord<21> datapath) is
+//    bit-identical to the seed LazyRv32Simulator in Rv32ArchState
+//    (x-registers, every RAM byte, PC) and run statistics;
 //  * budget exhaustion reports HaltReason::kMaxCycles on every kind;
 //  * the retired-instruction observer sees the same (inst, pc, index)
-//    stream on every kind, and step() matches run().
-//
-// This replaces the per-backend copies that used to live in
-// packed_sim_test.cpp and batch_runner_test.cpp.
+//    stream on every kind of one ISA, and step() matches run().
 #include "sim/engine.hpp"
 
 #include <gtest/gtest.h>
@@ -121,9 +121,134 @@ const std::array<std::string, 7>& opcode_corpus() {
   return kPrograms;
 }
 
+/// RV32 mirror of opcode_corpus(): collectively executes all 48 RV32I+M
+/// instructions — both branch polarities per condition, sub-word memory
+/// traffic with sign extension, JAL/JALR linkage, LUI/AUIPC, FENCE, the
+/// M-extension corner cases, both halt conventions, and the never-halts
+/// budget path.
+const std::array<std::string, 6>& rv32_opcode_corpus() {
+  static const std::array<std::string, 6> kPrograms = {
+      // ALU reg-reg + reg-imm, LUI/AUIPC.
+      R"(
+        li    a0, 100
+        li    a1, -30
+        add   a2, a0, a1
+        sub   a3, a0, a1
+        and   a4, a0, a1
+        or    a5, a0, a1
+        xor   a6, a0, a1
+        sll   t0, a0, a1
+        srl   t1, a0, a1
+        sra   t2, a1, a0
+        slt   t3, a1, a0
+        sltu  t4, a1, a0
+        addi  s0, a0, 11
+        slti  s1, a1, 0
+        sltiu s2, a0, 200
+        xori  s3, a0, 15
+        ori   s4, a0, 257
+        andi  s5, a0, 60
+        slli  s6, a0, 3
+        srli  s7, a1, 2
+        srai  s8, a1, 2
+        lui   s9, 74565
+        auipc s10, 1
+        ebreak
+      )",
+      // M extension incl. the division edge cases.
+      R"(
+        li     a0, -7
+        li     a1, 3
+        mul    a2, a0, a1
+        mulh   a3, a0, a1
+        mulhsu a4, a0, a1
+        mulhu  a5, a0, a1
+        div    a6, a0, a1
+        divu   t0, a0, a1
+        rem    t1, a0, a1
+        remu   t2, a0, a1
+        li     t3, 0
+        div    t4, a0, t3
+        rem    t5, a0, t3
+        li     s0, -2147483648
+        li     s1, -1
+        div    s2, s0, s1
+        rem    s3, s0, s1
+        ebreak
+      )",
+      // Branch polarities: every condition, taken and fallthrough.
+      R"(
+        li   a0, 1
+        li   a1, 2
+        beq  a0, a0, b1
+        addi s0, zero, 111
+      b1:
+        bne  a0, a1, b2
+        addi s0, zero, 222
+      b2:
+        blt  a0, a1, b3
+        addi s1, zero, 1
+      b3:
+        bge  a1, a0, b4
+        addi s1, zero, 2
+      b4:
+        bltu a0, a1, b5
+        addi s2, zero, 3
+      b5:
+        bgeu a1, a0, b6
+        addi s2, zero, 4
+      b6:
+        beq  a0, a1, never
+        addi s3, zero, 5
+      never:
+        ebreak
+      )",
+      // Memory traffic: sub-word loads/stores, sign extension, ecall halt.
+      R"(
+      .data
+      .org 64
+      vals: .word 0x80FF7F01, -123456
+      .text
+        li   a0, 64
+        lw   a1, 0(a0)
+        lb   a2, 3(a0)
+        lbu  a3, 3(a0)
+        lh   a4, 2(a0)
+        lhu  a5, 2(a0)
+        sb   a1, 80(a0)
+        sh   a1, 84(a0)
+        sw   a1, 88(a0)
+        lw   t0, 4(a0)
+        sb   t0, 81(a0)
+        lw   s0, 80(a0)
+        lw   s1, 84(a0)
+        lw   s2, 88(a0)
+        ecall
+      )",
+      // JAL/JALR call-and-return + FENCE.
+      R"(
+        li   a0, 5
+        call double_it
+        mv   a1, a0
+        fence
+        ebreak
+      double_it:
+        add  a0, a0, a0
+        ret
+      )",
+      // Never halts: the budget path must report kMaxCycles identically.
+      "loop:\n  addi t0, t0, 1\n  j loop\n",
+  };
+  return kPrograms;
+}
+
 constexpr uint64_t kBudget = 100'000'000;
 
 [[nodiscard]] bool is_functional(EngineKind kind) { return !is_cycle_accurate(kind); }
+
+// ===========================================================================
+// ART-9 kinds.
+// ===========================================================================
 
 class EngineConformance : public ::testing::TestWithParam<EngineKind> {
  protected:
@@ -150,14 +275,14 @@ class EngineConformance : public ::testing::TestWithParam<EngineKind> {
       // final architectural state and retired count must still match.
       EXPECT_EQ(got.halt, HaltReason::kHalted);
       EXPECT_EQ(got.stats.instructions, golden.stats.instructions);
-      EXPECT_EQ(got.state.trf, golden.state.trf);
+      EXPECT_EQ(got.state.art9().trf, golden.state.art9().trf);
       // No PC assertion: the pipeline's architectural PC rests on the next
       // fetch address when HALT retires, one past the functional models'
       // convention of resting *on* the halt instruction.  TDM contents
       // must match; access counters differ (the pipeline's wrong-path and
       // per-stage accesses are part of its model).
       for (int64_t a = -ternary::Word9::kMaxValue; a <= ternary::Word9::kMaxValue; ++a) {
-        if (got.state.tdm.peek(a) != golden.state.tdm.peek(a)) {
+        if (got.state.art9().tdm.peek(a) != golden.state.art9().tdm.peek(a)) {
           FAIL() << "TDM mismatch at address " << a;
         }
       }
@@ -174,7 +299,7 @@ class EngineConformance : public ::testing::TestWithParam<EngineKind> {
       EXPECT_LE(got.stats.instructions, budget);
       std::unique_ptr<Engine> replay = make_engine(EngineKind::kFunctional, image);
       const RunResult r = replay->run({got.stats.instructions});
-      EXPECT_EQ(got.state.trf, r.state.trf);
+      EXPECT_EQ(got.state.art9().trf, r.state.art9().trf);
     }
   }
 };
@@ -223,7 +348,7 @@ TEST_P(EngineConformance, RepeatedRunsReportPerCallStats) {
   EXPECT_EQ(first.stats.cycles, 50u);
   EXPECT_EQ(second.stats.cycles, 50u);
   // The architectural state, by contrast, does advance across runs.
-  EXPECT_NE(first.state.trf.read(1), second.state.trf.read(1));
+  EXPECT_NE(first.state.art9().trf.read(1), second.state.art9().trf.read(1));
 }
 
 TEST_P(EngineConformance, PipelineConfigBudgetCapsEachRun) {
@@ -243,7 +368,7 @@ TEST_P(EngineConformance, HaltingProgramReportsHalted) {
   std::unique_ptr<Engine> engine = make_engine(GetParam(), isa::assemble("LIMM T1, 7\nHALT\n"));
   const RunResult r = engine->run({});
   EXPECT_EQ(r.halt, HaltReason::kHalted);
-  EXPECT_EQ(r.state.trf.read(1).to_int(), 7);
+  EXPECT_EQ(r.state.art9().trf.read(1).to_int(), 7);
 }
 
 // --- run_stats() is run() without the snapshot -------------------------------
@@ -286,7 +411,7 @@ TEST_P(EngineConformance, ObserverSeesEveryRetiredInstruction) {
     // The stream is the executed path: each pc must hold the instruction
     // the observer reported.
     EXPECT_EQ(isa::to_string(engine->image().fetch(stream[i].pc).inst),
-              isa::to_string(stream[i].inst));
+              isa::to_string(stream[i].art9()));
   }
   // First retired instruction is the entry instruction.
   EXPECT_EQ(stream.front().pc, program.entry);
@@ -300,7 +425,7 @@ TEST_P(EngineConformance, ObserverSeesEveryRetiredInstruction) {
   ASSERT_EQ(stream.size(), golden_stream.size());
   for (std::size_t i = 0; i < stream.size(); ++i) {
     EXPECT_EQ(stream[i].pc, golden_stream[i].pc) << "index " << i;
-    EXPECT_EQ(isa::to_string(stream[i].inst), isa::to_string(golden_stream[i].inst));
+    EXPECT_EQ(isa::to_string(stream[i].art9()), isa::to_string(golden_stream[i].art9()));
   }
 }
 
@@ -338,7 +463,200 @@ TEST_P(EngineConformance, UninitialisedFetchTraps) {
   EXPECT_THROW(static_cast<void>(engine->run({})), SimError);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllKinds, EngineConformance, ::testing::ValuesIn(all_engine_kinds()),
+INSTANTIATE_TEST_SUITE_P(Art9Kinds, EngineConformance,
+                         ::testing::ValuesIn(art9_engine_kinds()),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return std::string(engine_kind_name(info.param));
+                         });
+
+// ===========================================================================
+// RV32 kinds — the same contract, mirrored onto the binary baseline.
+// ===========================================================================
+
+class Rv32EngineConformance : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  /// Golden reference: the seed LazyRv32Simulator (differential baseline).
+  struct Golden {
+    rv32::Rv32ArchState state;
+    rv32::Rv32RunStats stats;
+  };
+
+  static Golden reference(const rv32::Rv32Program& program, uint64_t budget) {
+    rv32::LazyRv32Simulator sim(program);
+    const rv32::Rv32RunStats stats = sim.run(budget);
+    return Golden{sim.state(), stats};
+  }
+
+  void expect_conforms(const std::string& source, uint64_t budget = kBudget) {
+    const rv32::Rv32Program program = rv32::assemble_rv32(source);
+    const Golden golden = reference(program, budget);
+    std::unique_ptr<Engine> engine = make_engine(GetParam(), rv32::decode(program));
+    ASSERT_EQ(engine->kind(), GetParam());
+    const RunResult got = engine->run({budget});
+    EXPECT_EQ(got.halt, got.stats.halt);
+    EXPECT_EQ(got.halt,
+              golden.stats.halted ? HaltReason::kHalted : HaltReason::kMaxCycles);
+    EXPECT_EQ(got.stats.instructions, golden.stats.instructions);
+    EXPECT_EQ(got.stats.cycles, golden.stats.instructions);  // functional kinds
+    ASSERT_TRUE(got.state.is_rv32());
+    EXPECT_EQ(got.state.rv32().regs, golden.state.regs);
+    EXPECT_EQ(got.state.rv32().pc, golden.state.pc);
+    EXPECT_EQ(got.state.rv32().ram, golden.state.ram);  // every byte
+  }
+};
+
+// --- the acceptance corpus: all four paper benchmarks (rv32 sources) ---------
+
+TEST_P(Rv32EngineConformance, BitIdenticalOnBenchmarkCorpus) {
+  for (const core::BenchmarkSources* bench : core::all_benchmarks()) {
+    SCOPED_TRACE(bench->name);
+    expect_conforms(bench->rv32);
+  }
+}
+
+// --- every-opcode RV32I(+M) corpus -------------------------------------------
+
+TEST_P(Rv32EngineConformance, BitIdenticalOnOpcodeCorpus) {
+  for (const std::string& source : rv32_opcode_corpus()) {
+    expect_conforms(source, 2'000);
+  }
+}
+
+// --- budget exhaustion -------------------------------------------------------
+
+TEST_P(Rv32EngineConformance, TinyBudgetOnInfiniteLoopReportsMaxCycles) {
+  std::unique_ptr<Engine> engine =
+      make_engine(GetParam(), rv32::assemble_rv32("loop:\n  addi t0, t0, 1\n  j loop\n"));
+  const RunResult r = engine->run({50});
+  EXPECT_EQ(r.halt, HaltReason::kMaxCycles);
+  EXPECT_EQ(r.stats.halt, HaltReason::kMaxCycles);
+  EXPECT_EQ(r.stats.instructions, 50u);  // budget is an instruction count
+}
+
+TEST_P(Rv32EngineConformance, RepeatedRunsReportPerCallStats) {
+  std::unique_ptr<Engine> engine =
+      make_engine(GetParam(), rv32::assemble_rv32("loop:\n  addi t0, t0, 1\n  j loop\n"));
+  const RunResult first = engine->run({50});
+  const RunResult second = engine->run({50});
+  EXPECT_EQ(first.stats.instructions, 50u);
+  EXPECT_EQ(second.stats.instructions, 50u);
+  EXPECT_NE(first.state.rv32().regs[5], second.state.rv32().regs[5]);  // t0 advances
+}
+
+TEST_P(Rv32EngineConformance, HaltingProgramReportsHalted) {
+  std::unique_ptr<Engine> engine =
+      make_engine(GetParam(), rv32::assemble_rv32("li a0, 7\nebreak\n"));
+  const RunResult r = engine->run({});
+  EXPECT_EQ(r.halt, HaltReason::kHalted);
+  EXPECT_EQ(r.state.rv32().regs[10], 7u);
+}
+
+// --- run_stats() is run() without the snapshot -------------------------------
+
+TEST_P(Rv32EngineConformance, RunStatsMatchesRun) {
+  const std::shared_ptr<const rv32::Rv32DecodedImage> image =
+      rv32::decode(rv32::assemble_rv32(rv32_opcode_corpus()[0]));
+  std::unique_ptr<Engine> stats_only = make_engine(GetParam(), image);
+  std::unique_ptr<Engine> full = make_engine(GetParam(), image);
+  const SimStats stats = stats_only->run_stats({});
+  const RunResult r = full->run({});
+  EXPECT_EQ(stats, r.stats);
+  EXPECT_EQ(stats_only->state(), r.state);
+}
+
+// --- step() matches run() ----------------------------------------------------
+
+TEST_P(Rv32EngineConformance, StepLoopMatchesRun) {
+  const std::shared_ptr<const rv32::Rv32DecodedImage> image =
+      rv32::decode(rv32::assemble_rv32(rv32_opcode_corpus()[0]));
+  std::unique_ptr<Engine> stepped = make_engine(GetParam(), image);
+  std::unique_ptr<Engine> ran = make_engine(GetParam(), image);
+  uint64_t guard = 0;
+  while (stepped->step() && ++guard < 1'000'000) {
+  }
+  const RunResult r = ran->run({});
+  EXPECT_EQ(stepped->state(), r.state);
+}
+
+// --- the retired-instruction observer ----------------------------------------
+
+TEST_P(Rv32EngineConformance, ObserverSeesEveryRetiredInstruction) {
+  // The rv32 stream keeps the native Rv32Simulator::Observer convention:
+  // the halting ECALL/EBREAK is observed (the baseline cycle models need
+  // it), so a halted run streams instructions + 1 events.
+  const std::string source = rv32_opcode_corpus()[4];  // JAL/JALR linkage
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), rv32::assemble_rv32(source));
+  std::vector<Retired> stream;
+  engine->set_observer([&](const Retired& r) { stream.push_back(r); });
+  const RunResult r = engine->run({});
+  ASSERT_EQ(r.halt, HaltReason::kHalted);
+  ASSERT_EQ(stream.size(), r.stats.instructions + 1);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].index, i);
+    EXPECT_TRUE(stream[i].is_rv32());
+  }
+  EXPECT_EQ(stream.back().rv32().op, rv32::Rv32Op::kEbreak);
+
+  // Identical to the reference rv32 engine's stream (inst, pc, taken).
+  std::unique_ptr<Engine> golden = make_engine(EngineKind::kRv32, rv32::assemble_rv32(source));
+  std::vector<Retired> golden_stream;
+  golden->set_observer([&](const Retired& g) { golden_stream.push_back(g); });
+  static_cast<void>(golden->run({}));
+  ASSERT_EQ(stream.size(), golden_stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].pc, golden_stream[i].pc) << "index " << i;
+    EXPECT_EQ(stream[i].taken, golden_stream[i].taken) << "index " << i;
+    EXPECT_EQ(rv32::to_string(stream[i].rv32()), rv32::to_string(golden_stream[i].rv32()));
+  }
+}
+
+TEST_P(Rv32EngineConformance, ObserverInstalledMidRunNumbersFromZero) {
+  std::unique_ptr<Engine> engine =
+      make_engine(GetParam(), rv32::assemble_rv32("loop:\n  addi t0, t0, 1\n  j loop\n"));
+  static_cast<void>(engine->run({10}));  // retire a few first
+  std::vector<Retired> stream;
+  engine->set_observer([&](const Retired& r) { stream.push_back(r); });
+  static_cast<void>(engine->run({10}));
+  ASSERT_FALSE(stream.empty());
+  for (std::size_t i = 0; i < stream.size(); ++i) EXPECT_EQ(stream[i].index, i);
+}
+
+TEST_P(Rv32EngineConformance, ObserverRemovalRestoresFastPath) {
+  std::unique_ptr<Engine> engine =
+      make_engine(GetParam(), rv32::assemble_rv32("li a0, 3\nebreak\n"));
+  uint64_t fires = 0;
+  engine->set_observer([&](const Retired&) { ++fires; });
+  engine->set_observer({});
+  const RunResult r = engine->run({});
+  EXPECT_EQ(fires, 0u);
+  EXPECT_EQ(r.halt, HaltReason::kHalted);
+}
+
+// --- trap parity -------------------------------------------------------------
+
+TEST_P(Rv32EngineConformance, FetchOutsideProgramTraps) {
+  // Fall off the end of a program with no halt: every rv32 kind throws
+  // the rv32 error type, exactly like the seed loop.
+  std::unique_ptr<Engine> engine = make_engine(GetParam(), rv32::assemble_rv32("nop\n"));
+  EXPECT_THROW(static_cast<void>(engine->run({})), rv32::Rv32SimError);
+}
+
+TEST_P(Rv32EngineConformance, OutOfRangeStoreTraps) {
+  // Bounds violations surface as Rv32SimError with the faulting address,
+  // identically on both datapaths (regression for the seed's unchecked
+  // uint32 wraparound in SH/SW near the top of the address space).
+  std::unique_ptr<Engine> engine = make_engine(
+      GetParam(), rv32::assemble_rv32("li a0, -2\nsw a1, 0(a0)\nebreak\n"));
+  try {
+    static_cast<void>(engine->run({}));
+    FAIL() << "expected Rv32SimError";
+  } catch (const rv32::Rv32SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("4294967294"), std::string::npos) << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rv32Kinds, Rv32EngineConformance,
+                         ::testing::ValuesIn(rv32_engine_kinds()),
                          [](const ::testing::TestParamInfo<EngineKind>& info) {
                            return std::string(engine_kind_name(info.param));
                          });
@@ -353,15 +671,41 @@ TEST(Engine, KindNamesRoundTrip) {
 }
 
 TEST(Engine, NullImageThrows) {
-  EXPECT_THROW(static_cast<void>(make_engine(EngineKind::kPacked, nullptr)),
+  EXPECT_THROW(
+      static_cast<void>(make_engine(EngineKind::kPacked, std::shared_ptr<const DecodedImage>{})),
+      std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(make_engine(EngineKind::kRv32,
+                                             std::shared_ptr<const rv32::Rv32DecodedImage>{})),
                std::invalid_argument);
+}
+
+TEST(Engine, KindMustMatchImageIsa) {
+  const std::shared_ptr<const DecodedImage> art9_image = decode(isa::assemble("HALT\n"));
+  const std::shared_ptr<const rv32::Rv32DecodedImage> rv32_image =
+      rv32::decode(rv32::assemble_rv32("ebreak\n"));
+  EXPECT_THROW(static_cast<void>(make_engine(EngineKind::kRv32, art9_image)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(make_engine(EngineKind::kPacked, rv32_image)),
+               std::invalid_argument);
+  // The EngineImage variant dispatches on the alternative.
+  EXPECT_EQ(make_engine(EngineKind::kRv32, EngineImage{rv32_image})->kind(), EngineKind::kRv32);
+  EXPECT_EQ(make_engine(EngineKind::kPacked, EngineImage{art9_image})->kind(),
+            EngineKind::kPacked);
 }
 
 TEST(Engine, SharedImageIsExposed) {
   const std::shared_ptr<const DecodedImage> image = decode(isa::assemble("HALT\n"));
-  for (EngineKind kind : all_engine_kinds()) {
+  for (EngineKind kind : art9_engine_kinds()) {
     std::unique_ptr<Engine> engine = make_engine(kind, image);
     EXPECT_EQ(&engine->image(), image.get()) << engine_kind_name(kind);
+    EXPECT_THROW(static_cast<void>(engine->rv32_image()), SimError);
+  }
+  const std::shared_ptr<const rv32::Rv32DecodedImage> rv32_image =
+      rv32::decode(rv32::assemble_rv32("ebreak\n"));
+  for (EngineKind kind : rv32_engine_kinds()) {
+    std::unique_ptr<Engine> engine = make_engine(kind, rv32_image);
+    EXPECT_EQ(&engine->rv32_image(), rv32_image.get()) << engine_kind_name(kind);
+    EXPECT_THROW(static_cast<void>(engine->image()), SimError);
   }
 }
 

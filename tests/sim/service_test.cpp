@@ -87,7 +87,36 @@ const std::array<std::string, 8>& batch_programs() {
 
 constexpr RunOptions kBudget{2'000};
 
-/// A mixed batch: every program on every engine kind, one job each.
+/// Four small rv32 programs riding the same batch (cross-ISA mixing):
+/// arithmetic, a loop, memory traffic, and one that never halts.
+const std::array<std::string, 4>& rv32_batch_programs() {
+  static const std::array<std::string, 4> kPrograms = {
+      "li a0, 100\naddi a1, a0, -30\nadd a2, a0, a1\nebreak\n",
+      R"(
+        li   a0, 0
+        li   a1, 1
+      loop:
+        add  a0, a0, a1
+        addi a1, a1, 1
+        li   t0, 11
+        blt  a1, t0, loop
+        ebreak
+      )",
+      R"(
+        li   a0, 64
+        li   a1, -456
+        sw   a1, 0(a0)
+        lw   a2, 0(a0)
+        lb   a3, 1(a0)
+        ebreak
+      )",
+      "loop:\n  addi t0, t0, 1\n  j loop\n",
+  };
+  return kPrograms;
+}
+
+/// A mixed cross-ISA batch: every ART-9 program on every ART-9 engine
+/// kind, plus every rv32 program on both rv32 kinds, one job each.
 SimulationService mixed_batch(unsigned threads) {
   SimulationService service(threads);
   for (const std::string& source : batch_programs()) {
@@ -97,6 +126,11 @@ SimulationService mixed_batch(unsigned threads) {
     service.add(image, EngineKind::kPacked, kBudget);
     service.add(image, EngineKind::kPipeline, kBudget);
     service.add(image, EngineKind::kPackedPipeline, kBudget);
+  }
+  for (const std::string& source : rv32_batch_programs()) {
+    const std::shared_ptr<const rv32::Rv32DecodedImage> image =
+        service.add(rv32::assemble_rv32(source), EngineKind::kRv32, kBudget);
+    service.add(image, EngineKind::kRv32Packed, kBudget);
   }
   return service;
 }
@@ -121,10 +155,26 @@ TEST(SimulationService, MatchesStandaloneEngineRuns) {
   }
 }
 
+TEST(SimulationService, Rv32JobsMatchStandaloneEngineRuns) {
+  SimulationService service(4);
+  for (const std::string& source : rv32_batch_programs()) {
+    service.add(rv32::assemble_rv32(source), EngineKind::kRv32Packed, kBudget);
+  }
+  const std::vector<RunResult> results = service.run_all();
+  ASSERT_EQ(results.size(), rv32_batch_programs().size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::unique_ptr<Engine> standalone =
+        make_engine(EngineKind::kRv32Packed, rv32::assemble_rv32(rv32_batch_programs()[i]));
+    const RunResult expected = standalone->run(kBudget);
+    EXPECT_EQ(results[i].state, expected.state) << "program " << i;
+    EXPECT_EQ(results[i].stats, expected.stats) << "program " << i;
+  }
+}
+
 TEST(SimulationService, ThreadedResultsBitIdenticalToSequential) {
   // The acceptance gate: threads=N returns results bit-identical to
-  // threads=1, across a 40-job mixed-kind batch (every program on all
-  // five engine kinds).
+  // threads=1, across a 48-job mixed-ISA batch (every ART-9 program on
+  // all five ART-9 kinds, every rv32 program on both rv32 kinds).
   const std::vector<RunResult> sequential = mixed_batch(1).run_all();
   for (unsigned threads : {2u, 4u, 8u}) {
     const std::vector<RunResult> parallel = mixed_batch(threads).run_all();
@@ -217,7 +267,7 @@ TEST(SimulationService, TranslatedBenchmarkBatchAcrossKinds) {
     EXPECT_EQ(packed.halt, HaltReason::kHalted);
     EXPECT_EQ(pipeline.halt, HaltReason::kHalted);
     // Functional and cycle-accurate models agree architecturally.
-    EXPECT_EQ(packed.state.trf, pipeline.state.trf);
+    EXPECT_EQ(packed.state.art9().trf, pipeline.state.art9().trf);
     EXPECT_EQ(packed.stats.instructions, pipeline.stats.instructions);
     EXPECT_GE(pipeline.stats.cycles, pipeline.stats.instructions);
   }

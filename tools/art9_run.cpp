@@ -1,14 +1,22 @@
-// art9-run — execute a .t9 program image on any ART-9 simulation engine
-// through the unified sim::Engine facade.
+// art9-run — execute a program on any simulation engine through the
+// unified cross-ISA sim::Engine facade.
 //
 //   art9-run program.t9 [--engine=lazy|functional|packed|pipeline|pipeline_packed]
 //            [--max-cycles N] [--dump-regs] [--dump-mem LO HI]
 //            [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]
+//   art9-run program.s  --engine=rv32|rv32_packed [--max-cycles N]
+//            [--dump-regs] [--dump-mem LO HI]
+//
+// ART-9 engines consume a .t9 image; the rv32 engines consume RV32I(+M)
+// assembly text (the same dialect the benchmark corpus is written in).
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "isa/image_io.hpp"
+#include "rv32/rv32_assembler.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -20,18 +28,57 @@ int usage() {
                "                [--engine=lazy|functional|packed|pipeline|pipeline_packed]\n"
                "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
                "                [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]\n"
+               "       art9-run <program.s> --engine=rv32|rv32_packed\n"
+               "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
                "engine defaults to pipeline (the cycle-accurate model); pipeline_packed is\n"
                "the same 5-stage model on plane-packed words; --trace and the\n"
-               "microarchitecture switches apply to the pipeline engines only\n");
+               "microarchitecture switches apply to the pipeline engines only.\n"
+               "The rv32 engines assemble RV32I(+M) source (rv32_packed holds its words\n"
+               "as 21-trit plane pairs) and dump x-registers / RAM words.\n");
   return 2;
 }
 
-void dump_regs(const art9::sim::ArchState& state) {
+void dump_regs(const art9::sim::MachineState& state) {
+  if (state.is_rv32()) {
+    for (int r = 0; r < 32; ++r) {
+      std::printf("  x%-2d (%-4s) = 0x%08x = %lld\n", r,
+                  std::string(art9::rv32::abi_name(r)).c_str(), state.rv32().regs[size_t(r)],
+                  static_cast<long long>(static_cast<int32_t>(state.rv32().regs[size_t(r)])));
+    }
+    return;
+  }
   for (int r = 0; r < art9::isa::kNumRegisters; ++r) {
-    const auto& w = state.trf.read(r);
+    const auto& w = state.art9().trf.read(r);
     std::printf("  T%d = %s = %lld\n", r, w.to_string().c_str(),
                 static_cast<long long>(w.to_int()));
   }
+}
+
+void dump_mem(const art9::sim::MachineState& state, int64_t lo, int64_t hi) {
+  if (state.is_rv32()) {
+    // Word view of the byte RAM, 4-aligned inside [lo, hi].
+    const auto& ram = state.rv32().ram;
+    for (int64_t a = (lo + 3) / 4 * 4; a + 3 <= hi; a += 4) {
+      if (a < 0 || static_cast<std::size_t>(a) + 4 > ram.size()) continue;
+      uint32_t v = 0;
+      for (int b = 0; b < 4; ++b) v |= static_cast<uint32_t>(ram[size_t(a + b)]) << (8 * b);
+      std::printf("  ram[%lld] = 0x%08x = %lld\n", static_cast<long long>(a), v,
+                  static_cast<long long>(static_cast<int32_t>(v)));
+    }
+    return;
+  }
+  for (int64_t a = lo; a <= hi; ++a) {
+    std::printf("  tdm[%lld] = %lld\n", static_cast<long long>(a),
+                static_cast<long long>(state.art9().tdm.peek(a).to_int()));
+  }
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
 }
 
 }  // namespace
@@ -81,7 +128,6 @@ int main(int argc, char** argv) {
   if (input.empty()) return usage();
 
   try {
-    const art9::isa::Program program = art9::isa::read_image_file(input);
     if (trace_cycles > 0) {
       options.tracer = [trace_cycles](const art9::sim::CycleTrace& t) {
         if (static_cast<long long>(t.cycle) <= trace_cycles) {
@@ -93,7 +139,13 @@ int main(int argc, char** argv) {
     // config so the engine's per-run cap (the tighter of the two) is
     // exactly the flag value.
     options.pipeline.max_cycles = max_cycles;
-    const std::unique_ptr<art9::sim::Engine> engine = art9::sim::make_engine(kind, program, options);
+    // The engine kind decides the front end: the rv32 kinds assemble
+    // RV32 source, the ART-9 kinds read a .t9 image.
+    const std::unique_ptr<art9::sim::Engine> engine =
+        art9::sim::is_rv32(kind)
+            ? art9::sim::make_engine(kind, art9::rv32::assemble_rv32(read_text_file(input)),
+                                     options)
+            : art9::sim::make_engine(kind, art9::isa::read_image_file(input), options);
     const art9::sim::RunResult result = engine->run({max_cycles});
 
     const bool cycle_accurate = art9::sim::is_cycle_accurate(kind);
@@ -117,10 +169,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.stats.flush_taken_branch));
     }
     if (want_regs) dump_regs(result.state);
-    for (int64_t a = mem_lo; a <= mem_hi; ++a) {
-      std::printf("  tdm[%lld] = %lld\n", static_cast<long long>(a),
-                  static_cast<long long>(result.state.tdm.peek(a).to_int()));
-    }
+    if (mem_hi >= mem_lo) dump_mem(result.state, mem_lo, mem_hi);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "art9-run: %s\n", e.what());
     return 1;
