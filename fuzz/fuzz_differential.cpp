@@ -1,0 +1,27 @@
+// libFuzzer entry point over the differential harness (see
+// src/fuzz/harness.hpp for the input grammar and the four oracle modes).
+//
+// Build with -DART9_FUZZ=ON (requires Clang for -fsanitize=fuzzer),
+// ideally together with -DART9_SANITIZE=address,undefined:
+//
+//   cmake -B build-fuzz -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+//         -DART9_FUZZ=ON -DART9_SANITIZE=address,undefined
+//   cmake --build build-fuzz --target fuzz_differential
+//   build-fuzz/fuzz/fuzz_differential corpus/ -max_len=160
+//
+// A divergence aborts so libFuzzer minimizes and saves the input; replay
+// saved artifacts with `art9-fuzz <artifact>` (no fuzzer runtime needed).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const art9::fuzz::FuzzResult result = art9::fuzz::run_fuzz_case(data, size);
+  if (!result.ok) {
+    std::fprintf(stderr, "DIVERGENCE [%s] %s\n", result.mode.c_str(), result.detail.c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "isa/encoding.hpp"
+#include "ternary/random.hpp"
 #include "ternary/word.hpp"
 
 namespace art9::core {
@@ -18,8 +19,11 @@ using ternary::Word9;
 
 namespace {
 
+// Portable bounded draw (see ternary/random.hpp) — generated programs must
+// reproduce bit-identically from a seed on every standard library, because
+// fuzz repros and differential-test failures are communicated as seeds.
 int rand_int(std::mt19937_64& rng, int lo, int hi) {
-  return std::uniform_int_distribution<int>(lo, hi)(rng);
+  return static_cast<int>(ternary::random_in(rng, lo, hi));
 }
 
 Trit rand_trit(std::mt19937_64& rng) { return Trit(rand_int(rng, -1, 1)); }

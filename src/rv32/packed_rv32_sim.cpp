@@ -152,4 +152,20 @@ Rv32ArchState PackedRv32Simulator::state() const {
   return state;
 }
 
+void PackedRv32Simulator::restore(const Rv32ArchState& state) {
+  for (std::size_t r = 0; r < regs_.size(); ++r) regs_[r] = pack_u32(state.regs[r]);
+  regs_[0] = pack_u32(0);
+  ram_bytes_ = state.ram.size();
+  ram_.assign((ram_bytes_ + 3) / 4, PackedU32{});
+  for (std::size_t row = 0; row < ram_.size(); ++row) {
+    uint32_t word = 0;
+    for (std::size_t b = 0; b < 4 && 4 * row + b < ram_bytes_; ++b) {
+      word |= static_cast<uint32_t>(state.ram[4 * row + b]) << (8 * b);
+    }
+    ram_[row] = pack_u32(word);
+  }
+  pc_ = state.pc;
+  row_ = image_->row_of(pc_);
+}
+
 }  // namespace art9::rv32

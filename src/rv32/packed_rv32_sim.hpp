@@ -79,6 +79,11 @@ class PackedRv32Simulator {
   /// only place the packed state is decoded wholesale.
   [[nodiscard]] Rv32ArchState state() const;
 
+  /// The inverse boundary: re-packs a binary architectural state
+  /// (snapshot restore), adopting the snapshot's RAM size.
+  /// restore(state()) is an exact round trip.
+  void restore(const Rv32ArchState& state);
+
   [[nodiscard]] const Rv32DecodedImage& image() const noexcept { return *image_; }
 
   /// Direct plane-pair access (tests, representation checks).

@@ -136,6 +136,18 @@ class Rv32Simulator {
   /// Snapshot of the architectural state (registers, RAM bytes, PC).
   [[nodiscard]] Rv32ArchState state() const { return Rv32ArchState{regs_, ram_, pc_}; }
 
+  /// Replaces the architectural state wholesale (snapshot restore),
+  /// adopting the snapshot's RAM size and re-syncing the fetch row
+  /// (an out-of-program PC resolves to the trap row, like any other
+  /// dynamic control-flow target).  x0 is forced back to zero.
+  void restore(const Rv32ArchState& state) {
+    regs_ = state.regs;
+    regs_[0] = 0;
+    ram_ = state.ram;
+    pc_ = state.pc;
+    row_ = image_->row_of(pc_);
+  }
+
   /// The shared pre-decoded image this simulator executes.
   [[nodiscard]] const Rv32DecodedImage& image() const noexcept { return *image_; }
 
@@ -178,6 +190,15 @@ class LazyRv32Simulator {
   [[nodiscard]] uint8_t load_byte(uint32_t address) const;
 
   [[nodiscard]] Rv32ArchState state() const { return Rv32ArchState{regs_, ram_, pc_}; }
+
+  /// Replaces the architectural state wholesale (snapshot restore),
+  /// adopting the snapshot's RAM size.  x0 is forced back to zero.
+  void restore(const Rv32ArchState& state) {
+    regs_ = state.regs;
+    regs_[0] = 0;
+    ram_ = state.ram;
+    pc_ = state.pc;
+  }
 
  private:
   const Rv32Instruction& fetch() const;

@@ -63,6 +63,10 @@ Word9 encode_immediate(const Instruction& inst, int64_t pc) {
 
 DecodedImage::DecodedImage(const isa::Program& program)
     : program_(program), rows_(static_cast<std::size_t>(TernaryMemory::kRows)) {
+  // Reject out-of-range entries up front: `entry + i` below must not
+  // overflow, and an image whose entry silently wrapped would decode as a
+  // different program.
+  check_t9_address(program.entry, "entry");
   // Every row gets its static PC chain so even the trap path reports a
   // meaningful address; program rows additionally get decoded fields.
   // row = pc + kMaxValue (mod 3^9) is monotone, so the chain is plain

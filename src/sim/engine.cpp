@@ -74,8 +74,10 @@ class FunctionalEngineBase : public Engine {
     return stats;
   }
 
-  [[nodiscard]] MachineState state() const final { return MachineState{snapshot()}; }
+  [[nodiscard]] MachineState state() const final { return MachineState{arch_snapshot()}; }
   [[nodiscard]] const DecodedImage& image() const noexcept final { return *image_; }
+  // art9() throws SimError on an rv32 snapshot — the ISA-mismatch contract.
+  void restore(const MachineState& snapshot) final { do_restore(snapshot.art9()); }
   void set_observer(Observer observer) final {
     observer_ = std::move(observer);
     retired_ = 0;  // every installation numbers its stream from 0
@@ -88,7 +90,8 @@ class FunctionalEngineBase : public Engine {
   virtual bool do_step() = 0;
   virtual SimStats do_run(uint64_t max_instructions) = 0;
   [[nodiscard]] virtual int64_t pc_now() const = 0;
-  [[nodiscard]] virtual ArchState snapshot() const = 0;
+  [[nodiscard]] virtual ArchState arch_snapshot() const = 0;
+  virtual void do_restore(const ArchState& state) = 0;
 
   std::shared_ptr<const DecodedImage> image_;
 
@@ -108,7 +111,8 @@ class LazyEngine final : public FunctionalEngineBase {
   bool do_step() override { return sim_.step(); }
   SimStats do_run(uint64_t max_instructions) override { return sim_.run(max_instructions); }
   [[nodiscard]] int64_t pc_now() const override { return sim_.state().pc; }
-  [[nodiscard]] ArchState snapshot() const override { return sim_.state(); }
+  [[nodiscard]] ArchState arch_snapshot() const override { return sim_.state(); }
+  void do_restore(const ArchState& state) override { sim_.restore(state); }
 
   LazyFunctionalSimulator sim_;
 };
@@ -124,7 +128,8 @@ class FunctionalEngine final : public FunctionalEngineBase {
   bool do_step() override { return sim_.step(); }
   SimStats do_run(uint64_t max_instructions) override { return sim_.run(max_instructions); }
   [[nodiscard]] int64_t pc_now() const override { return sim_.state().pc; }
-  [[nodiscard]] ArchState snapshot() const override { return sim_.state(); }
+  [[nodiscard]] ArchState arch_snapshot() const override { return sim_.state(); }
+  void do_restore(const ArchState& state) override { sim_.restore(state); }
 
   FunctionalSimulator sim_;
 };
@@ -140,7 +145,8 @@ class PackedEngine final : public FunctionalEngineBase {
   bool do_step() override { return sim_.step(); }
   SimStats do_run(uint64_t max_instructions) override { return sim_.run(max_instructions); }
   [[nodiscard]] int64_t pc_now() const override { return sim_.pc(); }
-  [[nodiscard]] ArchState snapshot() const override { return sim_.unpack_state(); }
+  [[nodiscard]] ArchState arch_snapshot() const override { return sim_.unpack_state(); }
+  void do_restore(const ArchState& state) override { sim_.restore(state); }
 
   PackedFunctionalSimulator sim_;
 };
@@ -193,6 +199,13 @@ class PipelineEngine final : public Engine {
   }
 
   [[nodiscard]] MachineState state() const override { return MachineState{sim_.state()}; }
+
+  /// Drains the pipe to an instruction boundary (the drain cycles accrue
+  /// to this engine's stats) and returns the boundary state; the engine
+  /// itself resumes from that state with empty latches.
+  [[nodiscard]] MachineState checkpoint() override { return MachineState{sim_.checkpoint()}; }
+  void restore(const MachineState& snapshot) override { sim_.restore_state(snapshot.art9()); }
+
   [[nodiscard]] const DecodedImage& image() const noexcept override { return *image_; }
 
   void set_observer(Observer observer) override {
@@ -242,6 +255,8 @@ class Rv32Engine final : public Engine {
   }
 
   [[nodiscard]] MachineState state() const override { return MachineState{sim_.state()}; }
+  // rv32() throws SimError on an ART-9 snapshot — the ISA-mismatch contract.
+  void restore(const MachineState& snapshot) override { sim_.restore(snapshot.rv32()); }
   [[nodiscard]] const rv32::Rv32DecodedImage& rv32_image() const override { return *image_; }
 
   void set_observer(Observer observer) override {
@@ -309,6 +324,28 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, EngineImage image,
                                     const EngineOptions& options) {
   return std::visit([&](auto shared) { return make_engine(kind, std::move(shared), options); },
                     std::move(image));
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, std::shared_ptr<const DecodedImage> image,
+                                    const MachineState& snapshot, const EngineOptions& options) {
+  std::unique_ptr<Engine> engine = make_engine(kind, std::move(image), options);
+  engine->restore(snapshot);
+  return engine;
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                    std::shared_ptr<const rv32::Rv32DecodedImage> image,
+                                    const MachineState& snapshot, const EngineOptions& options) {
+  std::unique_ptr<Engine> engine = make_engine(kind, std::move(image), options);
+  engine->restore(snapshot);
+  return engine;
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, EngineImage image,
+                                    const MachineState& snapshot, const EngineOptions& options) {
+  std::unique_ptr<Engine> engine = make_engine(kind, std::move(image), options);
+  engine->restore(snapshot);
+  return engine;
 }
 
 std::unique_ptr<Engine> make_engine(EngineKind kind, const isa::Program& program,

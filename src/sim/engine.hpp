@@ -130,15 +130,27 @@ class MachineState {
   [[nodiscard]] bool is_art9() const noexcept { return state_.index() == 0; }
   [[nodiscard]] bool is_rv32() const noexcept { return state_.index() == 1; }
 
-  /// The ART-9 view (registers, TDM, PC).
-  [[nodiscard]] const ArchState& art9() const {
+  /// The ART-9 view (registers, TDM, PC).  Ref-qualified: on an rvalue —
+  /// e.g. `engine->checkpoint().art9()` — the view is *moved out* instead
+  /// of referencing the dying temporary, so `const ArchState& s = ...`
+  /// lifetime-extends a value rather than dangling (a use-after-free the
+  /// differential fuzzer caught in its own harness).
+  [[nodiscard]] const ArchState& art9() const& {
     if (const ArchState* s = std::get_if<ArchState>(&state_)) return *s;
     throw SimError("MachineState: rv32 state has no ART-9 view");
   }
+  [[nodiscard]] ArchState art9() && {
+    if (ArchState* s = std::get_if<ArchState>(&state_)) return std::move(*s);
+    throw SimError("MachineState: rv32 state has no ART-9 view");
+  }
 
-  /// The rv32 view (x-registers, RAM bytes, PC).
-  [[nodiscard]] const ::art9::rv32::Rv32ArchState& rv32() const {
+  /// The rv32 view (x-registers, RAM bytes, PC).  Ref-qualified like art9().
+  [[nodiscard]] const ::art9::rv32::Rv32ArchState& rv32() const& {
     if (const auto* s = std::get_if<::art9::rv32::Rv32ArchState>(&state_)) return *s;
+    throw SimError("MachineState: ART-9 state has no rv32 view");
+  }
+  [[nodiscard]] ::art9::rv32::Rv32ArchState rv32() && {
+    if (auto* s = std::get_if<::art9::rv32::Rv32ArchState>(&state_)) return std::move(*s);
     throw SimError("MachineState: ART-9 state has no rv32 view");
   }
 
@@ -221,6 +233,24 @@ class Engine {
   /// datapath — is decoded at this boundary.
   [[nodiscard]] virtual MachineState state() const = 0;
 
+  /// A restorable checkpoint: the architectural state at the next
+  /// instruction boundary.  For the functional kinds this is state()
+  /// verbatim.  The cycle-accurate kinds first drain in-flight
+  /// instructions to a boundary (charging the drain cycles to their
+  /// stats) so the checkpoint resumes bit-identically on *any* kind of
+  /// the same ISA — including instruction-at-a-time ones; the source
+  /// engine itself stays consistent and can keep running.
+  [[nodiscard]] virtual MachineState checkpoint() { return state(); }
+
+  /// Replaces the architectural state wholesale (registers, data memory
+  /// contents and access counters / RAM bytes, PC) and re-syncs the
+  /// fetch path to the snapshot's PC.  Pipelines resume with empty
+  /// latches, exactly as if execution had started at the snapshot.
+  /// Throws SimError when the snapshot's ISA does not match the
+  /// engine's.  Code is not part of the state: the snapshot must have
+  /// been taken on an engine over the same program image.
+  virtual void restore(const MachineState& snapshot) = 0;
+
   /// The shared pre-decoded ART-9 image this engine executes.  Throws
   /// SimError for the rv32 kinds (use rv32_image()).
   [[nodiscard]] virtual const DecodedImage& image() const {
@@ -269,6 +299,27 @@ using EngineImage = std::variant<std::shared_ptr<const DecodedImage>,
 /// Cross-ISA form: dispatches on the image alternative.  The kind must
 /// match the image's ISA (std::invalid_argument otherwise).
 [[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind, EngineImage image,
+                                                  const EngineOptions& options = {});
+
+/// Constructs an ART-9 engine of `kind` and resumes it from `snapshot`
+/// (an ART-9 MachineState — e.g. one produced by checkpoint() on any
+/// ART-9 kind, or deserialized via sim/snapshot.hpp) instead of the
+/// image's entry state.  The image supplies the code; the snapshot
+/// supplies registers, TDM and PC.
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                                  std::shared_ptr<const DecodedImage> image,
+                                                  const MachineState& snapshot,
+                                                  const EngineOptions& options = {});
+
+/// rv32 form: resumes from an rv32 snapshot (its RAM size is adopted,
+/// overriding EngineOptions::rv32_ram_bytes).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(
+    EngineKind kind, std::shared_ptr<const ::art9::rv32::Rv32DecodedImage> image,
+    const MachineState& snapshot, const EngineOptions& options = {});
+
+/// Cross-ISA resume form: dispatches on the image alternative.
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind, EngineImage image,
+                                                  const MachineState& snapshot,
                                                   const EngineOptions& options = {});
 
 /// Convenience: decodes `program` into a fresh image first.

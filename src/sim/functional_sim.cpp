@@ -107,12 +107,14 @@ SimStats FunctionalSimulator::run(uint64_t max_instructions) {
 LazyFunctionalSimulator::LazyFunctionalSimulator(const isa::Program& program)
     : tim_(static_cast<std::size_t>(TernaryMemory::kRows)),
       tim_valid_(static_cast<std::size_t>(TernaryMemory::kRows), false) {
+  // load_data first: it validates entry/data addresses, so `entry + i`
+  // below cannot overflow int64.
+  load_data(program, state_);
   for (std::size_t i = 0; i < program.code.size(); ++i) {
     const std::size_t row = TernaryMemory::row_of(program.entry + static_cast<int64_t>(i));
     tim_[row] = program.code[i];
     tim_valid_[row] = true;
   }
-  load_data(program, state_);
 }
 
 const Instruction& LazyFunctionalSimulator::fetch(int64_t pc) const {

@@ -37,6 +37,13 @@ class FunctionalSimulator {
   [[nodiscard]] const ArchState& state() const noexcept { return state_; }
   [[nodiscard]] ArchState& state() noexcept { return state_; }
 
+  /// Replaces the architectural state wholesale (snapshot restore) and
+  /// re-syncs the cached fetch row with the restored PC.
+  void restore(const ArchState& state) {
+    state_ = state;
+    row_ = DecodedImage::row_of(state_.pc);
+  }
+
   /// The pre-decoded image this simulator executes.
   [[nodiscard]] const DecodedImage& image() const noexcept { return *image_; }
 
@@ -64,6 +71,11 @@ class LazyFunctionalSimulator {
 
   [[nodiscard]] const ArchState& state() const noexcept { return state_; }
   [[nodiscard]] ArchState& state() noexcept { return state_; }
+
+  /// Replaces the architectural state wholesale (snapshot restore).  The
+  /// TIM is untouched: code comes from the program, never the snapshot
+  /// (self-modifying code is unsupported by design).
+  void restore(const ArchState& state) { state_ = state; }
 
   [[nodiscard]] const ternary::Word9& reg(int index) const { return state_.trf.read(index); }
   [[nodiscard]] int64_t reg_int(int index) const { return state_.trf.read(index).to_int(); }

@@ -61,11 +61,27 @@ struct SimStats {
   }
 };
 
+/// Rejects loadable addresses outside the 9-trit balanced range, naming the
+/// faulting address.  .t9 images carry arbitrary int64 addresses; silently
+/// folding an out-of-range entry or data word modulo 3^9 would load a
+/// different program than the image describes (and `entry + i` arithmetic
+/// downstream could overflow).  Mirrors the rv32 check_ram_range contract.
+inline void check_t9_address(int64_t address, const char* what) {
+  if (address < -ternary::Word9::kMaxValue || address > ternary::Word9::kMaxValue) {
+    throw SimError("art9 " + std::string(what) + " address " + std::to_string(address) +
+                   " outside the 9-trit range [-9841, 9841]");
+  }
+}
+
 /// Loads `program` into instruction storage + TDM and resets `state`.
 /// (TIM is modelled as pre-decoded instruction rows — see simulator
 /// classes; self-modifying code is out of scope and documented as such.)
 inline void load_data(const isa::Program& program, ArchState& state) {
-  for (const isa::DataWord& d : program.data) state.tdm.poke(d.address, d.value);
+  check_t9_address(program.entry, "entry");
+  for (const isa::DataWord& d : program.data) {
+    check_t9_address(d.address, "data-word");
+    state.tdm.poke(d.address, d.value);
+  }
   state.pc = program.entry;
 }
 

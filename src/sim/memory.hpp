@@ -22,10 +22,15 @@ class TernaryMemory {
 
   TernaryMemory() : rows_(static_cast<std::size_t>(kRows)) {}
 
-  /// Row index for a balanced address (wraps modulo 3^9).
+  /// Row index for a balanced address (wraps modulo 3^9).  Reduces before
+  /// biasing: `balanced_address + kMaxValue` would be signed overflow (UB)
+  /// for addresses near INT64_MAX — the same wraparound class the rv32 RAM
+  /// checks were hardened against — and .t9 images can carry any int64.
   [[nodiscard]] static std::size_t row_of(int64_t balanced_address) noexcept {
-    int64_t r = (balanced_address + ternary::Word9::kMaxValue) % kRows;
+    int64_t r = balanced_address % kRows;  // (-kRows, kRows): safe to bias
+    r += ternary::Word9::kMaxValue;
     if (r < 0) r += kRows;
+    if (r >= kRows) r -= kRows;
     return static_cast<std::size_t>(r);
   }
 
@@ -113,6 +118,13 @@ class PackedMemory {
 
   [[nodiscard]] uint64_t reads() const noexcept { return reads_; }
   [[nodiscard]] uint64_t writes() const noexcept { return writes_; }
+
+  /// Restores the access counters (snapshot restore re-packs a reference
+  /// memory and must resume its accounting where it left off).
+  void set_counters(uint64_t reads, uint64_t writes) noexcept {
+    reads_ = reads;
+    writes_ = writes;
+  }
 
   friend bool operator==(const PackedMemory&, const PackedMemory&) = default;
 

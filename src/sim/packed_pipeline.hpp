@@ -84,6 +84,12 @@ class PackedPipelineDatapath {
   /// reference representation (registers, TDM contents + counters, PC).
   [[nodiscard]] ArchState unpack_state() const;
 
+  /// Snapshot/restore seam (PipelineModel::checkpoint/restore_state).
+  /// load_state re-packs a reference-representation state; an exact
+  /// round trip of unpack_state, access counters included.
+  [[nodiscard]] ArchState arch_state() const { return unpack_state(); }
+  void load_state(const ArchState& s);
+
   /// Raw packed register (tests, tracing hooks).
   [[nodiscard]] const Word& reg_packed(int index) const {
     return trf_[static_cast<std::size_t>(index)];

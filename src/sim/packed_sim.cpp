@@ -276,6 +276,21 @@ ArchState PackedFunctionalSimulator::unpack_state() const {
   return out;
 }
 
+void PackedFunctionalSimulator::restore(const ArchState& state) {
+  for (int i = 0; i < isa::kNumRegisters; ++i) {
+    trf_[static_cast<std::size_t>(i)] = BctWord9::encode(state.trf.read(i));
+  }
+  tdm_ = PackedMemory{};
+  for (int64_t addr = -ternary::Word9::kMaxValue; addr <= ternary::Word9::kMaxValue; ++addr) {
+    const ternary::Word9& w = state.tdm.peek(addr);
+    if (w == ternary::Word9{}) continue;  // zero rows match the default
+    tdm_.poke(addr, BctWord9::encode(w));
+  }
+  tdm_.set_counters(state.tdm.reads(), state.tdm.writes());
+  pc_ = state.pc;
+  row_ = DecodedImage::row_of(pc_);
+}
+
 ternary::Word9 PackedFunctionalSimulator::reg(int index) const {
   return trf_.at(static_cast<std::size_t>(index)).decode();
 }

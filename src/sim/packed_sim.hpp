@@ -51,6 +51,11 @@ class PackedFunctionalSimulator {
   /// reference representation (registers, TDM contents + counters, PC).
   [[nodiscard]] ArchState unpack_state() const;
 
+  /// The inverse boundary: re-packs a reference-representation state
+  /// (snapshot restore).  restore(unpack_state()) is an exact round trip,
+  /// access counters included.
+  void restore(const ArchState& state);
+
   /// Convenience accessors (decode on access).
   [[nodiscard]] ternary::Word9 reg(int index) const;
   [[nodiscard]] int64_t reg_int(int index) const;

@@ -53,6 +53,11 @@ class ReferencePipelineDatapath {
   [[nodiscard]] int64_t pc() const noexcept { return state.pc; }
   void set_pc(int64_t pc) noexcept { state.pc = pc; }
 
+  /// Snapshot/restore seam (PipelineModel::checkpoint/restore_state):
+  /// the reference datapath's architectural state is the state itself.
+  [[nodiscard]] ArchState arch_state() const { return state; }
+  void load_state(const ArchState& s) { state = s; }
+
   [[nodiscard]] Word read_reg(int index) const { return state.trf.read(index); }
   void write_reg(int index, const Word& value) { state.trf.write(index, value); }
 

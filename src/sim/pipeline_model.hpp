@@ -104,6 +104,35 @@ class PipelineModel {
   [[nodiscard]] Datapath& datapath() noexcept { return dp_; }
   [[nodiscard]] const Datapath& datapath() const noexcept { return dp_; }
 
+  /// Architectural checkpoint at an instruction boundary: drains the
+  /// in-flight instructions (the not-yet-issued IF/ID entry is squashed,
+  /// older stages complete — a few extra cycles accrue to stats()), then
+  /// returns the architectural state with `pc` on the next unexecuted
+  /// instruction.  The pipeline itself is left restarted at that same
+  /// boundary, so checkpoint() is observable only in the cycle counters:
+  /// the retired-instruction stream and final architectural state of a
+  /// checkpointed run match the uninterrupted run exactly.
+  [[nodiscard]] ArchState checkpoint() {
+    const int64_t resume_pc = drain_to_boundary();
+    ArchState snapshot = dp_.arch_state();
+    snapshot.pc = resume_pc;
+    restore_state(snapshot);
+    return snapshot;
+  }
+
+  /// Adopts `state` as the architectural state and restarts the pipeline
+  /// empty at state.pc (the snapshot-restore seam: `state` may come from
+  /// any other engine kind's checkpoint).
+  void restore_state(const ArchState& state) {
+    dp_.load_state(state);
+    ifid_ = IfId{};
+    idex_ = IdEx{};
+    exmem_ = ExMem{};
+    memwb_ = MemWb{};
+    fetch_stopped_ = false;
+    halted_ = false;
+  }
+
   /// Streams a CycleTrace per clock to `observer` (pass nullptr to stop).
   void set_tracer(TraceObserver observer) { tracer_ = std::move(observer); }
 
@@ -155,6 +184,27 @@ class PipelineModel {
     return op ? op->inst : kEmpty;
   }
 
+  /// checkpoint()'s drain: squashes the unissued IF/ID entry, stops
+  /// fetch, and clocks until EX/MEM/WB are empty (at most three cycles —
+  /// ID is empty, so no stall can hold an older stage).  Returns the PC
+  /// the drained machine resumes from: the squashed entry's own PC, the
+  /// target of a control-flow redirect an in-flight op resolves while
+  /// draining (branch-in-EX mode), or — if the HALT retires during the
+  /// drain, or already has — the halt instruction's PC, matching the
+  /// functional kinds' convention of resting ON the halt.
+  [[nodiscard]] int64_t drain_to_boundary() {
+    if (halted_) return halt_pc_;
+    int64_t resume_pc = ifid_.valid ? ifid_.op->pc : dp_.pc();
+    ifid_ = IfId{};
+    fetch_stopped_ = true;
+    while (idex_.valid || exmem_.valid || memwb_.valid) {
+      const uint64_t flushes_before = stats_.flush_taken_branch;
+      if (!step()) return halt_pc_;
+      if (stats_.flush_taken_branch != flushes_before) resume_pc = dp_.pc();
+    }
+    return resume_pc;
+  }
+
   PipelineConfig config_;
   SimStats stats_;
 
@@ -167,6 +217,8 @@ class PipelineModel {
   MemWb memwb_;
 
   bool fetch_stopped_ = false;
+  bool halted_ = false;   // the HALT retired; halt_pc_ is its address
+  int64_t halt_pc_ = 0;   // (dp_.pc() stops past it — checkpoint needs the op's own PC)
   TraceObserver tracer_;
   RetireObserver retire_observer_;
 };
@@ -198,6 +250,8 @@ bool PipelineModel<Datapath>::step() {
   if (memwb_.valid) {
     if (memwb_.is_halt) {
       retire_halt = true;
+      halted_ = true;
+      halt_pc_ = memwb_.op->pc;
     } else {
       ++stats_.instructions;
       if (retire_observer_) retire_observer_(memwb_.op->inst, memwb_.op->pc, stats_.instructions - 1);

@@ -1,0 +1,231 @@
+#include "sim/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace art9::sim {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'R', 'T', '9', 'S', 'N', 'A', 'P'};
+constexpr uint16_t kVersion = 1;
+constexpr uint8_t kIsaArt9 = 0;
+constexpr uint8_t kIsaRv32 = 1;
+
+/// FNV-1a 64 over a byte range — cheap, dependency-free integrity check
+/// (corruption detection, not authentication).
+uint64_t fnv1a(const uint8_t* data, std::size_t size) noexcept {
+  uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Little-endian appenders: the on-disk format is fixed regardless of
+/// host endianness.
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int b = 0; b < 4; ++b) out.push_back(static_cast<uint8_t>(v >> (8 * b)));
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<uint8_t>(v >> (8 * b)));
+}
+
+void put_i16(std::vector<uint8_t>& out, int16_t v) { put_u16(out, static_cast<uint16_t>(v)); }
+void put_i64(std::vector<uint8_t>& out, int64_t v) { put_u64(out, static_cast<uint64_t>(v)); }
+
+/// Bounds-checked little-endian cursor over the payload bytes.
+class Reader {
+ public:
+  Reader(const uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] uint8_t u8() { return take(1)[0]; }
+
+  [[nodiscard]] uint16_t u16() {
+    const uint8_t* p = take(2);
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+  }
+
+  [[nodiscard]] uint32_t u32() {
+    const uint8_t* p = take(4);
+    uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) v |= static_cast<uint32_t>(p[b]) << (8 * b);
+    return v;
+  }
+
+  [[nodiscard]] uint64_t u64() {
+    const uint8_t* p = take(8);
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v |= static_cast<uint64_t>(p[b]) << (8 * b);
+    return v;
+  }
+
+  [[nodiscard]] int16_t i16() { return static_cast<int16_t>(u16()); }
+  [[nodiscard]] int64_t i64() { return static_cast<int64_t>(u64()); }
+
+  [[nodiscard]] const uint8_t* take(std::size_t n) {
+    if (n > size_ - pos_) throw SimError("snapshot: truncated payload");
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Validated i16 -> Word9 (registers and TDM rows share the range).
+ternary::Word9 word9_of(int16_t value, const char* what) {
+  if (value < -ternary::Word9::kMaxValue || value > ternary::Word9::kMaxValue) {
+    throw SimError("snapshot: " + std::string(what) + " value " + std::to_string(value) +
+                   " outside the 9-trit range");
+  }
+  return ternary::Word9::from_int(value);
+}
+
+void put_art9(std::vector<uint8_t>& out, const ArchState& s) {
+  put_i64(out, s.pc);
+  for (int i = 0; i < isa::kNumRegisters; ++i) {
+    put_i16(out, static_cast<int16_t>(s.trf.read(i).to_int()));
+  }
+  put_u64(out, s.tdm.reads());
+  put_u64(out, s.tdm.writes());
+  // Sparse TDM: only non-zero rows, ascending row order (canonical form —
+  // equal states serialize to identical blobs).
+  std::vector<std::pair<uint32_t, int16_t>> rows;
+  for (int64_t row = 0; row < TernaryMemory::kRows; ++row) {
+    const ternary::Word9& w = s.tdm.peek(row - ternary::Word9::kMaxValue);
+    if (w == ternary::Word9{}) continue;
+    rows.emplace_back(static_cast<uint32_t>(row), static_cast<int16_t>(w.to_int()));
+  }
+  put_u32(out, static_cast<uint32_t>(rows.size()));
+  for (const auto& [row, value] : rows) {
+    put_u32(out, row);
+    put_i16(out, value);
+  }
+}
+
+ArchState read_art9(Reader& in) {
+  ArchState s;
+  const int64_t pc = in.i64();
+  check_t9_address(pc, "snapshot pc");
+  s.pc = pc;
+  for (int i = 0; i < isa::kNumRegisters; ++i) {
+    s.trf.write(i, word9_of(in.i16(), "register"));
+  }
+  const uint64_t reads = in.u64();
+  const uint64_t writes = in.u64();
+  const uint32_t nrows = in.u32();
+  if (nrows > static_cast<uint32_t>(TernaryMemory::kRows)) {
+    throw SimError("snapshot: TDM row count " + std::to_string(nrows) + " exceeds " +
+                   std::to_string(TernaryMemory::kRows));
+  }
+  for (uint32_t i = 0; i < nrows; ++i) {
+    const uint32_t row = in.u32();
+    if (row >= static_cast<uint32_t>(TernaryMemory::kRows)) {
+      throw SimError("snapshot: TDM row " + std::to_string(row) + " out of range");
+    }
+    s.tdm.poke(static_cast<int64_t>(row) - ternary::Word9::kMaxValue,
+               word9_of(in.i16(), "TDM row"));
+  }
+  s.tdm.set_counters(reads, writes);
+  return s;
+}
+
+void put_rv32(std::vector<uint8_t>& out, const rv32::Rv32ArchState& s) {
+  put_u32(out, s.pc);
+  for (uint32_t r : s.regs) put_u32(out, r);
+  put_u64(out, s.ram.size());
+  for (uint8_t byte : s.ram) out.push_back(byte);
+}
+
+rv32::Rv32ArchState read_rv32(Reader& in) {
+  rv32::Rv32ArchState s;
+  s.pc = in.u32();
+  for (uint32_t& r : s.regs) r = in.u32();
+  if (s.regs[0] != 0) throw SimError("snapshot: rv32 x0 is nonzero");
+  const uint64_t ram_size = in.u64();
+  if (ram_size > in.remaining()) throw SimError("snapshot: truncated payload");
+  const uint8_t* bytes = in.take(static_cast<std::size_t>(ram_size));
+  s.ram.assign(bytes, bytes + ram_size);
+  return s;
+}
+
+}  // namespace
+
+std::vector<uint8_t> serialize_snapshot(const MachineState& state) {
+  std::vector<uint8_t> out;
+  for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
+  put_u16(out, kVersion);
+  if (state.is_art9()) {
+    out.push_back(kIsaArt9);
+    put_art9(out, state.art9());
+  } else {
+    out.push_back(kIsaRv32);
+    put_rv32(out, state.rv32());
+  }
+  put_u64(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+MachineState deserialize_snapshot(const uint8_t* data, std::size_t size) {
+  constexpr std::size_t kHeader = sizeof(kMagic) + 2 + 1;
+  if (size < kHeader + 8) throw SimError("snapshot: blob too short");
+  const uint64_t stored = Reader(data + size - 8, 8).u64();
+  if (stored != fnv1a(data, size - 8)) throw SimError("snapshot: checksum mismatch");
+  Reader in(data, size - 8);
+  if (std::memcmp(in.take(sizeof(kMagic)), kMagic, sizeof(kMagic)) != 0) {
+    throw SimError("snapshot: bad magic");
+  }
+  const uint16_t version = in.u16();
+  if (version != kVersion) {
+    throw SimError("snapshot: unsupported version " + std::to_string(version));
+  }
+  const uint8_t isa = in.u8();
+  MachineState state;
+  switch (isa) {
+    case kIsaArt9:
+      state = MachineState{read_art9(in)};
+      break;
+    case kIsaRv32:
+      state = MachineState{read_rv32(in)};
+      break;
+    default:
+      throw SimError("snapshot: unknown ISA tag " + std::to_string(isa));
+  }
+  if (in.remaining() != 0) {
+    throw SimError("snapshot: " + std::to_string(in.remaining()) + " trailing bytes");
+  }
+  return state;
+}
+
+MachineState deserialize_snapshot(const std::vector<uint8_t>& blob) {
+  return deserialize_snapshot(blob.data(), blob.size());
+}
+
+void save_snapshot_file(const std::string& path, const MachineState& state) {
+  const std::vector<uint8_t> blob = serialize_snapshot(state);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
+  if (!out) throw SimError("snapshot: cannot write " + path);
+}
+
+MachineState load_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SimError("snapshot: cannot read " + path);
+  std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return deserialize_snapshot(blob);
+}
+
+}  // namespace art9::sim

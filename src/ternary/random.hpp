@@ -1,8 +1,16 @@
 // Deterministic random generators for trits and words — the backbone of the
 // property-based tests and the random-program differential tests.
+//
+// Bounded draws deliberately avoid std::uniform_int_distribution: its output
+// sequence is implementation-defined, so a seed that reproduces a bug under
+// libstdc++ draws a different program under libc++.  `random_below` is a
+// Lemire-style multiply-shift rejection over the raw 64-bit engine output
+// (which *is* pinned by the standard for std::mt19937_64), making every
+// seeded draw in this repository bit-stable across standard libraries.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <random>
 
 #include "ternary/trit.hpp"
@@ -10,11 +18,51 @@
 
 namespace art9::ternary {
 
+/// 64 uniform bits from a full-range 32- or 64-bit engine (std::mt19937_64
+/// takes one draw, std::mt19937 two — both sequences pinned by the standard).
+template <typename Rng>
+[[nodiscard]] uint64_t random_bits64(Rng& rng) {
+  static_assert(Rng::min() == 0, "random_bits64 needs a zero-based engine");
+  if constexpr (Rng::max() == std::numeric_limits<uint64_t>::max()) {
+    return rng();
+  } else {
+    static_assert(Rng::max() == std::numeric_limits<uint32_t>::max(),
+                  "random_bits64 needs a full-range 32- or 64-bit engine");
+    const uint64_t lo = rng();
+    return (static_cast<uint64_t>(rng()) << 32) | lo;
+  }
+}
+
+/// Uniform draw in [0, bound) by Lemire's nearly-divisionless multiply-shift
+/// rejection (https://arxiv.org/abs/1805.10941).  bound must be non-zero.
+template <typename Rng>
+[[nodiscard]] uint64_t random_below(Rng& rng, uint64_t bound) {
+  uint64_t x = random_bits64(rng);
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = -bound % bound;  // (2^64 - bound) mod bound
+    while (lo < threshold) {
+      x = random_bits64(rng);
+      m = static_cast<unsigned __int128>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+/// Uniform draw in the closed interval [lo, hi] (lo <= hi).
+template <typename Rng>
+[[nodiscard]] int64_t random_in(Rng& rng, int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  if (span == std::numeric_limits<uint64_t>::max()) return static_cast<int64_t>(random_bits64(rng));
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + random_below(rng, span + 1));
+}
+
 /// Uniform random trit.
 template <typename Rng>
 [[nodiscard]] Trit random_trit(Rng& rng) {
-  std::uniform_int_distribution<int> dist(-1, 1);
-  return Trit(dist(rng));
+  return Trit(static_cast<int>(random_in(rng, -1, 1)));
 }
 
 /// Uniform random N-trit word (uniform over all 3^N states).
@@ -28,8 +76,7 @@ template <std::size_t N, typename Rng>
 /// Random balanced value in a sub-range, as a word.
 template <std::size_t N, typename Rng>
 [[nodiscard]] Word<N> random_word_in(Rng& rng, int64_t lo, int64_t hi) {
-  std::uniform_int_distribution<int64_t> dist(lo, hi);
-  return Word<N>::from_int(dist(rng));
+  return Word<N>::from_int(random_in(rng, lo, hi));
 }
 
 }  // namespace art9::ternary
