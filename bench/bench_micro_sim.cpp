@@ -4,16 +4,20 @@
 //
 // Engine benchmarks are registered generically over sim::EngineKind
 // (BM_Engine/<kind>), so a new backend shows up here by existing; the
-// SimulationService batch benchmark sweeps worker-pool widths.
+// SimulationService benchmarks sweep worker-pool widths over a shared-image
+// Dhrystone batch and over the cross-ISA mixed batch (all four translated
+// benchmarks plus their rv32 sources).
 //
 // `--json[=path]` skips google-benchmark and instead runs every engine
-// kind plus the thread-parallel batch under the warmup + median-of-N
-// harness of bench/report.hpp, writing steps/s (and batch scaling) to
-// BENCH_micro_sim.json so the perf trajectory stays machine-readable
-// across PRs.
+// kind plus the thread-parallel batches under the warmup + median-of-N
+// harness of bench/report.hpp, writing steps/s, batch scaling, and the
+// service fault-path overheads (checkpoint interval cost, cancellation
+// latency) to BENCH_micro_sim.json so the perf trajectory stays
+// machine-readable across PRs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -61,6 +65,40 @@ sim::EngineImage engine_image_for(sim::EngineKind kind) {
   return dhrystone_image();
 }
 
+/// The whole benchmark corpus, both ISAs: each of the four benchmarks as
+/// its rv32 source image and its ART-9 translation — the PR 5 carry-over
+/// cross-ISA batch workload (8 jobs).
+struct MixedCorpus {
+  std::vector<std::shared_ptr<const sim::DecodedImage>> art9;
+  std::vector<std::shared_ptr<const rv32::Rv32DecodedImage>> rv32;
+};
+
+const MixedCorpus& mixed_corpus() {
+  static const MixedCorpus kCorpus = [] {
+    MixedCorpus corpus;
+    xlat::SoftwareFramework framework;
+    for (const core::BenchmarkSources* bench : core::all_benchmarks()) {
+      const rv32::Rv32Program source = rv32::assemble_rv32(bench->rv32);
+      corpus.rv32.push_back(rv32::decode(source));
+      corpus.art9.push_back(sim::decode(framework.translate(source).program));
+    }
+    return corpus;
+  }();
+  return kCorpus;
+}
+
+/// A job batch over the mixed corpus: every benchmark on the packed ART-9
+/// engine and on the rv32 reference engine.  Returns retired instructions.
+uint64_t run_mixed_batch(unsigned threads) {
+  const MixedCorpus& corpus = mixed_corpus();
+  sim::SimulationService service(threads);
+  for (const auto& image : corpus.art9) service.add(image, sim::EngineKind::kPacked);
+  for (const auto& image : corpus.rv32) service.add(image, sim::EngineKind::kRv32);
+  uint64_t instructions = 0;
+  for (const sim::JobResult& r : service.run_all()) instructions += r.run.stats.instructions;
+  return instructions;
+}
+
 // --- one benchmark per engine kind, registered generically -------------------
 // Throughput counter is steps/s in the engine's own step unit: retired
 // instructions for the functional kinds, clock cycles for the pipeline.
@@ -82,8 +120,17 @@ void BM_SimulationServiceDhrystone8(benchmark::State& state, unsigned threads) {
   for (auto _ : state) {
     sim::SimulationService service(threads);
     for (int i = 0; i < 8; ++i) service.add(dhrystone_image(), sim::EngineKind::kPacked);
-    for (const sim::RunResult& r : service.run_all()) instructions += r.stats.instructions;
+    for (const sim::JobResult& r : service.run_all()) instructions += r.run.stats.instructions;
   }
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+void BM_SimulationServiceMixedISA(benchmark::State& state, unsigned threads) {
+  // The cross-ISA batch: all four benchmarks, each as a packed ART-9
+  // translation job and an rv32 reference job, across `threads` workers.
+  uint64_t instructions = 0;
+  for (auto _ : state) instructions += run_mixed_batch(threads);
   state.counters["steps/s"] =
       benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
@@ -99,6 +146,11 @@ void register_engine_benches() {
   for (unsigned threads : widths) {
     const std::string name = "BM_SimulationServiceDhrystone8/threads:" + std::to_string(threads);
     benchmark::RegisterBenchmark(name.c_str(), BM_SimulationServiceDhrystone8, threads)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (unsigned threads : widths) {
+    const std::string name = "BM_SimulationServiceMixedISA/threads:" + std::to_string(threads);
+    benchmark::RegisterBenchmark(name.c_str(), BM_SimulationServiceMixedISA, threads)
         ->Unit(benchmark::kMillisecond);
   }
 }
@@ -159,9 +211,50 @@ double batch_rate(unsigned threads, int jobs) {
     sim::SimulationService service(threads);
     for (int i = 0; i < jobs; ++i) service.add(dhrystone_image(), sim::EngineKind::kPacked);
     uint64_t instructions = 0;
-    for (const sim::RunResult& r : service.run_all()) instructions += r.stats.instructions;
+    for (const sim::JobResult& r : service.run_all()) instructions += r.run.stats.instructions;
     return instructions;
   });
+}
+
+double mixed_batch_rate(unsigned threads) {
+  return bench::median_rate([&] { return run_mixed_batch(threads); });
+}
+
+/// Dhrystone through the service with a checkpoint every `every` steps
+/// (0 = checkpointing off) — the fault-path overhead numerator/denominator.
+double checkpointed_rate(uint64_t every) {
+  return bench::median_rate([&] {
+    sim::SimulationService service(1);
+    sim::JobControls controls;
+    controls.checkpoint_every = every;
+    const sim::JobHandle handle =
+        service.submit(dhrystone_image(), sim::EngineKind::kPacked, {}, controls);
+    return handle.result().run.stats.instructions;
+  });
+}
+
+/// Median seconds from cancel() to resolution of a spinning job — the
+/// service's cooperative cancellation latency (bounded by the slice
+/// length; measured at the default slice).
+double cancel_latency_seconds() {
+  using clock = std::chrono::steady_clock;
+  const std::shared_ptr<const sim::DecodedImage> spin =
+      sim::decode(isa::assemble("loop:\n  ADDI T1, 1\n  JAL T0, loop\n"));
+  std::vector<double> samples;
+  for (int i = 0; i < 5; ++i) {
+    sim::SimulationService service(1);
+    sim::JobHandle handle =
+        service.submit(spin, sim::EngineKind::kPacked, sim::RunOptions{1'000'000'000'000});
+    while (!handle.started()) std::this_thread::yield();
+    const clock::time_point t0 = clock::now();
+    handle.cancel();
+    handle.wait();
+    samples.push_back(std::chrono::duration<double>(clock::now() - t0).count());
+  }
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                   samples.end());
+  return samples[mid];
 }
 
 int run_json_report(const std::string& path) {
@@ -198,6 +291,27 @@ int run_json_report(const std::string& path) {
               " M steps/s");
   bench::note("scaling (max vs 1):     x" + std::to_string(batch1 > 0.0 ? batchN / batch1 : 0.0));
 
+  bench::heading("mixed_isa_batch — 4 benchmarks x (packed ART-9 + rv32), 8 jobs");
+  const double mixed1 = mixed_batch_rate(1);
+  const double mixedN = hw > 1 ? mixed_batch_rate(hw) : mixed1;
+  bench::note("threads=1:              " + std::to_string(mixed1 / 1e6) + " M steps/s");
+  bench::note("threads=" + std::to_string(hw) + ":              " + std::to_string(mixedN / 1e6) +
+              " M steps/s");
+  bench::note("scaling (max vs 1):     x" + std::to_string(mixed1 > 0.0 ? mixedN / mixed1 : 0.0));
+
+  bench::heading("service fault-path overheads");
+  constexpr uint64_t kCheckpointEvery = 50'000;
+  const double no_checkpoint = checkpointed_rate(0);
+  const double with_checkpoint = checkpointed_rate(kCheckpointEvery);
+  const double checkpoint_cost =
+      no_checkpoint > 0.0 ? 1.0 - with_checkpoint / no_checkpoint : 0.0;
+  const double cancel_latency = cancel_latency_seconds();
+  bench::note("no checkpoints:         " + std::to_string(no_checkpoint / 1e6) + " M steps/s");
+  bench::note("checkpoint every " + std::to_string(kCheckpointEvery) + ": " +
+              std::to_string(with_checkpoint / 1e6) + " M steps/s");
+  bench::note("checkpoint cost:        " + std::to_string(checkpoint_cost * 100.0) + " %");
+  bench::note("cancel latency:         " + std::to_string(cancel_latency * 1e3) + " ms");
+
   bench::JsonObject json;
   json.add("bench", "micro_sim");
   json.add("workload", "dhrystone_translated");
@@ -221,6 +335,15 @@ int run_json_report(const std::string& path) {
   json.add("batch_threads_max", static_cast<double>(hw));
   json.add("batch_threads_max_steps_per_sec", batchN);
   json.add("batch_scaling_max_vs_1", batch1 > 0.0 ? batchN / batch1 : 0.0);
+  json.add("mixed_isa_batch_jobs", static_cast<double>(mixed_corpus().art9.size() * 2));
+  json.add("mixed_isa_batch_threads_1_steps_per_sec", mixed1);
+  json.add("mixed_isa_batch_threads_max_steps_per_sec", mixedN);
+  json.add("mixed_isa_batch_scaling_max_vs_1", mixed1 > 0.0 ? mixedN / mixed1 : 0.0);
+  json.add("service_checkpoint_interval_steps", static_cast<double>(kCheckpointEvery));
+  json.add("service_no_checkpoint_steps_per_sec", no_checkpoint);
+  json.add("service_checkpoint_steps_per_sec", with_checkpoint);
+  json.add("service_checkpoint_cost_fraction", checkpoint_cost);
+  json.add("service_cancel_latency_ms", cancel_latency * 1e3);
   if (!json.write(path)) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     return 1;

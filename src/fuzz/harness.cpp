@@ -482,13 +482,158 @@ std::optional<std::string> check_raw_case(ByteReader& in) {
   return std::nullopt;
 }
 
+// ===========================================================================
+// Mode 4 — snapshot codec: mutated blobs must reject-or-round-trip.
+// ===========================================================================
+
+/// Mirror of the codec's trailing FNV-1a 64 (sim/snapshot.cpp): re-stamps
+/// the checksum after a deliberate structural edit so the *field*
+/// validation behind the integrity check is what the case exercises.
+void restamp_checksum(std::vector<uint8_t>& blob) {
+  if (blob.size() < 8) return;
+  uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i + 8 < blob.size(); ++i) {
+    h ^= blob[i];
+    h *= 1099511628211ULL;
+  }
+  for (int b = 0; b < 8; ++b) {
+    blob[blob.size() - 8 + static_cast<std::size_t>(b)] = static_cast<uint8_t>(h >> (8 * b));
+  }
+}
+
+/// What the oracle demands of deserialize_snapshot on the mutated blob.
+enum class CodecExpectation { kAccept, kReject, kEither };
+
+std::optional<std::string> check_snapshot_case(ByteReader& in) {
+  // A genuine checkpoint blob: fuzz-chosen ISA, engine kind and split.
+  const bool use_rv32 = (in.u8() & 1) != 0;
+  const uint64_t seed = in.u64();
+  const uint64_t split = in.u8() % 64;
+
+  std::mt19937_64 rng(seed);
+  std::unique_ptr<sim::Engine> engine;
+  if (use_rv32) {
+    const auto kinds = sim::rv32_engine_kinds();
+    sim::EngineOptions options;
+    options.rv32_ram_bytes = 4096;  // a small RAM keeps the blobs small
+    engine = sim::make_engine(kinds[in.u8() % kinds.size()],
+                              rv32::decode(rv32::assemble_rv32(core::generate_rv32_source(rng))),
+                              options);
+  } else {
+    const auto kinds = sim::art9_engine_kinds();
+    engine = sim::make_engine(kinds[in.u8() % kinds.size()],
+                              sim::decode(core::generate_art9_program(rng)));
+  }
+  static_cast<void>(engine->run_stats({split}));
+  const sim::MachineState snap = engine->checkpoint();
+  const std::vector<uint8_t> blob = sim::serialize_snapshot(snap);
+
+  // One fuzz-chosen mutation.  Structural edits are re-stamped so the
+  // named field check — not the checksum gate in front of it — must fire.
+  const uint8_t strategy = in.u8() % 9;
+  std::vector<uint8_t> mutated = blob;
+  CodecExpectation expectation = CodecExpectation::kReject;
+  const char* message = nullptr;  // required rejection substring
+  switch (strategy) {
+    case 0:  // pristine: the canonical-round-trip leg
+      expectation = CodecExpectation::kAccept;
+      break;
+    case 1:  // any bit flip without a re-stamp fails the integrity check
+      mutated[in.u16() % mutated.size()] ^= static_cast<uint8_t>(1u << (in.u8() % 8));
+      message = "checksum mismatch";
+      break;
+    case 2: {  // truncation at an arbitrary point
+      const std::size_t keep = in.u16() % (mutated.size() + 1);
+      mutated.resize(keep);
+      if (keep == blob.size()) expectation = CodecExpectation::kAccept;
+      break;
+    }
+    case 3:  // corrupted magic
+      mutated[in.u8() % 8] ^= static_cast<uint8_t>(1u << (in.u8() % 8));
+      restamp_checksum(mutated);
+      message = "bad magic";
+      break;
+    case 4:  // version bump (the u16 at offset 8)
+      mutated[8 + in.u8() % 2] ^= static_cast<uint8_t>(1 + in.u8() % 255);
+      restamp_checksum(mutated);
+      message = "unsupported version";
+      break;
+    case 5:  // ISA tag outside {art9, rv32} (the byte at offset 10)
+      mutated[10] = static_cast<uint8_t>(2 + in.u8() % 254);
+      restamp_checksum(mutated);
+      message = "unknown ISA tag";
+      break;
+    case 6:  // garbage wedged between payload and checksum
+      mutated.insert(mutated.end() - 8, 1 + in.u8() % 8, 0xA5);
+      restamp_checksum(mutated);
+      message = "trailing";
+      break;
+    case 7:  // ISA-specific field violation behind a valid checksum
+      if (use_rv32) {
+        // x0 must deserialize as zero: header(11) + u32 pc, then x0.
+        mutated[11 + 4 + in.u8() % 4] |= static_cast<uint8_t>(1u << (in.u8() % 8));
+        message = "x0";
+      } else {
+        // First register's i16 (header 11 + i64 pc) pushed to 20000.
+        mutated[19] = 0x20;
+        mutated[20] = 0x4E;
+        message = "outside the 9-trit range";
+      }
+      restamp_checksum(mutated);
+      break;
+    default:  // wholly fuzzer-authored bytes: reject-or-round-trip
+      mutated.assign(in.u16() % 96, 0);
+      for (uint8_t& byte : mutated) byte = in.u8();
+      expectation = CodecExpectation::kEither;
+      break;
+  }
+
+  std::ostringstream tag;
+  tag << (use_rv32 ? "rv32" : "art9") << " seed=" << seed << " split=" << split
+      << " strategy=" << int(strategy) << " bytes=" << blob.size() << "->" << mutated.size();
+
+  try {
+    const sim::MachineState revived = sim::deserialize_snapshot(mutated);
+    if (expectation == CodecExpectation::kReject) {
+      return "malformed blob accepted (" + tag.str() + ")";
+    }
+    if (mutated == blob) {
+      // The untouched blob must round-trip exactly and stay canonical.
+      if (revived != snap) return "round-trip lost state (" + tag.str() + ")";
+      if (sim::serialize_snapshot(revived) != blob) {
+        return "re-serialization is not canonical (" + tag.str() + ")";
+      }
+    } else if (sim::deserialize_snapshot(sim::serialize_snapshot(revived)) != revived) {
+      // A forged-but-accepted blob need not be canonical bytes (e.g. TDM
+      // rows out of order), but its parsed state must be codec-stable.
+      return "accepted state does not round-trip (" + tag.str() + ")";
+    }
+  } catch (const sim::SimError& e) {
+    const std::string what = e.what();
+    if (expectation == CodecExpectation::kAccept) {
+      return "valid blob rejected: " + what + " (" + tag.str() + ")";
+    }
+    if (expectation == CodecExpectation::kReject && what.rfind("snapshot:", 0) != 0) {
+      return "rejection without the snapshot: prefix: " + what + " (" + tag.str() + ")";
+    }
+    if (message != nullptr && what.find(message) == std::string::npos) {
+      return std::string("wrong rejection: expected \"") + message + "\", got \"" + what + "\" (" +
+             tag.str() + ")";
+    }
+  } catch (const std::exception& e) {
+    return std::string("rejected with a non-SimError exception: ") + e.what() + " (" + tag.str() +
+           ")";
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 FuzzResult run_fuzz_case(const uint8_t* data, std::size_t size) {
   ByteReader in(data, size);
   FuzzResult result;
   std::optional<std::string> divergence;
-  switch (in.u8() % 4) {
+  switch (in.u8() % 5) {
     case 0:
       result.mode = "art9";
       divergence = check_art9_case(in);
@@ -501,9 +646,13 @@ FuzzResult run_fuzz_case(const uint8_t* data, std::size_t size) {
       result.mode = "xlat";
       divergence = check_xlat_case(in);
       break;
-    default:
+    case 3:
       result.mode = "raw";
       divergence = check_raw_case(in);
+      break;
+    default:
+      result.mode = "snapshot";
+      divergence = check_snapshot_case(in);
       break;
   }
   if (divergence) {

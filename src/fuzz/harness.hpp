@@ -24,6 +24,12 @@
 //     instructions with wild control flow, run on the three functional
 //     kinds under a small budget — outcome parity includes *traps*: all
 //     kinds must throw the same error text, or none.
+//   * mode 4 — snapshot codec: serialize a genuine checkpoint of a
+//     fuzz-chosen ISA/kind/split, mutate the blob (bit flips, truncation,
+//     checksum-re-stamped structural edits, wholly forged bytes), and
+//     demand deserialize_snapshot either throws the precisely named
+//     "snapshot: ..." SimError or accepts a state that is codec-stable
+//     (pristine blobs additionally round-trip bit-identically).
 //
 // The harness is deliberately libFuzzer-agnostic: fuzz/fuzz_differential.cpp
 // wraps run_fuzz_case as a LLVMFuzzerTestOneInput, and tools/art9_fuzz.cpp
@@ -40,7 +46,7 @@ namespace art9::fuzz {
 /// Outcome of one fuzz case.
 struct FuzzResult {
   bool ok = true;
-  std::string mode;    // which oracle ran ("art9", "rv32", "xlat", "raw")
+  std::string mode;    // oracle ran: "art9", "rv32", "xlat", "raw", "snapshot"
   std::string detail;  // divergence description; empty when ok
 };
 

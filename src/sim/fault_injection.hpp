@@ -1,0 +1,111 @@
+// Deterministic fault injection for the simulation service: a seeded
+// FaultPlan wraps any Engine in a decorator that injects failures at
+// exact, bit-reproducible points in the run, so SimulationService's
+// isolation / deadline / checkpoint-retry machinery is testable without
+// real hardware faults and every failure a test observes can be replayed
+// from its seed.
+//
+// Three fault classes, all keyed to the *cumulative executed step count*
+// of the job (so they fire at the same architectural point regardless of
+// how the service slices the run — and, because the per-job FaultState
+// survives engine re-creation, a once-fired fault stays fired across a
+// checkpoint resume, which is exactly what "transient" means):
+//
+//   * throw_at_step K — the wrapper runs the inner engine up to exactly
+//     K total steps, then throws sim::TransientFault.  throw_count > 1
+//     re-arms the fault at 2K, 3K, ... (deterministically exhausting a
+//     bounded retry budget resolves the job kFaulted).
+//   * stall_at_step K — the wrapper sleeps stall_for once when the run
+//     crosses K, modelling a wedged worker so wall-clock deadline
+//     enforcement has something real to cut short.
+//   * corrupt_checkpoint N — the Nth serialized checkpoint blob the
+//     service hands to mutate_checkpoint() gets one seed-chosen byte
+//     flipped.  The service's accept path (deserialize before adopting)
+//     must then reject it via the snapshot codec's FNV checksum and keep
+//     the previous recovery point — corrupt-then-detect.
+//
+// The decorator forwards everything else (state/checkpoint/restore/
+// observer) untouched, so a wrapped engine stays fully conformant up to
+// the injected faults.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace art9::sim {
+
+/// Immutable description of the faults to inject into one job.  Value
+/// semantics; share one plan across jobs freely (each job materializes
+/// its own FaultState).
+struct FaultPlan {
+  /// Throw TransientFault when the job's cumulative step count reaches
+  /// this (0 = never).  Fault i of throw_count fires at (i+1) * this.
+  uint64_t throw_at_step = 0;
+  unsigned throw_count = 1;
+
+  /// Sleep `stall_for` once when the run crosses this step (0 = never) —
+  /// a deterministic deadline stall.
+  uint64_t stall_at_step = 0;
+  std::chrono::milliseconds stall_for{0};
+
+  /// 1-based index of the serialized checkpoint blob to corrupt
+  /// (0 = never).  The flipped byte index derives from `seed`.
+  uint64_t corrupt_checkpoint = 0;
+
+  /// Drives seeded() and picks the corrupted checkpoint byte.
+  uint64_t seed = 0;
+
+  /// A reproducible random plan: one transient throw at a seed-chosen
+  /// step in [1, max_step].  The stress tests' bulk fault source.
+  [[nodiscard]] static FaultPlan seeded(uint64_t seed, uint64_t max_step,
+                                        unsigned throws = 1) noexcept;
+};
+
+/// The mutable half of a plan: per-job counters that persist across the
+/// engine re-creations of a checkpoint retry (a fired fault stays fired
+/// on the resumed engine).  Single-job, single-worker object — not
+/// thread-safe, by design (a job never runs on two workers at once).
+class FaultState {
+ public:
+  explicit FaultState(FaultPlan plan) noexcept : plan_(plan) {}
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Cumulative steps executed under fault injection, across retries.
+  [[nodiscard]] uint64_t steps_seen() const noexcept { return steps_; }
+  [[nodiscard]] unsigned faults_fired() const noexcept { return fired_; }
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+  [[nodiscard]] uint64_t checkpoints_seen() const noexcept { return checkpoints_; }
+
+  /// Steps until the next injection event strictly after `steps_seen()`,
+  /// or UINT64_MAX when nothing is pending.
+  [[nodiscard]] uint64_t steps_until_event() const noexcept;
+
+  /// Advances the step counter and fires any event it crossed: sleeps
+  /// the stall, throws TransientFault at a throw point.
+  void advance(uint64_t steps);
+
+  /// Service hook: counts a checkpoint blob and flips one seed-chosen
+  /// byte when this is the plan's corrupt_checkpoint-th blob.
+  void mutate_checkpoint(std::vector<uint8_t>& blob);
+
+ private:
+  FaultPlan plan_;
+  uint64_t steps_ = 0;
+  unsigned fired_ = 0;
+  bool stalled_ = false;
+  uint64_t checkpoints_ = 0;
+};
+
+/// Wraps `inner` in the fault-injecting decorator described above.
+/// `state` carries the plan and must outlive the returned engine; pass
+/// the same state to every wrap of one job so counters persist across
+/// checkpoint resumes.  Throws std::invalid_argument on null arguments.
+[[nodiscard]] std::unique_ptr<Engine> with_fault_injection(std::unique_ptr<Engine> inner,
+                                                           std::shared_ptr<FaultState> state);
+
+}  // namespace art9::sim

@@ -18,6 +18,22 @@ class SimError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A *transient* fault: the execution environment hiccuped (injected
+/// fault, lost worker, torn checkpoint) rather than the program being
+/// architecturally wrong.  Distinguished from plain SimError because the
+/// two demand opposite scheduling policies — a SimError trap is
+/// deterministic (replaying the program re-traps, so retrying is
+/// pointless and the job resolves kTrapped), while a TransientFault is
+/// worth retrying from the last checkpoint (SimulationService's
+/// checkpoint-based retry path; exhausting the retry budget resolves
+/// kFaulted).  Thrown by the fault-injection layer
+/// (sim/fault_injection.hpp) and by any future engine seam that detects
+/// a recoverable environment failure.
+class TransientFault : public SimError {
+ public:
+  using SimError::SimError;
+};
+
 /// Why a run() returned.
 enum class HaltReason {
   kHalted,       // executed the HALT convention (self-jump)
@@ -60,6 +76,21 @@ struct SimStats {
     return instructions == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(instructions);
   }
 };
+
+/// Field-wise accumulation of per-call run_stats deltas — the contract
+/// that slicing one run into chunks reports the same totals as one call.
+/// `halt` is NOT combined: it names a reason, not a count, so the caller
+/// decides which slice's reason stands.
+inline void accumulate_stats(SimStats& total, const SimStats& slice) noexcept {
+  total.cycles += slice.cycles;
+  total.instructions += slice.instructions;
+  total.stall_load_use += slice.stall_load_use;
+  total.stall_branch_hazard += slice.stall_branch_hazard;
+  total.stall_raw += slice.stall_raw;
+  total.flush_taken_branch += slice.flush_taken_branch;
+  total.predictions_correct += slice.predictions_correct;
+  total.predictions_wrong += slice.predictions_wrong;
+}
 
 /// Rejects loadable addresses outside the 9-trit balanced range, naming the
 /// faulting address.  .t9 images carry arbitrary int64 addresses; silently

@@ -2,33 +2,395 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <exception>
 #include <stdexcept>
-#include <thread>
 #include <utility>
+#include <variant>
+
+#include "sim/fault_injection.hpp"
+#include "sim/snapshot.hpp"
 
 namespace art9::sim {
+
+namespace detail {
+
+/// The shared job record behind JobHandle: immutable inputs, the
+/// cooperative cancellation token, and the resolve-once result slot.
+struct JobState {
+  SimulationService::Job job;
+  std::size_t id = 0;
+  std::chrono::steady_clock::time_point deadline_at{};
+  bool has_deadline = false;
+
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> started{false};
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool resolving = false;  // result published, callbacks may still be running
+  bool done = false;       // result published AND pre-registered callbacks ran
+  JobResult result;
+  std::vector<std::function<void(const JobResult&)>> callbacks;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Cooperative slice length when JobControls::slice_steps is 0 — long
+/// enough to amortize the run_stats call, short enough that cancellation
+/// and deadline latency stay in the milliseconds on every backend.
+constexpr uint64_t kDefaultSlice = 1u << 20;
+
+void validate_job(const SimulationService::Job& job) {
+  const bool null_image = std::visit([](const auto& p) { return p == nullptr; }, job.image);
+  if (null_image) throw std::invalid_argument("SimulationService: null image");
+  const bool rv32_image = job.image.index() == 1;
+  if (is_rv32(job.kind) != rv32_image) {
+    throw std::invalid_argument("SimulationService: engine kind does not match the image's ISA");
+  }
+}
+
+/// Publishes the result exactly once, runs the registered callbacks
+/// outside the lock (they may touch other handles), and only then marks
+/// the job done — so wait()/result() returning guarantees every
+/// previously registered callback has finished.  Callbacks registered
+/// after this point run inline in on_complete (`resolving` is set).
+/// Corollary: a callback must not block on its own handle.
+void resolve(detail::JobState& st, JobResult result) {
+  std::vector<std::function<void(const JobResult&)>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(st.m);
+    if (st.resolving) return;
+    st.result = std::move(result);
+    st.resolving = true;
+    callbacks.swap(st.callbacks);
+  }
+  for (auto& cb : callbacks) cb(st.result);
+  {
+    std::lock_guard<std::mutex> lock(st.m);
+    st.done = true;
+  }
+  st.cv.notify_all();
+}
+
+/// The last checkpoint a retry may resume from.  Held serialized: the
+/// blob is what travels through FaultState::mutate_checkpoint, and
+/// deserialize-before-adopt is what turns a corrupt blob into a detected
+/// (counted, discarded) one instead of an adopted one.
+struct RecoveryPoint {
+  bool valid = false;
+  std::vector<uint8_t> blob;
+  SimStats stats;      // accumulated stats as of the checkpoint
+  uint64_t steps = 0;  // budget steps consumed as of the checkpoint
+};
+
+/// Attaches the engine's current architectural state if it can still
+/// produce one (a trapped packed backend may not decode cleanly).
+void attach_state(JobResult& result, Engine* engine) {
+  if (engine == nullptr) return;
+  try {
+    result.run.state = engine->state();
+  } catch (const std::exception&) {
+    // keep the default state; the outcome + error text still stand
+  }
+}
+
+void finish(JobResult& res, SimStats stats, HaltReason halt) {
+  stats.halt = halt;
+  res.run.stats = stats;
+  res.run.halt = halt;
+}
+
+/// Runs one job to resolution.  Never throws: every failure mode maps to
+/// a JobOutcome.
+void execute_job(detail::JobState& st) {
+  st.started.store(true, std::memory_order_release);
+  const SimulationService::Job& job = st.job;
+
+  JobResult res;
+
+  // Pre-dispatch checks: a job can be cancelled or expire while queued.
+  if (st.cancel.load(std::memory_order_acquire)) {
+    res.outcome = JobOutcome::kCancelled;
+    finish(res, {}, HaltReason::kMaxCycles);
+    resolve(st, std::move(res));
+    return;
+  }
+  if (st.has_deadline && std::chrono::steady_clock::now() >= st.deadline_at) {
+    res.outcome = JobOutcome::kDeadlineExceeded;
+    finish(res, {}, HaltReason::kMaxCycles);
+    resolve(st, std::move(res));
+    return;
+  }
+
+  const uint64_t budget = job.run.max_steps;
+  const uint64_t slice_len = job.control.slice_steps != 0 ? job.control.slice_steps : kDefaultSlice;
+  const uint64_t every = job.control.checkpoint_every;
+
+  // One FaultState per job, shared across retries: a fired fault stays
+  // fired on the resumed engine — that is what makes it transient.
+  std::shared_ptr<FaultState> fault;
+  if (job.control.fault) fault = std::make_shared<FaultState>(*job.control.fault);
+
+  RecoveryPoint rp;
+  unsigned attempt = 0;
+
+  for (;;) {
+    // Declared outside the try so the catch arms can attach the partial
+    // stats/state the attempt accumulated before throwing.
+    std::unique_ptr<Engine> engine;
+    SimStats acc;
+    uint64_t steps = 0;
+
+    try {
+      if (rp.valid) {
+        // Resume from the last adopted checkpoint: the image supplies
+        // code, the snapshot registers/memory/PC.  Re-executed steps are
+        // not double-billed — the budget clock rewinds with the state.
+        engine = make_engine(job.kind, job.image, deserialize_snapshot(rp.blob), job.engine);
+        acc = rp.stats;
+        steps = rp.steps;
+        res.resumed = true;
+      } else {
+        engine = make_engine(job.kind, job.image, job.engine);
+      }
+      if (fault) engine = with_fault_injection(std::move(engine), fault);
+
+      while (steps < budget) {
+        if (st.cancel.load(std::memory_order_acquire)) {
+          res.outcome = JobOutcome::kCancelled;
+          finish(res, acc, HaltReason::kMaxCycles);
+          attach_state(res, engine.get());
+          resolve(st, std::move(res));
+          return;
+        }
+        if (st.has_deadline && std::chrono::steady_clock::now() >= st.deadline_at) {
+          res.outcome = JobOutcome::kDeadlineExceeded;
+          finish(res, acc, HaltReason::kMaxCycles);
+          attach_state(res, engine.get());
+          resolve(st, std::move(res));
+          return;
+        }
+
+        // Slice end: the cooperative check point, tightened to land
+        // exactly on the next checkpoint boundary when checkpointing is
+        // on.
+        uint64_t stop = std::min(budget, steps + slice_len);
+        if (every != 0) stop = std::min(stop, ((steps / every) + 1) * every);
+
+        const SimStats s = engine->run_stats({stop - steps});
+        accumulate_stats(acc, s);
+        steps += s.cycles;
+
+        if (s.halt == HaltReason::kHalted) {
+          res.outcome = JobOutcome::kCompleted;
+          finish(res, acc, HaltReason::kHalted);
+          attach_state(res, engine.get());
+          resolve(st, std::move(res));
+          return;
+        }
+        if (s.cycles == 0) break;  // no forward progress possible; report the budget cut
+
+        if (every != 0 && steps < budget && steps % every == 0) {
+          std::vector<uint8_t> blob = serialize_snapshot(engine->checkpoint());
+          if (fault) fault->mutate_checkpoint(blob);
+          try {
+            (void)deserialize_snapshot(blob);  // validate before adopting
+            rp.valid = true;
+            rp.blob = std::move(blob);
+            rp.stats = acc;
+            rp.steps = steps;
+            ++res.checkpoints;
+          } catch (const SimError&) {
+            // Corrupt blob detected by the codec checksum: discard it
+            // and keep the previous recovery point.
+            ++res.corrupt_checkpoints;
+          }
+        }
+      }
+
+      res.outcome = JobOutcome::kBudgetExhausted;
+      finish(res, acc, HaltReason::kMaxCycles);
+      attach_state(res, engine.get());
+      resolve(st, std::move(res));
+      return;
+    } catch (const TransientFault& e) {
+      if (attempt >= job.control.retries) {
+        res.outcome = JobOutcome::kFaulted;
+        res.error = e.what();
+        finish(res, acc, HaltReason::kMaxCycles);
+        attach_state(res, engine.get());
+        resolve(st, std::move(res));
+        return;
+      }
+      ++attempt;
+      res.retries = attempt;
+      if (job.control.retry_backoff.count() > 0) {
+        std::this_thread::sleep_for(job.control.retry_backoff * (1u << (attempt - 1)));
+      }
+      // loop: rebuild the engine, resuming from rp when one exists
+    } catch (const std::exception& e) {
+      // A deterministic program trap (SimError) or anything else the
+      // backend raised: replaying would re-trap, so never retried.
+      res.outcome = JobOutcome::kTrapped;
+      res.error = e.what();
+      finish(res, acc, HaltReason::kMaxCycles);
+      attach_state(res, engine.get());
+      resolve(st, std::move(res));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view job_outcome_name(JobOutcome outcome) noexcept {
+  switch (outcome) {
+    case JobOutcome::kCompleted: return "completed";
+    case JobOutcome::kTrapped: return "trapped";
+    case JobOutcome::kBudgetExhausted: return "budget_exhausted";
+    case JobOutcome::kDeadlineExceeded: return "deadline_exceeded";
+    case JobOutcome::kCancelled: return "cancelled";
+    case JobOutcome::kFaulted: return "faulted";
+  }
+  return "unknown";
+}
+
+// --- JobHandle ---------------------------------------------------------------
+
+namespace {
+[[noreturn]] void throw_empty_handle() { throw std::logic_error("JobHandle: empty handle"); }
+}  // namespace
+
+std::size_t JobHandle::id() const noexcept { return state_ ? state_->id : 0; }
+
+bool JobHandle::started() const noexcept {
+  return state_ && state_->started.load(std::memory_order_acquire);
+}
+
+bool JobHandle::ready() const noexcept {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->m);
+  return state_->done;
+}
+
+void JobHandle::wait() const {
+  if (!state_) throw_empty_handle();
+  std::unique_lock<std::mutex> lock(state_->m);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+bool JobHandle::wait_for(std::chrono::milliseconds timeout) const {
+  if (!state_) throw_empty_handle();
+  std::unique_lock<std::mutex> lock(state_->m);
+  return state_->cv.wait_for(lock, timeout, [this] { return state_->done; });
+}
+
+const JobResult& JobHandle::result() const {
+  wait();
+  // done is monotone: once set the result never changes, so the
+  // reference stays valid for the life of the JobState.
+  return state_->result;
+}
+
+void JobHandle::cancel() const noexcept {
+  if (state_) state_->cancel.store(true, std::memory_order_release);
+}
+
+void JobHandle::on_complete(std::function<void(const JobResult&)> callback) const {
+  if (!state_) throw_empty_handle();
+  {
+    std::lock_guard<std::mutex> lock(state_->m);
+    if (!state_->resolving) {
+      state_->callbacks.push_back(std::move(callback));
+      return;
+    }
+  }
+  // Result already published (resolve() may still be draining the
+  // earlier registrations on the worker): run inline.
+  callback(state_->result);
+}
+
+// --- SimulationService -------------------------------------------------------
 
 SimulationService::SimulationService(unsigned threads)
     : threads_(threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency())) {}
 
+SimulationService::~SimulationService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void SimulationService::ensure_workers() {
+  // Caller holds mutex_.
+  if (!workers_.empty() || stopping_) return;
+  workers_.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void SimulationService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<detail::JobState> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute_job(*job);
+  }
+}
+
+JobHandle SimulationService::submit(Job job) {
+  validate_job(job);
+  auto state = std::make_shared<detail::JobState>();
+  state->job = std::move(job);
+  if (state->job.control.deadline.count() > 0) {
+    state->has_deadline = true;
+    state->deadline_at = std::chrono::steady_clock::now() + state->job.control.deadline;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::logic_error("SimulationService: submit after shutdown began");
+    state->id = next_id_++;
+    queue_.push_back(state);
+    ensure_workers();
+  }
+  work_cv_.notify_one();
+  return JobHandle(std::move(state));
+}
+
+JobHandle SimulationService::submit(std::shared_ptr<const DecodedImage> image, EngineKind kind,
+                                    RunOptions run, JobControls control) {
+  return submit(Job{EngineImage(std::move(image)), kind, run, {}, std::move(control)});
+}
+
+JobHandle SimulationService::submit(std::shared_ptr<const rv32::Rv32DecodedImage> image,
+                                    EngineKind kind, RunOptions run, JobControls control) {
+  return submit(Job{EngineImage(std::move(image)), kind, run, {}, std::move(control)});
+}
+
 std::size_t SimulationService::add(Job job) {
-  const bool null_image =
-      std::visit([](const auto& shared) { return shared == nullptr; }, job.image);
-  if (null_image) throw std::invalid_argument("SimulationService::add: null image");
+  validate_job(job);
   jobs_.push_back(std::move(job));
   return jobs_.size() - 1;
 }
 
 std::size_t SimulationService::add(std::shared_ptr<const DecodedImage> image, EngineKind kind,
                                    RunOptions run) {
-  return add(Job{std::move(image), kind, run, {}});
+  return add(Job{EngineImage(std::move(image)), kind, run, {}, {}});
 }
 
 std::size_t SimulationService::add(std::shared_ptr<const rv32::Rv32DecodedImage> image,
                                    EngineKind kind, RunOptions run) {
-  return add(Job{std::move(image), kind, run, {}});
+  return add(Job{EngineImage(std::move(image)), kind, run, {}, {}});
 }
 
 std::shared_ptr<const DecodedImage> SimulationService::add(const isa::Program& program,
@@ -45,56 +407,28 @@ std::shared_ptr<const rv32::Rv32DecodedImage> SimulationService::add(
   return image;
 }
 
-std::vector<RunResult> SimulationService::run_all(BatchStats* batch) const {
-  using clock = std::chrono::steady_clock;
-  const clock::time_point t0 = clock::now();
+std::vector<JobResult> SimulationService::run_all(BatchStats* batch) {
+  const auto start = std::chrono::steady_clock::now();
 
-  std::vector<RunResult> results(jobs_.size());
-  std::vector<std::exception_ptr> errors(jobs_.size());
-  const auto run_one = [&](std::size_t i) noexcept {
-    try {
-      std::unique_ptr<Engine> engine = make_engine(jobs_[i].kind, jobs_[i].image, jobs_[i].engine);
-      results[i] = engine->run(jobs_[i].run);
-    } catch (...) {
-      errors[i] = std::current_exception();
-    }
-  };
+  std::vector<JobHandle> handles;
+  handles.reserve(jobs_.size());
+  for (const Job& job : jobs_) handles.push_back(submit(job));
 
-  const std::size_t workers = std::min<std::size_t>(threads_, jobs_.size());
-  if (workers <= 1) {
-    // threads = 1 (or a single job): submission-order execution on the
-    // calling thread — the determinism baseline.
-    for (std::size_t i = 0; i < jobs_.size(); ++i) run_one(i);
-  } else {
-    // Work-stealing by atomic ticket: each worker pops the next unstarted
-    // job, so heterogeneous budgets load-balance without a queue lock.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < jobs_.size();
-             i = next.fetch_add(1, std::memory_order_relaxed)) {
-          run_one(i);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-  }
-
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  std::vector<JobResult> results;
+  results.reserve(handles.size());
+  for (const JobHandle& handle : handles) results.push_back(handle.result());
 
   if (batch != nullptr) {
-    const std::chrono::duration<double> elapsed = clock::now() - t0;
-    *batch = BatchStats{};
-    batch->threads = static_cast<unsigned>(std::max<std::size_t>(workers, 1));
-    batch->wall_seconds = elapsed.count();
-    for (const RunResult& r : results) {
-      batch->instructions += r.stats.instructions;
-      batch->cycles += r.stats.cycles;
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+    BatchStats stats;
+    stats.threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, std::max<std::size_t>(results.size(), 1)));
+    stats.wall_seconds = wall.count();
+    for (const JobResult& r : results) {
+      stats.instructions += r.run.stats.instructions;
+      stats.cycles += r.run.stats.cycles;
     }
+    *batch = stats;
   }
   return results;
 }

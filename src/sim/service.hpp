@@ -1,20 +1,55 @@
-// SimulationService: schedules a batch of independent simulation jobs
-// across a std::thread worker pool, one Engine per job — mixing ISAs
-// freely (ART-9 and rv32 jobs ride the same queue).
+// SimulationService: an asynchronous, fault-isolating job scheduler over
+// the cross-ISA Engine facade.  submit(Job) returns a future-style
+// JobHandle immediately; a persistent worker pool executes jobs one
+// engine each (mixing ISAs freely) and every job resolves to a
+// structured JobOutcome — one bad job never poisons the batch.
 //
-// This replaces the sequential BatchRunner.  Decoded images (either
-// ISA's) are immutable after construction, so any number of jobs —
-// across threads — share one image with zero decode cost; every engine
-// owns its private architectural state.  Determinism: a job's result depends only on its
-// (image, kind, budget), never on scheduling, so `threads = N` returns
-// results bit-identical to `threads = 1` (locked by
-// tests/sim/service_test.cpp); results are indexed by job order, not by
-// completion order.  With `threads = 1` jobs additionally *execute* in
-// submission order on the calling thread.
+// Outcome taxonomy (JobResult::outcome):
+//
+//   kCompleted        ran to the halt convention; state/stats attached
+//   kTrapped          the program itself trapped (SimError) — deterministic,
+//                     never retried; trap text + state at the trap attached
+//   kBudgetExhausted  RunOptions::max_steps spent; state/stats attached
+//   kDeadlineExceeded per-job wall-clock deadline cut the run short;
+//                     state/stats at the cut attached
+//   kCancelled        JobHandle::cancel() honoured (cooperatively, between
+//                     slices); state/stats at the cut attached if started
+//   kFaulted          a TransientFault outran the retry budget; stats as of
+//                     the last recovery point attached
+//
+// Long runs are sliced into run_stats chunks so cancellation and the
+// deadline are checked cooperatively mid-job, and — when
+// JobControls::checkpoint_every is set — an instruction-boundary
+// checkpoint (Engine::checkpoint, serialized through sim/snapshot.hpp
+// and validated by its checksum before adoption) is taken every N steps.
+// On a TransientFault (see sim/fault_injection.hpp) the job retries by
+// make_engine(kind, image, snapshot) resume from the last valid
+// checkpoint, up to JobControls::retries times with exponential backoff;
+// a plain SimError is a deterministic program trap and resolves kTrapped
+// immediately.
+//
+// Determinism: a job's *architectural* result depends only on its
+// (image, kind, budget, fault plan), never on scheduling — threads = N
+// is bit-identical to threads = 1, checkpoint/resume included (locked by
+// tests/sim/service_test.cpp and service_async_test.cpp).  Deadline and
+// cancellation outcomes are wall-clock-dependent by nature; their
+// *classification* is what tests lock.
+//
+// run_all() remains as a thin batch adapter over submit + wait: queue
+// jobs with add(), collect one JobResult per job in job order.  Unlike
+// the pre-async service it never rethrows a job's exception — a trapping
+// job resolves kTrapped while its siblings' results stay intact.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "isa/program.hpp"
@@ -22,22 +57,136 @@
 
 namespace art9::sim {
 
+struct FaultPlan;  // sim/fault_injection.hpp
+
+/// How a job resolved.  Every submitted job resolves to exactly one.
+enum class JobOutcome : uint8_t {
+  kCompleted,
+  kTrapped,
+  kBudgetExhausted,
+  kDeadlineExceeded,
+  kCancelled,
+  kFaulted,
+};
+
+/// Stable lower-case name ("completed", "trapped", "budget_exhausted",
+/// "deadline_exceeded", "cancelled", "faulted") — art9-run's report
+/// vocabulary.
+[[nodiscard]] std::string_view job_outcome_name(JobOutcome outcome) noexcept;
+
+/// Per-job scheduling controls, all optional.
+struct JobControls {
+  /// Wall-clock budget measured from submit() (0 = none).  Checked
+  /// between slices and before dispatch, so a job can expire while
+  /// still queued.
+  std::chrono::milliseconds deadline{0};
+
+  /// Take a recovery checkpoint every N executed steps (0 = off).  The
+  /// serialized blob is validated (checksum) before adoption; a corrupt
+  /// blob is discarded and the previous recovery point kept.
+  uint64_t checkpoint_every = 0;
+
+  /// Retries granted on TransientFault.  Each retry resumes from the
+  /// last valid checkpoint (or restarts when none exists yet).
+  unsigned retries = 0;
+
+  /// Backoff slept before retry r (0-based): retry_backoff << r.
+  std::chrono::milliseconds retry_backoff{0};
+
+  /// Cooperative slice length in engine steps (0 = the service default,
+  /// 1M).  Bounds cancellation/deadline latency; tightened automatically
+  /// to hit checkpoint boundaries exactly.
+  uint64_t slice_steps = 0;
+
+  /// Deterministic fault injection (tests, CLI drills); nullptr = none.
+  std::shared_ptr<const FaultPlan> fault;
+};
+
+/// What a job resolves to.  `run` carries the engine's final
+/// MachineState/SimStats where meaningful (see the taxonomy above);
+/// stats are accumulated across slices and — after a checkpoint resume —
+/// across engine incarnations, so a recovered run reports the same
+/// totals as an uninterrupted one.
+struct JobResult {
+  JobOutcome outcome = JobOutcome::kCompleted;
+  RunResult run;
+  std::string error;        // kTrapped / kFaulted: the throwing message
+  unsigned retries = 0;     // retries consumed
+  uint64_t checkpoints = 0;  // recovery points adopted
+  uint64_t corrupt_checkpoints = 0;  // blobs rejected by the codec checksum
+  bool resumed = false;     // at least one retry resumed from a checkpoint
+};
+
+namespace detail {
+struct JobState;
+}  // namespace detail
+
+/// Future-style view of one submitted job.  Copyable (all copies share
+/// the job); a default-constructed handle is empty.  Handles outlive the
+/// service: results stay readable after the service is destroyed.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// The job index assigned at submit (== run_all result index).
+  [[nodiscard]] std::size_t id() const noexcept;
+
+  /// True once a worker has picked the job up (it may also already be
+  /// done).  False for a job still queued.
+  [[nodiscard]] bool started() const noexcept;
+
+  /// True once the result is available; never blocks.
+  [[nodiscard]] bool ready() const noexcept;
+
+  /// Blocks until the job resolves.  On return, every callback that was
+  /// registered before resolution has already finished running.
+  void wait() const;
+
+  /// Blocks up to `timeout`; true when the job resolved in time.
+  [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout) const;
+
+  /// Blocks until resolved, then returns the result (valid as long as
+  /// any handle to this job lives).
+  [[nodiscard]] const JobResult& result() const;
+
+  /// Requests cooperative cancellation: a queued job resolves kCancelled
+  /// without running; a running job stops at the next slice boundary.  A
+  /// resolved job is unaffected.  Idempotent.
+  void cancel() const noexcept;
+
+  /// Registers `callback` to run exactly once with the result — on the
+  /// resolving worker thread, or inline right now when already resolved.
+  /// Callbacks must not block on other jobs of a saturated pool, and must
+  /// not block on their own handle (wait() returns only after they ran).
+  void on_complete(std::function<void(const JobResult&)> callback) const;
+
+ private:
+  friend class SimulationService;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::JobState> state_;
+};
+
 class SimulationService {
  public:
   /// One scheduled simulation: an engine kind over a shared image of
-  /// either ISA, with a private budget and (for the pipeline kinds)
-  /// microarchitecture options.  The kind must match the image's ISA.
+  /// either ISA, with a private budget, (for the pipeline kinds)
+  /// microarchitecture options, and scheduling controls.  The kind must
+  /// match the image's ISA.
   struct Job {
     EngineImage image;
     EngineKind kind = EngineKind::kFunctional;
     RunOptions run;
     EngineOptions engine;
+    JobControls control;
   };
 
   /// Aggregate throughput of one run_all() call.
   struct BatchStats {
     unsigned threads = 0;       // workers actually used
-    double wall_seconds = 0.0;  // submission to last join
+    double wall_seconds = 0.0;  // submission to last result
     uint64_t instructions = 0;  // sum of retired instructions
     uint64_t cycles = 0;        // sum of simulated cycles
 
@@ -48,10 +197,35 @@ class SimulationService {
   };
 
   /// `threads = 0` uses std::thread::hardware_concurrency() (min 1).
+  /// Workers start lazily at the first submit.
   explicit SimulationService(unsigned threads = 0);
+
+  /// Drains: blocks until every submitted job has resolved, then joins
+  /// the pool.  Cancel outstanding handles first for a fast exit.
+  ~SimulationService();
+
+  SimulationService(const SimulationService&) = delete;
+  SimulationService& operator=(const SimulationService&) = delete;
 
   /// The resolved worker-pool width.
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  // --- async API -----------------------------------------------------------
+
+  /// Schedules `job` and returns immediately.  With one worker, jobs
+  /// execute in submission order.  Throws std::invalid_argument on a
+  /// null image.
+  JobHandle submit(Job job);
+
+  /// Convenience submits mirroring the add() family.
+  JobHandle submit(std::shared_ptr<const DecodedImage> image,
+                   EngineKind kind = EngineKind::kFunctional, RunOptions run = {},
+                   JobControls control = {});
+  JobHandle submit(std::shared_ptr<const rv32::Rv32DecodedImage> image,
+                   EngineKind kind = EngineKind::kRv32, RunOptions run = {},
+                   JobControls control = {});
+
+  // --- batch API (compatibility adapter over submit + wait) ----------------
 
   /// Queues `job`.  Returns the job index (== result index).
   /// Throws std::invalid_argument on a null image.
@@ -74,16 +248,26 @@ class SimulationService {
 
   [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
 
-  /// Runs every queued job and returns one RunResult per job, in job
-  /// order.  The queue is left intact, so run_all() is repeatable.  If any
-  /// job throws (e.g. SimError on an uninitialised fetch), the
-  /// lowest-indexed exception is rethrown after all workers drain.
-  /// `batch`, when non-null, receives aggregate throughput stats.
-  [[nodiscard]] std::vector<RunResult> run_all(BatchStats* batch = nullptr) const;
+  /// Submits every queued job and waits: one JobResult per job, in job
+  /// order.  The queue is left intact, so run_all() is repeatable.  Job
+  /// failures resolve as outcomes (kTrapped and friends) — completed
+  /// siblings keep their results; nothing is rethrown.  `batch`, when
+  /// non-null, receives aggregate throughput stats.
+  [[nodiscard]] std::vector<JobResult> run_all(BatchStats* batch = nullptr);
 
  private:
+  void worker_loop();
+  void ensure_workers();
+
   unsigned threads_;
-  std::vector<Job> jobs_;
+  std::vector<Job> jobs_;  // the add() queue (run_all input)
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<detail::JobState>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t next_id_ = 0;
+  bool stopping_ = false;
 };
 
 }  // namespace art9::sim

@@ -13,6 +13,15 @@
 namespace art9::fuzz {
 namespace {
 
+/// Re-pins the mode selector byte: repros must stay on the oracle that
+/// caught them even when a new mode widens the selector modulus (as
+/// mode 4 "snapshot" did) — only byte 0 changes, so the decoded case is
+/// otherwise bit-identical.
+std::vector<uint8_t> pinned_to_mode(std::vector<uint8_t> bytes, uint8_t mode) {
+  bytes[0] = mode;
+  return bytes;
+}
+
 /// Minimized repro inputs of every fuzzer-found divergence, kept forever
 /// as fixed regressions (replayable standalone: `art9-fuzz <file>` on
 /// the same bytes).  Empty entries are never added — each one documents
@@ -25,8 +34,9 @@ const std::vector<std::pair<std::string, std::vector<uint8_t>>>& fixed_corpus() 
       // phantom TDM divergences whenever earlier cases had warmed the
       // allocator.  Fixed by ref-qualifying MachineState::art9()/rv32()
       // (rvalue access moves the view out) and binding a named boundary.
-      {"dangling checkpoint view, packed->pipeline leg", seeded_input(1, 24)},
-      {"dangling checkpoint view, packed->lazy counter leg", seeded_input(1, 29)},
+      {"dangling checkpoint view, packed->pipeline leg", pinned_to_mode(seeded_input(1, 24), 0)},
+      {"dangling checkpoint view, packed->lazy counter leg",
+       pinned_to_mode(seeded_input(1, 29), 0)},
   };
   return kCorpus;
 }
@@ -40,7 +50,7 @@ TEST(FuzzHarness, FixedCorpusStaysGreen) {
 
 TEST(FuzzHarness, SeededSweepFindsNoDivergence) {
   // The same inputs `art9-fuzz --seed 1 --runs 64` replays: a cheap,
-  // fully deterministic slice across all four oracle modes.
+  // fully deterministic slice across all five oracle modes.
   for (uint64_t index = 0; index < 64; ++index) {
     const std::vector<uint8_t> input = seeded_input(1, index);
     const FuzzResult result = run_fuzz_case(input.data(), input.size());
@@ -51,9 +61,9 @@ TEST(FuzzHarness, SeededSweepFindsNoDivergence) {
 
 TEST(FuzzHarness, EveryModeRunsOnForcedSelector) {
   // Pinning the mode byte (what art9-fuzz --mode does) reaches each
-  // oracle; all four stay green on a handful of seeded inputs.
-  const std::vector<std::string> modes = {"art9", "rv32", "xlat", "raw"};
-  for (uint8_t mode = 0; mode < 4; ++mode) {
+  // oracle; all five stay green on a handful of seeded inputs.
+  const std::vector<std::string> modes = {"art9", "rv32", "xlat", "raw", "snapshot"};
+  for (uint8_t mode = 0; mode < 5; ++mode) {
     for (uint64_t index = 0; index < 8; ++index) {
       std::vector<uint8_t> input = seeded_input(7, index);
       input[0] = mode;

@@ -1,7 +1,8 @@
 // SimulationService: the thread-parallel batch scheduler must be
 // observationally identical to standalone Engine runs — bit-identical
 // results in job order, regardless of worker-pool width — and must
-// propagate job failures instead of swallowing them.
+// isolate job failures as per-job outcomes instead of swallowing (or
+// rethrowing away) sibling results.
 #include "sim/service.hpp"
 
 #include <gtest/gtest.h>
@@ -115,10 +116,11 @@ const std::array<std::string, 4>& rv32_batch_programs() {
   return kPrograms;
 }
 
-/// A mixed cross-ISA batch: every ART-9 program on every ART-9 engine
-/// kind, plus every rv32 program on both rv32 kinds, one job each.
-SimulationService mixed_batch(unsigned threads) {
-  SimulationService service(threads);
+/// Queues the mixed cross-ISA batch: every ART-9 program on every ART-9
+/// engine kind, plus every rv32 program on both rv32 kinds, one job each.
+/// (The service itself is immovable — it owns a worker pool — so the
+/// helper fills a caller-owned instance.)
+void add_mixed_batch(SimulationService& service) {
   for (const std::string& source : batch_programs()) {
     const std::shared_ptr<const DecodedImage> image =
         service.add(isa::assemble(source), EngineKind::kLazy, kBudget);
@@ -132,7 +134,12 @@ SimulationService mixed_batch(unsigned threads) {
         service.add(rv32::assemble_rv32(source), EngineKind::kRv32, kBudget);
     service.add(image, EngineKind::kRv32Packed, kBudget);
   }
-  return service;
+}
+
+std::vector<JobResult> run_mixed_batch(unsigned threads) {
+  SimulationService service(threads);
+  add_mixed_batch(service);
+  return service.run_all();
 }
 
 TEST(SimulationService, MatchesStandaloneEngineRuns) {
@@ -142,15 +149,18 @@ TEST(SimulationService, MatchesStandaloneEngineRuns) {
   }
   ASSERT_EQ(service.size(), 8u);
 
-  const std::vector<RunResult> results = service.run_all();
+  const std::vector<JobResult> results = service.run_all();
   ASSERT_EQ(results.size(), 8u);
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::unique_ptr<Engine> standalone =
         make_engine(EngineKind::kFunctional, isa::assemble(batch_programs()[i]));
     const RunResult expected = standalone->run(kBudget);
-    EXPECT_EQ(results[i].state, expected.state) << "program " << i;
-    EXPECT_EQ(results[i].stats, expected.stats) << "program " << i;
-    EXPECT_EQ(results[i].halt, i == 7 ? HaltReason::kMaxCycles : HaltReason::kHalted)
+    EXPECT_EQ(results[i].run.state, expected.state) << "program " << i;
+    EXPECT_EQ(results[i].run.stats, expected.stats) << "program " << i;
+    EXPECT_EQ(results[i].run.halt, i == 7 ? HaltReason::kMaxCycles : HaltReason::kHalted)
+        << "program " << i;
+    EXPECT_EQ(results[i].outcome,
+              i == 7 ? JobOutcome::kBudgetExhausted : JobOutcome::kCompleted)
         << "program " << i;
   }
 }
@@ -160,14 +170,14 @@ TEST(SimulationService, Rv32JobsMatchStandaloneEngineRuns) {
   for (const std::string& source : rv32_batch_programs()) {
     service.add(rv32::assemble_rv32(source), EngineKind::kRv32Packed, kBudget);
   }
-  const std::vector<RunResult> results = service.run_all();
+  const std::vector<JobResult> results = service.run_all();
   ASSERT_EQ(results.size(), rv32_batch_programs().size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::unique_ptr<Engine> standalone =
         make_engine(EngineKind::kRv32Packed, rv32::assemble_rv32(rv32_batch_programs()[i]));
     const RunResult expected = standalone->run(kBudget);
-    EXPECT_EQ(results[i].state, expected.state) << "program " << i;
-    EXPECT_EQ(results[i].stats, expected.stats) << "program " << i;
+    EXPECT_EQ(results[i].run.state, expected.state) << "program " << i;
+    EXPECT_EQ(results[i].run.stats, expected.stats) << "program " << i;
   }
 }
 
@@ -175,13 +185,16 @@ TEST(SimulationService, ThreadedResultsBitIdenticalToSequential) {
   // The acceptance gate: threads=N returns results bit-identical to
   // threads=1, across a 48-job mixed-ISA batch (every ART-9 program on
   // all five ART-9 kinds, every rv32 program on both rv32 kinds).
-  const std::vector<RunResult> sequential = mixed_batch(1).run_all();
+  const std::vector<JobResult> sequential = run_mixed_batch(1);
   for (unsigned threads : {2u, 4u, 8u}) {
-    const std::vector<RunResult> parallel = mixed_batch(threads).run_all();
+    const std::vector<JobResult> parallel = run_mixed_batch(threads);
     ASSERT_EQ(parallel.size(), sequential.size());
     for (std::size_t i = 0; i < parallel.size(); ++i) {
-      EXPECT_EQ(parallel[i].state, sequential[i].state) << threads << " threads, job " << i;
-      EXPECT_EQ(parallel[i].stats, sequential[i].stats) << threads << " threads, job " << i;
+      EXPECT_EQ(parallel[i].run.state, sequential[i].run.state)
+          << threads << " threads, job " << i;
+      EXPECT_EQ(parallel[i].run.stats, sequential[i].run.stats)
+          << threads << " threads, job " << i;
+      EXPECT_EQ(parallel[i].outcome, sequential[i].outcome) << threads << " threads, job " << i;
     }
   }
 }
@@ -195,12 +208,12 @@ TEST(SimulationService, SharedImageMatchesPerJobDecode) {
   for (int i = 0; i < 7; ++i) service.add(image, EngineKind::kPacked, kBudget);
   ASSERT_EQ(service.size(), 8u);
 
-  const std::vector<RunResult> results = service.run_all();
+  const std::vector<JobResult> results = service.run_all();
   std::unique_ptr<Engine> standalone = make_engine(EngineKind::kPacked, program);
   const RunResult expected = standalone->run(kBudget);
   for (std::size_t i = 0; i < results.size(); ++i) {
-    EXPECT_EQ(results[i].state, expected.state) << "job " << i;
-    EXPECT_EQ(results[i].stats, expected.stats) << "job " << i;
+    EXPECT_EQ(results[i].run.state, expected.state) << "job " << i;
+    EXPECT_EQ(results[i].run.stats, expected.stats) << "job " << i;
   }
 }
 
@@ -211,40 +224,70 @@ TEST(SimulationService, RunAllIsRepeatableAndReportsBatchStats) {
   service.add(isa::assemble(batch_programs()[7]), EngineKind::kPacked, kBudget);
 
   SimulationService::BatchStats batch;
-  const std::vector<RunResult> first = service.run_all(&batch);
-  const std::vector<RunResult> second = service.run_all();
+  const std::vector<JobResult> first = service.run_all(&batch);
+  const std::vector<JobResult> second = service.run_all();
   ASSERT_EQ(first.size(), 2u);
   ASSERT_EQ(second.size(), 2u);
   for (std::size_t i = 0; i < first.size(); ++i) {
-    EXPECT_EQ(first[i].state, second[i].state);
-    EXPECT_EQ(first[i].stats, second[i].stats);
+    EXPECT_EQ(first[i].run.state, second[i].run.state);
+    EXPECT_EQ(first[i].run.stats, second[i].run.stats);
   }
 
-  EXPECT_EQ(batch.instructions, first[0].stats.instructions + first[1].stats.instructions);
-  EXPECT_EQ(batch.cycles, first[0].stats.cycles + first[1].stats.cycles);
+  EXPECT_EQ(batch.instructions,
+            first[0].run.stats.instructions + first[1].run.stats.instructions);
+  EXPECT_EQ(batch.cycles, first[0].run.stats.cycles + first[1].run.stats.cycles);
   EXPECT_GT(batch.wall_seconds, 0.0);
   EXPECT_GE(batch.threads, 1u);
   EXPECT_GT(batch.steps_per_sec(), 0.0);
 }
 
-TEST(SimulationService, JobFailurePropagatesAcrossThreads) {
-  // A program that falls off the end traps with SimError inside a worker;
-  // run_all must rethrow it on the calling thread.
+TEST(SimulationService, TrappingJobDoesNotDiscardSiblingResults) {
+  // The run_all bugfix regression: the pre-async service rethrew the
+  // lowest-indexed job's exception and discarded every completed sibling.
+  // Now the trapping job resolves kTrapped (with the trap text) while its
+  // siblings return results bit-identical to standalone runs.
   isa::Program trap;
   trap.code.push_back(isa::Instruction{isa::Opcode::kAddi, 1, 0, ternary::kTritZ, 1});
   trap.entry = 0;
+
+  std::unique_ptr<Engine> first = make_engine(EngineKind::kFunctional,
+                                              isa::assemble(batch_programs()[0]));
+  const RunResult expected_first = first->run(kBudget);
+  std::unique_ptr<Engine> third =
+      make_engine(EngineKind::kPipeline, isa::assemble(batch_programs()[2]));
+  const RunResult expected_third = third->run(kBudget);
+
   for (unsigned threads : {1u, 4u}) {
     SimulationService service(threads);
     service.add(isa::assemble(batch_programs()[0]), EngineKind::kFunctional, kBudget);
     service.add(decode(trap), EngineKind::kPacked, kBudget);
     service.add(isa::assemble(batch_programs()[2]), EngineKind::kPipeline, kBudget);
-    EXPECT_THROW(static_cast<void>(service.run_all()), SimError) << threads << " threads";
+
+    const std::vector<JobResult> results = service.run_all();
+    ASSERT_EQ(results.size(), 3u) << threads << " threads";
+
+    EXPECT_EQ(results[0].outcome, JobOutcome::kCompleted) << threads << " threads";
+    EXPECT_EQ(results[0].run.state, expected_first.state) << threads << " threads";
+    EXPECT_EQ(results[0].run.stats, expected_first.stats) << threads << " threads";
+
+    EXPECT_EQ(results[1].outcome, JobOutcome::kTrapped) << threads << " threads";
+    EXPECT_FALSE(results[1].error.empty()) << threads << " threads";
+
+    EXPECT_EQ(results[2].outcome, JobOutcome::kCompleted) << threads << " threads";
+    EXPECT_EQ(results[2].run.state, expected_third.state) << threads << " threads";
+    EXPECT_EQ(results[2].run.stats, expected_third.stats) << threads << " threads";
   }
 }
 
 TEST(SimulationService, NullImageRejectedAtAdd) {
   SimulationService service(1);
   EXPECT_THROW(service.add(std::shared_ptr<const DecodedImage>{}, EngineKind::kPacked),
+               std::invalid_argument);
+}
+
+TEST(SimulationService, MismatchedKindRejectedAtAdd) {
+  SimulationService service(1);
+  EXPECT_THROW(service.add(decode(isa::assemble(batch_programs()[0])), EngineKind::kRv32),
                std::invalid_argument);
 }
 
@@ -259,11 +302,11 @@ TEST(SimulationService, TranslatedBenchmarkBatchAcrossKinds) {
     service.add(images.back(), EngineKind::kPacked);
     service.add(images.back(), EngineKind::kPipeline);
   }
-  const std::vector<RunResult> results = service.run_all();
+  const std::vector<JobResult> results = service.run_all();
   ASSERT_EQ(results.size(), images.size() * 2);
   for (std::size_t b = 0; b < images.size(); ++b) {
-    const RunResult& packed = results[2 * b];
-    const RunResult& pipeline = results[2 * b + 1];
+    const RunResult& packed = results[2 * b].run;
+    const RunResult& pipeline = results[2 * b + 1].run;
     EXPECT_EQ(packed.halt, HaltReason::kHalted);
     EXPECT_EQ(pipeline.halt, HaltReason::kHalted);
     // Functional and cycle-accurate models agree architecturally.

@@ -1,10 +1,10 @@
 // art9-fuzz — the libFuzzer-free driver for the differential fuzz
-// harness (src/fuzz/harness.hpp): runs the same four oracles the
+// harness (src/fuzz/harness.hpp): runs the same five oracles the
 // coverage-guided fuzz_differential target runs, but from a portable
 // seeded RNG — the deterministic CI smoke path — or by replaying saved
 // input files (libFuzzer crash artifacts, minimized repros).
 //
-//   art9-fuzz [--seed N] [--runs N] [--mode art9|rv32|xlat|raw]
+//   art9-fuzz [--seed N] [--runs N] [--mode art9|rv32|xlat|raw|snapshot]
 //             [--artifact-dir DIR] [--quiet]
 //   art9-fuzz <input-file>...
 //
@@ -25,7 +25,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: art9-fuzz [--seed N] [--runs N] [--mode art9|rv32|xlat|raw]\n"
+               "usage: art9-fuzz [--seed N] [--runs N]\n"
+               "                 [--mode art9|rv32|xlat|raw|snapshot]\n"
                "                 [--artifact-dir DIR] [--quiet]\n"
                "       art9-fuzz <input-file>...\n"
                "Runs the differential fuzz harness from a seeded RNG (default seed 1,\n"
@@ -39,6 +40,7 @@ int mode_index(const std::string& name) {
   if (name == "rv32") return 1;
   if (name == "xlat") return 2;
   if (name == "raw") return 3;
+  if (name == "snapshot") return 4;
   return -1;
 }
 
@@ -108,7 +110,7 @@ int main(int argc, char** argv) {
   uint64_t failures = 0;
   for (uint64_t i = 0; i < runs; ++i) {
     std::vector<uint8_t> input = art9::fuzz::seeded_input(seed, i);
-    // The mode selector is the first input byte (taken modulo 4).
+    // The mode selector is the first input byte (taken modulo 5).
     if (forced_mode >= 0 && !input.empty()) input[0] = static_cast<uint8_t>(forced_mode);
     const art9::fuzz::FuzzResult result = art9::fuzz::run_fuzz_case(input.data(), input.size());
     if (result.ok) continue;

@@ -1,23 +1,36 @@
 // art9-run — execute a program on any simulation engine through the
-// unified cross-ISA sim::Engine facade.
+// unified cross-ISA sim::Engine facade, scheduled as one
+// SimulationService job so the CLI reports the structured JobOutcome
+// (and exposes the service's deadline / checkpoint-retry / fault-drill
+// controls).
 //
 //   art9-run program.t9 [--engine=lazy|functional|packed|pipeline|pipeline_packed]
 //            [--max-cycles N] [--dump-regs] [--dump-mem LO HI]
 //            [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]
+//            [--deadline-ms N] [--checkpoint-every N] [--retries N]
+//            [--fault-at N] [--fault-seed N]
 //   art9-run program.s  --engine=rv32|rv32_packed [--max-cycles N]
-//            [--dump-regs] [--dump-mem LO HI]
+//            [--dump-regs] [--dump-mem LO HI] [...same service flags]
 //
 // ART-9 engines consume a .t9 image; the rv32 engines consume RV32I(+M)
 // assembly text (the same dialect the benchmark corpus is written in).
+//
+// Exit codes, one per outcome class:
+//   0 completed   3 trapped            4 budget_exhausted
+//   5 deadline_exceeded   6 cancelled   7 faulted
+//   1 load/internal error   2 usage error
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "isa/image_io.hpp"
 #include "rv32/rv32_assembler.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/service.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -28,14 +41,34 @@ int usage() {
                "                [--engine=lazy|functional|packed|pipeline|pipeline_packed]\n"
                "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
                "                [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]\n"
+               "                [--deadline-ms N] [--checkpoint-every N] [--retries N]\n"
+               "                [--fault-at N] [--fault-seed N]\n"
                "       art9-run <program.s> --engine=rv32|rv32_packed\n"
                "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
                "engine defaults to pipeline (the cycle-accurate model); pipeline_packed is\n"
                "the same 5-stage model on plane-packed words; --trace and the\n"
                "microarchitecture switches apply to the pipeline engines only.\n"
                "The rv32 engines assemble RV32I(+M) source (rv32_packed holds its words\n"
-               "as 21-trit plane pairs) and dump x-registers / RAM words.\n");
+               "as 21-trit plane pairs) and dump x-registers / RAM words.\n"
+               "--deadline-ms / --checkpoint-every / --retries wire the SimulationService\n"
+               "per-job controls; --fault-at / --fault-seed inject a deterministic\n"
+               "transient fault (a recovery drill: pair with --checkpoint-every and\n"
+               "--retries).  The exit code encodes the outcome class: 0 completed,\n"
+               "3 trapped, 4 budget_exhausted, 5 deadline_exceeded, 6 cancelled,\n"
+               "7 faulted (1 = load error, 2 = usage).\n");
   return 2;
+}
+
+int outcome_exit_code(art9::sim::JobOutcome outcome) {
+  switch (outcome) {
+    case art9::sim::JobOutcome::kCompleted: return 0;
+    case art9::sim::JobOutcome::kTrapped: return 3;
+    case art9::sim::JobOutcome::kBudgetExhausted: return 4;
+    case art9::sim::JobOutcome::kDeadlineExceeded: return 5;
+    case art9::sim::JobOutcome::kCancelled: return 6;
+    case art9::sim::JobOutcome::kFaulted: return 7;
+  }
+  return 1;
 }
 
 void dump_regs(const art9::sim::MachineState& state) {
@@ -92,7 +125,10 @@ int main(int argc, char** argv) {
   int64_t mem_hi = -1;
   long long trace_cycles = 0;
   uint64_t max_cycles = 100'000'000;
+  long long fault_at = 0;
+  long long fault_seed = 0;
   art9::sim::EngineOptions options;
+  art9::sim::JobControls controls;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--engine=", 0) == 0) {
@@ -104,6 +140,16 @@ int main(int argc, char** argv) {
       kind = *parsed;
     } else if (arg == "--max-cycles" && i + 1 < argc) {
       max_cycles = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      controls.deadline = std::chrono::milliseconds(std::atoll(argv[++i]));
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      controls.checkpoint_every = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--retries" && i + 1 < argc) {
+      controls.retries = static_cast<unsigned>(std::atoll(argv[++i]));
+    } else if (arg == "--fault-at" && i + 1 < argc) {
+      fault_at = std::atoll(argv[++i]);
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      fault_seed = std::atoll(argv[++i]);
     } else if (arg == "--dump-regs") {
       want_regs = true;
     } else if (arg == "--stats") {
@@ -139,40 +185,66 @@ int main(int argc, char** argv) {
     // config so the engine's per-run cap (the tighter of the two) is
     // exactly the flag value.
     options.pipeline.max_cycles = max_cycles;
+    if (fault_at > 0 || fault_seed > 0) {
+      auto plan = std::make_shared<art9::sim::FaultPlan>(
+          fault_at > 0
+              ? art9::sim::FaultPlan{.throw_at_step = static_cast<uint64_t>(fault_at),
+                                     .seed = static_cast<uint64_t>(fault_seed)}
+              : art9::sim::FaultPlan::seeded(static_cast<uint64_t>(fault_seed), max_cycles));
+      controls.fault = std::move(plan);
+    }
     // The engine kind decides the front end: the rv32 kinds assemble
     // RV32 source, the ART-9 kinds read a .t9 image.
-    const std::unique_ptr<art9::sim::Engine> engine =
+    const art9::sim::EngineImage image =
         art9::sim::is_rv32(kind)
-            ? art9::sim::make_engine(kind, art9::rv32::assemble_rv32(read_text_file(input)),
-                                     options)
-            : art9::sim::make_engine(kind, art9::isa::read_image_file(input), options);
-    const art9::sim::RunResult result = engine->run({max_cycles});
+            ? art9::sim::EngineImage(art9::rv32::decode(
+                  art9::rv32::assemble_rv32(read_text_file(input))))
+            : art9::sim::EngineImage(art9::sim::decode(art9::isa::read_image_file(input)));
+
+    // One job through the service: the same scheduling, outcome and
+    // recovery machinery the batch/network front ends use.
+    art9::sim::SimulationService service(1);
+    const art9::sim::JobHandle handle = service.submit(art9::sim::SimulationService::Job{
+        image, kind, art9::sim::RunOptions{max_cycles}, options, controls});
+    const art9::sim::JobResult& result = handle.result();
 
     const bool cycle_accurate = art9::sim::is_cycle_accurate(kind);
-    std::printf("engine=%s halted=%s instructions=%llu",
+    std::printf("engine=%s outcome=%s instructions=%llu",
                 std::string(art9::sim::engine_kind_name(kind)).c_str(),
-                result.halt == art9::sim::HaltReason::kHalted ? "yes" : "budget",
-                static_cast<unsigned long long>(result.stats.instructions));
+                std::string(art9::sim::job_outcome_name(result.outcome)).c_str(),
+                static_cast<unsigned long long>(result.run.stats.instructions));
     if (cycle_accurate) {
-      std::printf(" cycles=%llu CPI=%.3f", static_cast<unsigned long long>(result.stats.cycles),
-                  result.stats.cpi());
+      std::printf(" cycles=%llu CPI=%.3f",
+                  static_cast<unsigned long long>(result.run.stats.cycles),
+                  result.run.stats.cpi());
+    }
+    if (result.retries > 0) {
+      std::printf(" retries=%u resumed=%s", result.retries, result.resumed ? "yes" : "no");
+    }
+    if (controls.checkpoint_every > 0) {
+      std::printf(" checkpoints=%llu", static_cast<unsigned long long>(result.checkpoints));
+      if (result.corrupt_checkpoints > 0) {
+        std::printf(" corrupt_checkpoints=%llu",
+                    static_cast<unsigned long long>(result.corrupt_checkpoints));
+      }
     }
     std::printf("\n");
+    if (!result.error.empty()) std::fprintf(stderr, "art9-run: %s\n", result.error.c_str());
     if (want_stats && cycle_accurate) {
       std::printf("  load-use stalls      = %llu\n",
-                  static_cast<unsigned long long>(result.stats.stall_load_use));
+                  static_cast<unsigned long long>(result.run.stats.stall_load_use));
       std::printf("  branch-hazard stalls = %llu\n",
-                  static_cast<unsigned long long>(result.stats.stall_branch_hazard));
+                  static_cast<unsigned long long>(result.run.stats.stall_branch_hazard));
       std::printf("  raw stalls           = %llu\n",
-                  static_cast<unsigned long long>(result.stats.stall_raw));
+                  static_cast<unsigned long long>(result.run.stats.stall_raw));
       std::printf("  taken-branch flushes = %llu\n",
-                  static_cast<unsigned long long>(result.stats.flush_taken_branch));
+                  static_cast<unsigned long long>(result.run.stats.flush_taken_branch));
     }
-    if (want_regs) dump_regs(result.state);
-    if (mem_hi >= mem_lo) dump_mem(result.state, mem_lo, mem_hi);
+    if (want_regs) dump_regs(result.run.state);
+    if (mem_hi >= mem_lo) dump_mem(result.run.state, mem_lo, mem_hi);
+    return outcome_exit_code(result.outcome);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "art9-run: %s\n", e.what());
     return 1;
   }
-  return 0;
 }
