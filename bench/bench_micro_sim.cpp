@@ -12,8 +12,9 @@
 // kind plus the thread-parallel batches under the warmup + median-of-N
 // harness of bench/report.hpp, writing steps/s, batch scaling, and the
 // service fault-path overheads (checkpoint interval cost, cancellation
-// latency) to BENCH_micro_sim.json so the perf trajectory stays
-// machine-readable across PRs.
+// latency) and the serve front end's HTTP round-trip throughput and
+// image-cache amortization to BENCH_micro_sim.json so the perf
+// trajectory stays machine-readable across PRs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -31,6 +32,7 @@
 #include "rv32/rv32_assembler.hpp"
 #include "rv32/rv32_decoded_image.hpp"
 #include "rv32/rv32_sim.hpp"
+#include "serve/server.hpp"
 #include "sim/engine.hpp"
 #include "sim/service.hpp"
 #include "xlat/framework.hpp"
@@ -257,6 +259,64 @@ double cancel_latency_seconds() {
   return samples[mid];
 }
 
+/// One pass over the HTTP front end on an in-process loopback server:
+/// image-upload latency cold (pipeline run) vs cached (content-hash hit),
+/// and the end-to-end job round-trip rate (POST /v1/jobs + poll to done).
+struct ServeStats {
+  double first_post_ms = 0.0;    // upload that runs the assemble pipeline
+  double cached_post_ms = 0.0;   // identical re-upload (cache hit)
+  double jobs_per_sec = 0.0;     // submit+poll round trips, all workers busy
+  uint64_t cache_hits = 0;
+};
+
+ServeStats serve_round_trips(unsigned threads, int jobs, uint64_t steps) {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  };
+
+  serve::SimulationServer::Options options;
+  options.service_threads = threads;
+  serve::SimulationServer server(options);
+  server.start();
+  serve::HttpClient client("127.0.0.1", server.port());
+  const std::string source(core::dhrystone().rv32);
+
+  ServeStats stats;
+  auto start = Clock::now();
+  const serve::HttpResponse first = client.post("/v1/images?format=rv32", source);
+  stats.first_post_ms = ms_since(start);
+  start = Clock::now();
+  (void)client.post("/v1/images?format=rv32", source);
+  stats.cached_post_ms = ms_since(start);
+  const std::string image = first.body.substr(8, 16);  // {"id": "<16 hex>"
+
+  const std::string request = "{\"image\": \"" + image +
+                              "\", \"engine\": \"rv32\", \"max_steps\": " +
+                              std::to_string(steps) + "}";
+  std::vector<std::string> pending;
+  start = Clock::now();
+  for (int j = 0; j < jobs; ++j) {
+    const serve::HttpResponse submitted = client.post("/v1/jobs", request);
+    pending.push_back("/v1/jobs/" + std::to_string(std::atoll(submitted.body.c_str() + 8)));
+  }
+  while (!pending.empty()) {
+    for (std::size_t i = 0; i < pending.size();) {
+      if (client.get(pending[i]).body.find("\"state\": \"done\"") != std::string::npos) {
+        pending[i] = pending.back();
+        pending.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  const double wall = ms_since(start) / 1e3;
+  stats.jobs_per_sec = wall > 0.0 ? jobs / wall : 0.0;
+  stats.cache_hits = server.cache().stats().hits;
+  server.stop();
+  return stats;
+}
+
 int run_json_report(const std::string& path) {
   bench::heading("engine steps/s — translated Dhrystone (single stream)");
   const double lazy = engine_rate(sim::EngineKind::kLazy);
@@ -312,6 +372,19 @@ int run_json_report(const std::string& path) {
   bench::note("checkpoint cost:        " + std::to_string(checkpoint_cost * 100.0) + " %");
   bench::note("cancel latency:         " + std::to_string(cancel_latency * 1e3) + " ms");
 
+  bench::heading("serve — HTTP front end round trips (in-process loopback)");
+  constexpr int kServeJobs = 32;
+  constexpr uint64_t kServeSteps = 20'000;
+  const ServeStats serve = serve_round_trips(hw, kServeJobs, kServeSteps);
+  bench::note("image upload (cold):    " + std::to_string(serve.first_post_ms) + " ms");
+  bench::note("image upload (cached):  " + std::to_string(serve.cached_post_ms) + " ms");
+  bench::note("cache amortization:     x" +
+              std::to_string(serve.cached_post_ms > 0.0
+                                 ? serve.first_post_ms / serve.cached_post_ms
+                                 : 0.0));
+  bench::note("job round trips:        " + std::to_string(serve.jobs_per_sec) + " jobs/s (" +
+              std::to_string(kServeJobs) + " x " + std::to_string(kServeSteps) + " steps)");
+
   bench::JsonObject json;
   json.add("bench", "micro_sim");
   json.add("workload", "dhrystone_translated");
@@ -344,6 +417,12 @@ int run_json_report(const std::string& path) {
   json.add("service_checkpoint_steps_per_sec", with_checkpoint);
   json.add("service_checkpoint_cost_fraction", checkpoint_cost);
   json.add("service_cancel_latency_ms", cancel_latency * 1e3);
+  json.add("serve_jobs", static_cast<double>(kServeJobs));
+  json.add("serve_job_steps", static_cast<double>(kServeSteps));
+  json.add("serve_jobs_per_sec", serve.jobs_per_sec);
+  json.add("serve_image_post_cold_ms", serve.first_post_ms);
+  json.add("serve_image_post_cached_ms", serve.cached_post_ms);
+  json.add("serve_cache_hits", static_cast<double>(serve.cache_hits));
   if (!json.write(path)) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     return 1;

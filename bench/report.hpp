@@ -1,8 +1,9 @@
 // Shared table-rendering helpers for the reproduction benches.  Every
 // bench prints the paper's reported numbers next to the measured ones so
 // the shape comparison (who wins, by what factor) is visible at a glance.
-// Also hosts the steady-state timing harness (warmup + median-of-N) and a
-// minimal JSON emitter so perf-trajectory numbers are machine-readable.
+// Also hosts the steady-state timing harness (warmup + median-of-N); the
+// JSON emitter the trajectory files use lives in serve/json.hpp (shared
+// with the art9-serve HTTP front end) and is aliased back in below.
 #pragma once
 
 #include <algorithm>
@@ -12,6 +13,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "serve/json.hpp"
 
 namespace art9::bench {
 
@@ -56,41 +59,9 @@ template <typename Fn>
 
 // --- machine-readable output ---------------------------------------------------
 
-/// Minimal flat JSON object writer — enough for the bench trajectory files
-/// (string and finite-double fields, insertion order preserved).
-class JsonObject {
- public:
-  void add(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", value);
-    fields_.emplace_back(key, buf);
-  }
-
-  void add(const std::string& key, const std::string& value) {
-    std::string quoted = "\"";
-    for (char c : value) {
-      if (c == '"' || c == '\\') quoted += '\\';
-      quoted += c;
-    }
-    quoted += '"';
-    fields_.emplace_back(key, quoted);
-  }
-
-  /// Writes `{ "k": v, ... }` to `path`; returns false on I/O failure.
-  [[nodiscard]] bool write(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fprintf(f, "{\n");
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(), fields_[i].second.c_str(),
-                   i + 1 < fields_.size() ? "," : "");
-    }
-    std::fprintf(f, "}\n");
-    return std::fclose(f) == 0;
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
+/// The flat JSON object writer (moved to serve/json.hpp; write(path)
+/// renders the same bytes as it always did — locked by
+/// tests/serve/json_test.cpp).
+using JsonObject = ::art9::json::JsonObject;
 
 }  // namespace art9::bench

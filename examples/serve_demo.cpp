@@ -1,0 +1,131 @@
+// serve_demo — drive the art9-serve HTTP API end to end: upload a
+// program twice (the second is a content-hash cache hit), run it as a
+// job, poll to the result, cancel a long-running job, and read the
+// metrics.
+//
+//   serve_demo                      self-contained: starts an in-process
+//                                   SimulationServer on an ephemeral port
+//   serve_demo HOST:PORT            drives an already-running art9-serve
+//   serve_demo HOST:PORT --shutdown ...and asks it to drain afterwards
+//
+// The HOST:PORT form is what the CI smoke leg uses against a real
+// art9-serve process; the output is the transcript in the README's
+// "Serving" section.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace {
+
+constexpr const char* kSumProgram = R"(
+    LIMM T1, 50
+    LIMM T2, 0
+  loop:
+    ADD  T2, T1
+    ADDI T1, -1
+    MV   T3, T1
+    COMP T3, T4
+    BNE  T3, 0, loop
+    HALT
+)";
+
+// Never halts — the job to cancel.
+constexpr const char* kSpinProgram = "loop:\n  ADDI T1, 1\n  JAL T0, loop\n";
+
+void show(const char* label, const art9::serve::HttpResponse& response) {
+  std::printf("-- %s -> %d\n%s", label, response.status, response.body.c_str());
+}
+
+/// The job id out of a 202 body without a JSON reader round trip: the
+/// body opens with {"job": N.
+uint64_t job_id_of(const art9::serve::HttpResponse& response) {
+  return static_cast<uint64_t>(std::atoll(response.body.c_str() + 8));
+}
+
+std::string image_id_of(const art9::serve::HttpResponse& response) {
+  // {"id": "16 hex digits", ...
+  return response.body.substr(8, 16);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  bool shutdown_after = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shutdown") {
+      shutdown_after = true;
+    } else if (const auto colon = arg.find(':'); colon != std::string::npos) {
+      host = arg.substr(0, colon);
+      port = static_cast<uint16_t>(std::atoi(arg.c_str() + colon + 1));
+    } else {
+      std::fprintf(stderr, "usage: serve_demo [HOST:PORT] [--shutdown]\n");
+      return 2;
+    }
+  }
+
+  try {
+    // Self-contained mode: bring up the server in-process.
+    std::unique_ptr<art9::serve::SimulationServer> local;
+    if (port == 0) {
+      local = std::make_unique<art9::serve::SimulationServer>();
+      local->start();
+      port = local->port();
+      std::printf("serve_demo: in-process server on %s:%u\n", host.c_str(),
+                  static_cast<unsigned>(port));
+    }
+    art9::serve::HttpClient client(host, port);
+
+    // 1. Upload: the first POST runs the assemble/decode pipeline (201),
+    //    the identical re-upload is a cache hit (200, "cached": true).
+    const auto upload = client.post("/v1/images?format=art9", kSumProgram);
+    show("POST /v1/images (first)", upload);
+    show("POST /v1/images (again)", client.post("/v1/images?format=art9", kSumProgram));
+    if (upload.status != 201) return 1;
+    const std::string image = image_id_of(upload);
+
+    // 2. Run it: submit, then poll to the terminal state.
+    const auto submitted = client.post(
+        "/v1/jobs", "{\"image\": \"" + image + "\", \"engine\": \"functional\"}");
+    show("POST /v1/jobs", submitted);
+    if (submitted.status != 202) return 1;
+    const std::string job_path = "/v1/jobs/" + std::to_string(job_id_of(submitted));
+    art9::serve::HttpResponse status;
+    for (int poll = 0; poll < 2000; ++poll) {
+      status = client.get(job_path);
+      if (status.body.find("\"state\": \"done\"") != std::string::npos) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    show("GET job (done)", status);
+
+    // 3. Cancel: a program that never halts, cut off cooperatively.
+    const auto spin = client.post("/v1/images?format=art9", kSpinProgram);
+    const auto spinning = client.post(
+        "/v1/jobs", "{\"image\": \"" + image_id_of(spin) +
+                        "\", \"engine\": \"functional\", \"slice_steps\": 10000}");
+    const std::string spin_path = "/v1/jobs/" + std::to_string(job_id_of(spinning));
+    show("DELETE spinning job", client.del(spin_path));
+    for (int poll = 0; poll < 2000; ++poll) {
+      status = client.get(spin_path);
+      if (status.body.find("\"state\": \"done\"") != std::string::npos) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    show("GET cancelled job", status);
+
+    // 4. The service's own view of all of the above.
+    show("GET /v1/metrics", client.get("/v1/metrics"));
+
+    if (shutdown_after) show("POST /v1/shutdown", client.post("/v1/shutdown", ""));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_demo: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,228 @@
+// Dependency-free blocking HTTP/1.1 transport for the art9-serve front
+// end: an incremental request parser that runs without a socket (so the
+// protocol edges are unit-testable), a thread-per-connection loopback
+// server with drain-style shutdown, and the small blocking client the
+// tests, the serve demo and the CI smoke leg drive it with.
+//
+// Scope is deliberately the libriscv-webapi shape, not a general web
+// server: HTTP/1.1 with Content-Length bodies and keep-alive, no TLS, no
+// chunked transfer (501), no multipart.  Every protocol violation maps
+// to a precise status (400 malformed, 413 body over budget, 431 headers
+// over budget, 501 unimplemented transfer coding, 505 wrong version) so
+// the admission story starts at the transport.
+//
+// Shutdown contract (the CI smoke asserts this): request_stop() only
+// flags and unblocks — it is safe from a signal handler or from inside a
+// request handler.  wait()/stop() then drain: the listener closes, every
+// connection finishes the request it is currently serving (reads are
+// shut down, writes are not), and all threads are joined.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace art9::serve {
+
+/// One parsed request.  Header names keep their wire spelling; lookup is
+/// case-insensitive per RFC 9110.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (upper-case on the wire)
+  std::string target;   // origin-form: /path?query
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  // resolved from version + Connection header
+
+  /// Case-insensitive header lookup; empty view when absent.
+  [[nodiscard]] std::string_view header(std::string_view name) const noexcept;
+
+  /// The target up to (excluding) '?'.
+  [[nodiscard]] std::string_view path() const noexcept;
+
+  /// Value of `key` in the query string; empty when absent.  No
+  /// percent-decoding — the serve vocabulary (format names) never needs it.
+  [[nodiscard]] std::string_view query(std::string_view key) const noexcept;
+};
+
+enum class ParseStatus : uint8_t { kIncomplete, kDone, kError };
+
+struct ParserLimits {
+  std::size_t max_header_bytes = 16 * 1024;  // request line + headers
+  std::size_t max_body_bytes = 4u << 20;     // Content-Length ceiling
+};
+
+/// Incremental HTTP/1.1 request parser.  Feed bytes as they arrive;
+/// kDone exposes request(), kError exposes the HTTP status + message the
+/// connection should answer with.  After kDone, reset() drops the parsed
+/// request and immediately re-parses any pipelined leftover bytes.
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Appends `data` and advances.  Returns the new status; feeding after
+  /// kDone/kError only buffers (parse state is unchanged until reset()).
+  ParseStatus feed(std::string_view data);
+
+  [[nodiscard]] ParseStatus status() const noexcept { return status_; }
+  [[nodiscard]] const HttpRequest& request() const noexcept { return request_; }
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Keep-alive: discard the finished (or failed) request and re-parse
+  /// the buffered remainder, which may already complete the next request.
+  ParseStatus reset();
+
+ private:
+  ParseStatus advance();
+  ParseStatus fail(int status, std::string message);
+
+  ParserLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;      // bytes of buffer_ owned by the done request
+  std::size_t body_start_ = 0;    // offset of the body once headers parsed
+  std::size_t content_length_ = 0;
+  bool headers_done_ = false;
+  HttpRequest request_;
+  ParseStatus status_ = ParseStatus::kIncomplete;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool close = false;  // force Connection: close
+};
+
+/// Reason phrase for the statuses this layer emits ("Unknown" otherwise).
+[[nodiscard]] std::string_view status_text(int status) noexcept;
+
+/// Renders the status line, Content-Type/Content-Length/Connection
+/// headers and body.
+[[nodiscard]] std::string serialize_response(const HttpResponse& response);
+
+/// Blocking thread-per-connection HTTP/1.1 server bound to a loopback
+/// (or given) address.  One handler serves every route; handler
+/// exceptions become 500s with the message in a JSON error body.
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral; read the outcome via port()
+    ParserLimits limits;
+    int max_connections = 64;      // concurrent; excess answered 503
+    int read_timeout_seconds = 30; // idle keep-alive reaping
+  };
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();  // stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the accept thread.  Throws
+  /// std::runtime_error on socket failure.
+  void start();
+
+  /// The bound port (resolved after start(), also for port 0).
+  [[nodiscard]] uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting new connections.  Async-signal-safe (an atomic store
+  /// plus shutdown(2)); callable from handlers and signal handlers.
+  void request_stop() noexcept;
+
+  /// Blocks until a stop is requested, then drains: in-flight requests
+  /// finish, every connection and the accept loop join.
+  void wait();
+
+  /// request_stop() + wait().  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] uint64_t connections_accepted() const noexcept {
+    return connections_accepted_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection& connection);
+  void reap_finished_locked();
+
+  Options options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_served_{0};
+
+  std::mutex mutex_;
+  std::condition_variable stopped_cv_;
+  bool accept_done_ = false;
+  bool drained_ = false;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+/// Minimal blocking HTTP/1.1 client (tests, serve_demo, CI smoke).
+/// Keeps one connection alive across request() calls and transparently
+/// reconnects once when the server closed it between requests.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One round trip.  Throws std::runtime_error on connect/transport
+  /// failure (an HTTP error status is NOT a transport failure — it comes
+  /// back as a normal HttpResponse).
+  HttpResponse request(const std::string& method, const std::string& target,
+                       const std::string& body = {},
+                       const std::string& content_type = "application/json");
+
+  /// Convenience verbs.
+  HttpResponse get(const std::string& target) { return request("GET", target); }
+  HttpResponse post(const std::string& target, const std::string& body,
+                    const std::string& content_type = "application/json") {
+    return request("POST", target, body, content_type);
+  }
+  HttpResponse del(const std::string& target) { return request("DELETE", target); }
+
+  void close() noexcept;
+
+ private:
+  void connect();
+  bool try_roundtrip(const std::string& wire, HttpResponse& out);
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace art9::serve

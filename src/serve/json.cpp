@@ -1,0 +1,303 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace art9::json {
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw JsonError("expected a boolean");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (!is_number()) throw JsonError("expected a number");
+  return number_;
+}
+
+uint64_t JsonValue::as_uint64() const {
+  const double v = as_double();
+  if (v < 0.0 || v != std::floor(v) || v > 18446744073709549568.0) {
+    throw JsonError("expected a non-negative integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw JsonError("expected a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (!is_array()) throw JsonError("expected an array");
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (!is_object()) throw JsonError("expected an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+uint64_t JsonValue::get_uint64(std::string_view key, uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  try {
+    return v->as_uint64();
+  } catch (const JsonError&) {
+    throw JsonError("field '" + std::string(key) + "' must be a non-negative integer");
+  }
+}
+
+std::string JsonValue::get_string(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  if (!v->is_string()) throw JsonError("field '" + std::string(key) + "' must be a string");
+  return v->as_string();
+}
+
+JsonValue JsonValue::boolean(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::array(Array v) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::object(Object v) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.object_ = std::move(v);
+  return out;
+}
+
+namespace {
+
+/// Strict recursive-descent parser over one contiguous buffer.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after the document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError(message + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::null();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected a member name");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return JsonValue::object(std::move(members));
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue::Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return JsonValue::array(std::move(items));
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // ASCII subset only — the serve vocabulary is engine names and
+          // assembly text, all 7-bit.
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ == digits) fail("invalid number");
+    // JSON forbids leading zeros ("01" is two tokens, i.e. malformed).
+    if (text_[digits] == '0' && pos_ - digits > 1) fail("invalid number (leading zero)");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (pos_ == frac) fail("invalid number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t exp = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (pos_ == exp) fail("invalid number");
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || ptr != text_.data() + pos_) fail("invalid number");
+    return JsonValue::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace art9::json

@@ -18,6 +18,7 @@ namespace detail {
 struct JobState {
   SimulationService::Job job;
   std::size_t id = 0;
+  std::shared_ptr<ServiceCounters> counters;  // set at submit, never null
   std::chrono::steady_clock::time_point deadline_at{};
   bool has_deadline = false;
 
@@ -65,6 +66,13 @@ void resolve(detail::JobState& st, JobResult result) {
     st.resolving = true;
     callbacks.swap(st.callbacks);
   }
+  // Count the outcome before anyone can observe the result (callbacks,
+  // wait, ready): a drained batch's per-outcome counts always sum to the
+  // submitted total, with no window where a job is done but uncounted.
+  st.counters->outcomes[static_cast<std::size_t>(st.result.outcome)].fetch_add(
+      1, std::memory_order_acq_rel);
+  st.counters->resolved.fetch_add(1, std::memory_order_acq_rel);
+  st.counters->in_flight.fetch_sub(1, std::memory_order_acq_rel);
   for (auto& cb : callbacks) cb(st.result);
   {
     std::lock_guard<std::mutex> lock(st.m);
@@ -104,6 +112,7 @@ void finish(JobResult& res, SimStats stats, HaltReason halt) {
 /// Runs one job to resolution.  Never throws: every failure mode maps to
 /// a JobOutcome.
 void execute_job(detail::JobState& st) {
+  st.counters->in_flight.fetch_add(1, std::memory_order_acq_rel);
   st.started.store(true, std::memory_order_release);
   const SimulationService::Job& job = st.job;
 
@@ -348,10 +357,21 @@ void SimulationService::worker_loop() {
   }
 }
 
+std::size_t SimulationService::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+unsigned SimulationService::worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<unsigned>(workers_.size());
+}
+
 JobHandle SimulationService::submit(Job job) {
   validate_job(job);
   auto state = std::make_shared<detail::JobState>();
   state->job = std::move(job);
+  state->counters = counters_;
   if (state->job.control.deadline.count() > 0) {
     state->has_deadline = true;
     state->deadline_at = std::chrono::steady_clock::now() + state->job.control.deadline;
@@ -360,6 +380,9 @@ JobHandle SimulationService::submit(Job job) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) throw std::logic_error("SimulationService: submit after shutdown began");
     state->id = next_id_++;
+    // Counted before the push so submitted() >= resolved() always holds
+    // (a worker may resolve the job before submit() even returns).
+    counters_->submitted.fetch_add(1, std::memory_order_acq_rel);
     queue_.push_back(state);
     ensure_workers();
   }

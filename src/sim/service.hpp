@@ -41,6 +41,8 @@
 // job resolves kTrapped while its siblings' results stay intact.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -119,6 +121,17 @@ struct JobResult {
 
 namespace detail {
 struct JobState;
+
+/// Scheduler introspection counters, shared by the service and every
+/// JobState (a shared_ptr, so a handle resolving during service teardown
+/// never touches a freed service).  `in_flight` is instantaneous; the
+/// rest are monotone.
+struct ServiceCounters {
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> resolved{0};
+  std::atomic<std::size_t> in_flight{0};
+  std::array<std::atomic<uint64_t>, 6> outcomes{};  // indexed by JobOutcome
+};
 }  // namespace detail
 
 /// Future-style view of one submitted job.  Copyable (all copies share
@@ -248,6 +261,37 @@ class SimulationService {
 
   [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
 
+  // --- introspection (the /v1/metrics feed of the serve front end) ----------
+
+  /// Jobs submitted but not yet picked up by a worker.
+  [[nodiscard]] std::size_t queued() const;
+
+  /// Jobs a worker has picked up but not yet resolved.
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return counters_->in_flight.load(std::memory_order_acquire);
+  }
+
+  /// Workers actually spawned (0 until the first submit — the pool starts
+  /// lazily; `threads()` is the configured width).
+  [[nodiscard]] unsigned worker_count() const;
+
+  /// Jobs accepted by submit() over the service lifetime.
+  [[nodiscard]] uint64_t submitted() const noexcept {
+    return counters_->submitted.load(std::memory_order_acquire);
+  }
+
+  /// Jobs resolved to any outcome.  Equals the sum of outcome_count over
+  /// all six outcomes, and — once drained — submitted().
+  [[nodiscard]] uint64_t resolved() const noexcept {
+    return counters_->resolved.load(std::memory_order_acquire);
+  }
+
+  /// Jobs resolved to `outcome`.  Counted before the resolving job's
+  /// wait()/result() returns, so a drained batch always sums exactly.
+  [[nodiscard]] uint64_t outcome_count(JobOutcome outcome) const noexcept {
+    return counters_->outcomes[static_cast<std::size_t>(outcome)].load(std::memory_order_acquire);
+  }
+
   /// Submits every queued job and waits: one JobResult per job, in job
   /// order.  The queue is left intact, so run_all() is repeatable.  Job
   /// failures resolve as outcomes (kTrapped and friends) — completed
@@ -261,8 +305,10 @@ class SimulationService {
 
   unsigned threads_;
   std::vector<Job> jobs_;  // the add() queue (run_all input)
+  std::shared_ptr<detail::ServiceCounters> counters_ =
+      std::make_shared<detail::ServiceCounters>();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::deque<std::shared_ptr<detail::JobState>> queue_;
   std::vector<std::thread> workers_;

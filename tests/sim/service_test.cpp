@@ -316,5 +316,89 @@ TEST(SimulationService, TranslatedBenchmarkBatchAcrossKinds) {
   }
 }
 
+TEST(SimulationService, IntrospectionStartsAtZero) {
+  SimulationService service(2);
+  EXPECT_EQ(service.queued(), 0u);
+  EXPECT_EQ(service.in_flight(), 0u);
+  EXPECT_EQ(service.worker_count(), 0u);  // the pool spawns lazily
+  EXPECT_EQ(service.threads(), 2u);
+  EXPECT_EQ(service.submitted(), 0u);
+  EXPECT_EQ(service.resolved(), 0u);
+  for (const JobOutcome outcome :
+       {JobOutcome::kCompleted, JobOutcome::kTrapped, JobOutcome::kBudgetExhausted,
+        JobOutcome::kDeadlineExceeded, JobOutcome::kCancelled, JobOutcome::kFaulted}) {
+    EXPECT_EQ(service.outcome_count(outcome), 0u);
+  }
+}
+
+TEST(SimulationService, IntrospectionCountsEveryOutcomeExactlyOnce) {
+  // One job per deterministic outcome class: completed, trapped,
+  // budget_exhausted, cancelled (cancelled while queued behind the rest
+  // on a single worker).  After a full drain the monotone counters must
+  // reconcile: submitted == resolved == sum over outcome_count, and the
+  // instantaneous gauges are back to zero.
+  isa::Program trap;
+  trap.code.push_back(isa::Instruction{isa::Opcode::kAddi, 1, 0, ternary::kTritZ, 1});
+  trap.entry = 0;
+
+  SimulationService service(1);
+  const std::shared_ptr<const DecodedImage> image = decode(isa::assemble(batch_programs()[0]));
+  const std::shared_ptr<const DecodedImage> spin =
+      decode(isa::assemble("loop:\n  ADDI T1, 1\n  JAL T0, loop\n"));
+
+  const JobHandle completed = service.submit(image, EngineKind::kFunctional, kBudget);
+  const JobHandle trapped = service.submit(decode(trap), EngineKind::kPacked, kBudget);
+  const JobHandle exhausted =
+      service.submit(spin, EngineKind::kFunctional, RunOptions{1000});
+  // The cancelled job spins forever on a huge budget, so whether
+  // cancel() lands while it is still queued or already running (it is
+  // cut at the next slice boundary), kCancelled is the only outcome.
+  const JobHandle cancelled =
+      service.submit(spin, EngineKind::kFunctional, RunOptions{100'000'000});
+  cancelled.cancel();
+
+  for (const JobHandle* handle : {&completed, &trapped, &exhausted, &cancelled}) {
+    handle->wait();
+  }
+
+  EXPECT_EQ(service.submitted(), 4u);
+  EXPECT_EQ(service.resolved(), 4u);
+  EXPECT_EQ(service.queued(), 0u);
+  EXPECT_EQ(service.in_flight(), 0u);
+  EXPECT_EQ(service.worker_count(), 1u);
+
+  EXPECT_EQ(service.outcome_count(JobOutcome::kCompleted), 1u);
+  EXPECT_EQ(service.outcome_count(JobOutcome::kTrapped), 1u);
+  EXPECT_EQ(service.outcome_count(JobOutcome::kBudgetExhausted), 1u);
+  EXPECT_EQ(service.outcome_count(JobOutcome::kCancelled), 1u);
+  uint64_t total = 0;
+  for (const JobOutcome outcome :
+       {JobOutcome::kCompleted, JobOutcome::kTrapped, JobOutcome::kBudgetExhausted,
+        JobOutcome::kDeadlineExceeded, JobOutcome::kCancelled, JobOutcome::kFaulted}) {
+    total += service.outcome_count(outcome);
+  }
+  EXPECT_EQ(total, service.resolved());
+}
+
+TEST(SimulationService, IntrospectionCountersSurviveWideBatches) {
+  // The counters are lock-free and shared with every JobState; a wide
+  // threaded batch must still reconcile exactly once drained.
+  SimulationService service(4);
+  add_mixed_batch(service);
+  const std::vector<JobResult> results = service.run_all();
+  EXPECT_EQ(service.submitted(), results.size());
+  EXPECT_EQ(service.resolved(), results.size());
+  EXPECT_EQ(service.in_flight(), 0u);
+  EXPECT_LE(service.worker_count(), 4u);
+  EXPECT_GE(service.worker_count(), 1u);
+  uint64_t total = 0;
+  for (const JobOutcome outcome :
+       {JobOutcome::kCompleted, JobOutcome::kTrapped, JobOutcome::kBudgetExhausted,
+        JobOutcome::kDeadlineExceeded, JobOutcome::kCancelled, JobOutcome::kFaulted}) {
+    total += service.outcome_count(outcome);
+  }
+  EXPECT_EQ(total, results.size());
+}
+
 }  // namespace
 }  // namespace art9::sim

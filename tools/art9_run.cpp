@@ -35,8 +35,10 @@
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
+// `help` routes the same text to stdout with exit 0 (--help); every
+// misuse goes to stderr with exit 2.
+int usage(bool help = false) {
+  std::fprintf(help ? stdout : stderr,
                "usage: art9-run <program.t9>\n"
                "                [--engine=lazy|functional|packed|pipeline|pipeline_packed]\n"
                "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
@@ -55,8 +57,16 @@ int usage() {
                "transient fault (a recovery drill: pair with --checkpoint-every and\n"
                "--retries).  The exit code encodes the outcome class: 0 completed,\n"
                "3 trapped, 4 budget_exhausted, 5 deadline_exceeded, 6 cancelled,\n"
-               "7 faulted (1 = load error, 2 = usage).\n");
-  return 2;
+               "7 faulted (1 = load error, 2 = usage).\n"
+               "Exit codes:\n"
+               "  0  completed          program reached its halt convention\n"
+               "  3  trapped            the program itself trapped (SimError)\n"
+               "  4  budget_exhausted   --max-cycles spent before halting\n"
+               "  5  deadline_exceeded  --deadline-ms cut the run short\n"
+               "  6  cancelled          job cancelled before resolution\n"
+               "  7  faulted            injected fault outran --retries\n"
+               "  1  load/internal error      2  usage error\n");
+  return help ? 0 : 2;
 }
 
 int outcome_exit_code(art9::sim::JobOutcome outcome) {
@@ -131,7 +141,9 @@ int main(int argc, char** argv) {
   art9::sim::JobControls controls;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--engine=", 0) == 0) {
+    if (arg == "--help" || arg == "-h") {
+      return usage(true);
+    } else if (arg.rfind("--engine=", 0) == 0) {
       const auto parsed = art9::sim::parse_engine_kind(arg.substr(9));
       if (!parsed) {
         std::fprintf(stderr, "art9-run: unknown engine '%s'\n", arg.substr(9).c_str());

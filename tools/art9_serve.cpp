@@ -1,0 +1,114 @@
+// art9-serve — the HTTP simulation-as-a-service front end: a
+// serve::SimulationServer on a loopback (or given) address, draining
+// cleanly on SIGINT/SIGTERM or POST /v1/shutdown.
+//
+//   art9-serve [--bind ADDR] [--port N] [--port-file PATH]
+//              [--threads N] [--cache-mb N] [--max-queued N]
+//              [--max-job-steps N] [--max-inflight-steps N]
+//
+//   POST   /v1/images?format=art9|rv32|rv32_translate   (body = asm text)
+//   POST   /v1/jobs        GET/DELETE /v1/jobs/{id}
+//   GET    /v1/metrics     POST /v1/shutdown
+//
+// --port 0 (the default) binds an ephemeral port; --port-file writes the
+// resolved port as a decimal line so scripts (the CI smoke leg) can find
+// it without racing the log output.  Exit code 0 after a clean drain.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace {
+
+int usage(bool help) {
+  std::fprintf(help ? stdout : stderr,
+               "usage: art9-serve [--bind ADDR] [--port N] [--port-file PATH]\n"
+               "                  [--threads N] [--cache-mb N] [--max-queued N]\n"
+               "                  [--max-job-steps N] [--max-inflight-steps N]\n"
+               "Serves the SimulationService over HTTP/1.1 on ADDR:N (default\n"
+               "127.0.0.1, ephemeral port; --port-file receives the resolved port).\n"
+               "Routes: POST /v1/images?format=art9|rv32|rv32_translate (body = asm),\n"
+               "POST /v1/jobs, GET|DELETE /v1/jobs/{id}, GET /v1/metrics,\n"
+               "POST /v1/shutdown.  SIGINT/SIGTERM or /v1/shutdown begin a drain:\n"
+               "in-flight requests and admitted jobs resolve, then the process\n"
+               "exits 0.\n");
+  return help ? 0 : 2;
+}
+
+art9::serve::SimulationServer* g_server = nullptr;
+
+// Async-signal-safe by design: request_stop() is an atomic store plus
+// shutdown(2) on the listener.
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  art9::serve::SimulationServer::Options options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return usage(true);
+    } else if (arg == "--bind" && i + 1 < argc) {
+      options.http.bind = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.http.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.service_threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--cache-mb" && i + 1 < argc) {
+      options.cache_bytes = static_cast<std::size_t>(std::atoll(argv[++i])) << 20;
+    } else if (arg == "--max-queued" && i + 1 < argc) {
+      options.max_queued_jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-job-steps" && i + 1 < argc) {
+      options.max_job_steps = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-inflight-steps" && i + 1 < argc) {
+      options.max_inflight_steps = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      return usage(false);
+    }
+  }
+
+  try {
+    art9::serve::SimulationServer server(options);
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::printf("art9-serve: listening on %s:%u\n", options.http.bind.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::FILE* f = std::fopen(port_file.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "art9-serve: cannot write %s\n", port_file.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+      std::fclose(f);
+    }
+
+    server.wait();  // blocks until SIGINT/SIGTERM or POST /v1/shutdown
+
+    // Reset handlers before the server (and g_server) go away.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_server = nullptr;
+
+    const auto& service = server.service();
+    std::printf("art9-serve: drained (%llu jobs submitted, %llu resolved)\n",
+                static_cast<unsigned long long>(service.submitted()),
+                static_cast<unsigned long long>(service.resolved()));
+    return 0;  // ~SimulationServer drains the job queue
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "art9-serve: %s\n", e.what());
+    return 1;
+  }
+}
