@@ -322,21 +322,27 @@ int run_json_report(const std::string& path) {
   const double lazy = engine_rate(sim::EngineKind::kLazy);
   const double predecoded = engine_rate(sim::EngineKind::kFunctional);
   const double packed = engine_rate(sim::EngineKind::kPacked);
+  const double superblock = engine_rate(sim::EngineKind::kSuperblock);
   const double pipeline = engine_rate(sim::EngineKind::kPipeline);
   const double pipeline_packed = engine_rate(sim::EngineKind::kPackedPipeline);
   bench::note("lazy decode-on-fetch:   " + std::to_string(lazy / 1e6) + " M steps/s");
   bench::note("pre-decoded dispatch:   " + std::to_string(predecoded / 1e6) + " M steps/s");
   bench::note("plane-packed SWAR:      " + std::to_string(packed / 1e6) + " M steps/s");
+  bench::note("superblock tier:        " + std::to_string(superblock / 1e6) + " M steps/s");
   bench::note("pipeline (cycles/s):    " + std::to_string(pipeline / 1e6) + " M steps/s");
   bench::note("packed pipeline:        " + std::to_string(pipeline_packed / 1e6) + " M steps/s");
   bench::note("packed / pre-decoded:   x" + std::to_string(packed / predecoded));
+  bench::note("superblock / packed:    x" + std::to_string(superblock / packed));
   bench::note("packed pipe / pipe:     x" + std::to_string(pipeline_packed / pipeline));
 
   bench::heading("rv32 engine steps/s — source Dhrystone (single stream)");
   const double rv32_predecoded = engine_rate(sim::EngineKind::kRv32);
+  const double rv32_superblock = engine_rate(sim::EngineKind::kRv32Superblock);
   const double rv32_packed = engine_rate(sim::EngineKind::kRv32Packed);
   bench::note("rv32 pre-decoded:       " + std::to_string(rv32_predecoded / 1e6) + " M steps/s");
+  bench::note("rv32 superblock:        " + std::to_string(rv32_superblock / 1e6) + " M steps/s");
   bench::note("rv32 packed (21-trit):  " + std::to_string(rv32_packed / 1e6) + " M steps/s");
+  bench::note("rv32 superblk / predec: x" + std::to_string(rv32_superblock / rv32_predecoded));
   bench::note("rv32 packed / predec:   x" + std::to_string(rv32_packed / rv32_predecoded));
 
   bench::heading("batch_parallel — SimulationService, 8 packed Dhrystone jobs");
@@ -392,13 +398,18 @@ int run_json_report(const std::string& path) {
   json.add("lazy_steps_per_sec", lazy);
   json.add("predecoded_steps_per_sec", predecoded);
   json.add("packed_steps_per_sec", packed);
+  json.add("superblock_steps_per_sec", superblock);
   json.add("pipeline_cycles_per_sec", pipeline);
   json.add("pipeline_packed_cycles_per_sec", pipeline_packed);
   json.add("packed_vs_predecoded", predecoded > 0.0 ? packed / predecoded : 0.0);
   json.add("predecoded_vs_lazy", lazy > 0.0 ? predecoded / lazy : 0.0);
+  json.add("superblock_vs_packed", packed > 0.0 ? superblock / packed : 0.0);
   json.add("pipeline_packed_vs_pipeline", pipeline > 0.0 ? pipeline_packed / pipeline : 0.0);
   json.add("rv32_predecoded_steps_per_sec", rv32_predecoded);
+  json.add("rv32_superblock_steps_per_sec", rv32_superblock);
   json.add("rv32_packed_steps_per_sec", rv32_packed);
+  json.add("rv32_superblock_vs_predecoded",
+           rv32_predecoded > 0.0 ? rv32_superblock / rv32_predecoded : 0.0);
   json.add("rv32_packed_vs_predecoded",
            rv32_predecoded > 0.0 ? rv32_packed / rv32_predecoded : 0.0);
   json.add("batch_parallel_jobs", static_cast<double>(kJobs));

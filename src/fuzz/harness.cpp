@@ -215,7 +215,8 @@ std::optional<std::string> check_art9_case(ByteReader& in) {
 
   // Functional kinds against the lazy reference at the randomized budget.
   const Art9Outcome reference = run_art9(sim::EngineKind::kLazy, image, budget);
-  for (sim::EngineKind kind : {sim::EngineKind::kFunctional, sim::EngineKind::kPacked}) {
+  for (sim::EngineKind kind :
+       {sim::EngineKind::kFunctional, sim::EngineKind::kPacked, sim::EngineKind::kSuperblock}) {
     if (auto d = diff_art9_functional(run_art9(kind, image, budget), reference)) {
       return std::string(sim::engine_kind_name(kind)) + " vs lazy: " + *d + " (" + tag.str() + ")";
     }
@@ -474,7 +475,8 @@ std::optional<std::string> check_raw_case(ByteReader& in) {
   // outcome, but it must be byte-identical across the functional kinds.
   const std::shared_ptr<const sim::DecodedImage> image = sim::decode(program);
   const Art9Outcome reference = run_art9(sim::EngineKind::kLazy, image, budget);
-  for (sim::EngineKind kind : {sim::EngineKind::kFunctional, sim::EngineKind::kPacked}) {
+  for (sim::EngineKind kind :
+       {sim::EngineKind::kFunctional, sim::EngineKind::kPacked, sim::EngineKind::kSuperblock}) {
     if (auto d = diff_art9_functional(run_art9(kind, image, budget), reference)) {
       return std::string(sim::engine_kind_name(kind)) + " vs lazy: " + *d + " (" + tag.str() + ")";
     }

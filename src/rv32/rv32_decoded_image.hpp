@@ -29,12 +29,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
 #include "rv32/rv32_program.hpp"
 
 namespace art9::rv32 {
+
+struct Rv32SuperblockPlan;  // rv32/rv32_superblock.hpp — the block translation tier
 
 /// Raised on rv32 architectural errors (fetch outside the program,
 /// out-of-range memory traffic, malformed encodings at load).
@@ -166,10 +169,18 @@ class Rv32DecodedImage {
 
   [[nodiscard]] uint32_t entry() const noexcept { return entry_; }
 
+  /// The superblock translation (straight-line blocks, fused macro-ops,
+  /// per-block retire deltas) for the rv32 superblock backend.  Built
+  /// lazily on first use (thread-safe); defined in rv32_superblock.cpp.
+  [[nodiscard]] const Rv32SuperblockPlan& superblocks() const;
+
  private:
   Rv32Program program_;
   uint32_t entry_;
   std::vector<Rv32DecodedOp> rows_;  // code rows + one trailing trap row
+  mutable std::once_flag superblocks_once_;
+  // shared_ptr: Rv32SuperblockPlan stays an incomplete type in this header.
+  mutable std::shared_ptr<const Rv32SuperblockPlan> superblocks_;
 };
 
 /// Decodes `program` into a shareable image.

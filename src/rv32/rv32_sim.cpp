@@ -7,41 +7,11 @@
 
 namespace art9::rv32 {
 
-namespace {
-
-/// Little-endian byte assembly over a bounds-checked range.
-uint32_t ram_load(const std::vector<uint8_t>& ram, uint32_t address, uint32_t size,
-                  const char* what) {
-  check_ram_range(address, size, ram.size(), what);
-  uint32_t v = 0;
-  for (uint32_t i = 0; i < size; ++i) v |= static_cast<uint32_t>(ram[address + i]) << (8 * i);
-  return v;
-}
-
-void ram_store(std::vector<uint8_t>& ram, uint32_t address, uint32_t value, uint32_t size,
-               const char* what) {
-  check_ram_range(address, size, ram.size(), what);
-  for (uint32_t i = 0; i < size; ++i) ram[address + i] = static_cast<uint8_t>(value >> (8 * i));
-}
-
-/// The reference datapath: host uint32_t registers and a byte RAM.
-struct HostDatapath {
-  std::array<uint32_t, 32>& regs;
-  std::vector<uint8_t>& ram;
-
-  [[nodiscard]] uint32_t read(unsigned reg) const { return regs[reg]; }
-  void write(unsigned reg, uint32_t value) {
-    if (reg != 0) regs[reg] = value;
-  }
-  [[nodiscard]] uint32_t load(uint32_t address, uint32_t size) const {
-    return ram_load(ram, address, size, "load");
-  }
-  void store(uint32_t address, uint32_t value, uint32_t size) {
-    ram_store(ram, address, value, size, "store");
-  }
-};
-
-}  // namespace
+// ram_load/ram_store/HostDatapath live in rv32_sim.hpp's detail namespace
+// (shared with the superblock backend).
+using detail::ram_load;
+using detail::ram_store;
+using detail::HostDatapath;
 
 // ---------------------------------------------------------------------------
 // Rv32Simulator — the pre-decoded reference model.

@@ -69,6 +69,40 @@ inline void check_ram_range(uint32_t address, uint32_t size, std::size_t ram_byt
 
 namespace detail {
 
+/// Little-endian byte assembly over a bounds-checked range.
+inline uint32_t ram_load(const std::vector<uint8_t>& ram, uint32_t address, uint32_t size,
+                         const char* what) {
+  check_ram_range(address, size, ram.size(), what);
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < size; ++i) v |= static_cast<uint32_t>(ram[address + i]) << (8 * i);
+  return v;
+}
+
+inline void ram_store(std::vector<uint8_t>& ram, uint32_t address, uint32_t value, uint32_t size,
+                      const char* what) {
+  check_ram_range(address, size, ram.size(), what);
+  for (uint32_t i = 0; i < size; ++i) ram[address + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+/// The reference datapath: host uint32_t registers and a byte RAM.
+/// Shared by Rv32Simulator and the superblock backend, so both dispatch
+/// loops execute through the same execute_rv32 semantics.
+struct HostDatapath {
+  std::array<uint32_t, 32>& regs;
+  std::vector<uint8_t>& ram;
+
+  [[nodiscard]] uint32_t read(unsigned reg) const { return regs[reg]; }
+  void write(unsigned reg, uint32_t value) {
+    if (reg != 0) regs[reg] = value;
+  }
+  [[nodiscard]] uint32_t load(uint32_t address, uint32_t size) const {
+    return ram_load(ram, address, size, "load");
+  }
+  void store(uint32_t address, uint32_t value, uint32_t size) {
+    ram_store(ram, address, value, size, "store");
+  }
+};
+
 /// Installs a scoped run() observer over `slot`, restoring whatever
 /// observer was previously installed (exception-safe) — so a temporary
 /// per-run observer never clobbers one set via set_observer().

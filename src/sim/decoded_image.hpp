@@ -44,6 +44,8 @@
 
 namespace art9::sim {
 
+struct SuperblockPlan;  // sim/superblock.hpp — the block translation tier
+
 /// Dense handler index for the pre-decoded dispatch switch.  The first 24
 /// values mirror isa::Opcode exactly (same numeric order); the two extra
 /// kinds make validity and the halt convention ordinary dispatch targets.
@@ -139,6 +141,12 @@ class DecodedImage {
   /// safe), so reference-only users never pay for the mirror table.
   [[nodiscard]] const PackedOp* packed_rows() const;
 
+  /// The superblock translation (straight-line blocks, fused macro-ops,
+  /// per-block stat deltas) for the superblock backend.  Built lazily on
+  /// first use (thread-safe), like the packed-op table; defined in
+  /// sim/superblock.cpp.
+  [[nodiscard]] const SuperblockPlan& superblocks() const;
+
   /// Row index of a balanced PC (same bijection as the memory hardware).
   [[nodiscard]] static std::size_t row_of(int64_t pc) noexcept {
     return TernaryMemory::row_of(pc);
@@ -159,6 +167,9 @@ class DecodedImage {
   std::vector<DecodedOp> rows_;
   mutable std::once_flag packed_once_;
   mutable std::vector<PackedOp> packed_rows_;
+  mutable std::once_flag superblocks_once_;
+  // shared_ptr: SuperblockPlan stays an incomplete type in this header.
+  mutable std::shared_ptr<const SuperblockPlan> superblocks_;
 };
 
 /// Decodes `program` into a shareable image.

@@ -5,9 +5,11 @@
 #include <utility>
 
 #include "rv32/packed_rv32_sim.hpp"
+#include "rv32/rv32_superblock.hpp"
 #include "sim/functional_sim.hpp"
 #include "sim/packed_pipeline.hpp"
 #include "sim/packed_sim.hpp"
+#include "sim/superblock.hpp"
 
 namespace art9::sim {
 
@@ -19,12 +21,16 @@ std::string_view engine_kind_name(EngineKind kind) noexcept {
       return "functional";
     case EngineKind::kPacked:
       return "packed";
+    case EngineKind::kSuperblock:
+      return "superblock";
     case EngineKind::kPipeline:
       return "pipeline";
     case EngineKind::kPackedPipeline:
       return "pipeline_packed";
     case EngineKind::kRv32:
       return "rv32";
+    case EngineKind::kRv32Superblock:
+      return "rv32_superblock";
     case EngineKind::kRv32Packed:
       return "rv32_packed";
   }
@@ -149,6 +155,23 @@ class PackedEngine final : public FunctionalEngineBase {
   void do_restore(const ArchState& state) override { sim_.restore(state); }
 
   PackedFunctionalSimulator sim_;
+};
+
+class SuperblockEngine final : public FunctionalEngineBase {
+ public:
+  explicit SuperblockEngine(std::shared_ptr<const DecodedImage> image)
+      : FunctionalEngineBase(std::move(image)), sim_(image_) {}
+
+  [[nodiscard]] EngineKind kind() const noexcept override { return EngineKind::kSuperblock; }
+
+ private:
+  bool do_step() override { return sim_.step(); }
+  SimStats do_run(uint64_t max_instructions) override { return sim_.run(max_instructions); }
+  [[nodiscard]] int64_t pc_now() const override { return sim_.pc(); }
+  [[nodiscard]] ArchState arch_snapshot() const override { return sim_.unpack_state(); }
+  void do_restore(const ArchState& state) override { sim_.restore(state); }
+
+  SuperblockSimulator sim_;
 };
 
 /// The cycle-accurate pipelines behind the same contract: step() is one
@@ -290,6 +313,8 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, std::shared_ptr<const Decod
       return std::make_unique<FunctionalEngine>(std::move(image));
     case EngineKind::kPacked:
       return std::make_unique<PackedEngine>(std::move(image));
+    case EngineKind::kSuperblock:
+      return std::make_unique<SuperblockEngine>(std::move(image));
     case EngineKind::kPipeline:
       return std::make_unique<PipelineEngine<PipelineSimulator, EngineKind::kPipeline>>(
           std::move(image), options);
@@ -298,6 +323,7 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, std::shared_ptr<const Decod
           PipelineEngine<PackedPipelineSimulator, EngineKind::kPackedPipeline>>(std::move(image),
                                                                                 options);
     case EngineKind::kRv32:
+    case EngineKind::kRv32Superblock:
     case EngineKind::kRv32Packed:
       throw std::invalid_argument("make_engine: rv32 kind needs an Rv32DecodedImage");
   }
@@ -311,6 +337,10 @@ std::unique_ptr<Engine> make_engine(EngineKind kind,
   switch (kind) {
     case EngineKind::kRv32:
       return std::make_unique<Rv32Engine<rv32::Rv32Simulator, EngineKind::kRv32>>(std::move(image),
+                                                                                  options);
+    case EngineKind::kRv32Superblock:
+      return std::make_unique<
+          Rv32Engine<rv32::Rv32SuperblockSimulator, EngineKind::kRv32Superblock>>(std::move(image),
                                                                                   options);
     case EngineKind::kRv32Packed:
       return std::make_unique<Rv32Engine<rv32::PackedRv32Simulator, EngineKind::kRv32Packed>>(

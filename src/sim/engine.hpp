@@ -5,11 +5,13 @@
 // PicoRV32/VexRiscv timing models of Tables II/III) are compared against
 // the translated ART-9 ternary core.  The facade therefore spans
 //
-//   * the five ART-9 kinds (lazy decode-on-fetch, pre-decoded dispatch,
-//     plane-packed SWAR, and the cycle-accurate pipeline on the reference
-//     or the plane-packed datapath), and
-//   * the two RV32 kinds (pre-decoded dispatch, and the PackedWord<21>
-//     plane-pair datapath of PackedRv32Simulator),
+//   * the six ART-9 kinds (lazy decode-on-fetch, pre-decoded dispatch,
+//     plane-packed SWAR, the superblock translation tier over it, and the
+//     cycle-accurate pipeline on the reference or the plane-packed
+//     datapath), and
+//   * the three RV32 kinds (pre-decoded dispatch, the superblock
+//     translation tier over it, and the PackedWord<21> plane-pair
+//     datapath of PackedRv32Simulator),
 //
 // behind one contract:
 //
@@ -56,34 +58,37 @@ enum class EngineKind : uint8_t {
   kLazy,            // seed decode-on-fetch loop (baseline for differential runs)
   kFunctional,      // pre-decoded dispatch fast path (golden model)
   kPacked,          // plane-packed SWAR datapath
+  kSuperblock,      // superblock translation tier over the packed datapath
   kPipeline,        // cycle-accurate 5-stage pipeline (reference datapath)
   kPackedPipeline,  // the same 5-stage control logic over plane-packed words
   kRv32,            // RV32 baseline, pre-decoded dispatch (reference model)
+  kRv32Superblock,  // RV32 superblock translation tier (fused macro-ops)
   kRv32Packed,      // RV32 on the ternary datapath: PackedWord<21> TRF + RAM
 };
 
 /// All kinds, in factory order — for generic sweeps (benches, conformance).
-[[nodiscard]] constexpr std::array<EngineKind, 7> all_engine_kinds() noexcept {
-  return {EngineKind::kLazy,           EngineKind::kFunctional, EngineKind::kPacked,
-          EngineKind::kPipeline,       EngineKind::kPackedPipeline,
-          EngineKind::kRv32,           EngineKind::kRv32Packed};
+[[nodiscard]] constexpr std::array<EngineKind, 9> all_engine_kinds() noexcept {
+  return {EngineKind::kLazy,           EngineKind::kFunctional,     EngineKind::kPacked,
+          EngineKind::kSuperblock,     EngineKind::kPipeline,       EngineKind::kPackedPipeline,
+          EngineKind::kRv32,           EngineKind::kRv32Superblock, EngineKind::kRv32Packed};
 }
 
 /// True for the kinds that execute RV32 programs (an Rv32DecodedImage);
 /// the others execute ART-9 programs (a DecodedImage).
 [[nodiscard]] constexpr bool is_rv32(EngineKind kind) noexcept {
-  return kind == EngineKind::kRv32 || kind == EngineKind::kRv32Packed;
+  return kind == EngineKind::kRv32 || kind == EngineKind::kRv32Superblock ||
+         kind == EngineKind::kRv32Packed;
 }
 
-/// The five ART-9 kinds, in factory order.
-[[nodiscard]] constexpr std::array<EngineKind, 5> art9_engine_kinds() noexcept {
-  return {EngineKind::kLazy, EngineKind::kFunctional, EngineKind::kPacked, EngineKind::kPipeline,
-          EngineKind::kPackedPipeline};
+/// The six ART-9 kinds, in factory order.
+[[nodiscard]] constexpr std::array<EngineKind, 6> art9_engine_kinds() noexcept {
+  return {EngineKind::kLazy,       EngineKind::kFunctional, EngineKind::kPacked,
+          EngineKind::kSuperblock, EngineKind::kPipeline,   EngineKind::kPackedPipeline};
 }
 
-/// The two RV32 kinds, in factory order.
-[[nodiscard]] constexpr std::array<EngineKind, 2> rv32_engine_kinds() noexcept {
-  return {EngineKind::kRv32, EngineKind::kRv32Packed};
+/// The three RV32 kinds, in factory order.
+[[nodiscard]] constexpr std::array<EngineKind, 3> rv32_engine_kinds() noexcept {
+  return {EngineKind::kRv32, EngineKind::kRv32Superblock, EngineKind::kRv32Packed};
 }
 
 /// True for the cycle-accurate kinds (step() is one clock, budgets are
@@ -92,9 +97,10 @@ enum class EngineKind : uint8_t {
   return kind == EngineKind::kPipeline || kind == EngineKind::kPackedPipeline;
 }
 
-/// Stable lower-case name ("lazy", "functional", "packed", "pipeline",
-/// "pipeline_packed", "rv32", "rv32_packed") — the vocabulary of
-/// art9-run's --engine= flag and the bench JSON keys.
+/// Stable lower-case name ("lazy", "functional", "packed", "superblock",
+/// "pipeline", "pipeline_packed", "rv32", "rv32_superblock",
+/// "rv32_packed") — the vocabulary of art9-run's --engine= flag and the
+/// bench JSON keys.
 [[nodiscard]] std::string_view engine_kind_name(EngineKind kind) noexcept;
 
 /// Inverse of engine_kind_name; nullopt for unknown names.

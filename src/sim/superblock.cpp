@@ -1,0 +1,569 @@
+#include "sim/superblock.hpp"
+
+#include <string>
+#include <utility>
+
+#include "sim/packed_alu.hpp"
+#include "ternary/packed.hpp"
+
+namespace art9::sim {
+
+using ternary::BctWord9;
+namespace pk = ternary::packed;
+
+namespace {
+
+/// Data-processing kinds with register-only operands (no immediate word),
+/// the fusable second halves of kLoadOp.
+[[nodiscard]] constexpr bool is_reg_alu(DispatchKind k) noexcept {
+  return static_cast<uint8_t>(k) <= static_cast<uint8_t>(DispatchKind::kComp);
+}
+
+/// The fused second op of kLoadOp: one shared register-only TALU cell
+/// (kMv..kComp — the immediate forms never fuse, so no operand word).
+/// Must stay in lock-step with packed_alu.hpp / the packed run() handlers.
+[[nodiscard]] BctWord9 reg_alu(DispatchKind kind, const BctWord9& a, const BctWord9& b) {
+  switch (kind) {
+    case DispatchKind::kMv:
+      return b;
+    case DispatchKind::kPti:
+      return b.pti();
+    case DispatchKind::kNti:
+      return b.nti();
+    case DispatchKind::kSti:
+      return b.sti();
+    case DispatchKind::kAnd:
+      return BctWord9::tand(a, b);
+    case DispatchKind::kOr:
+      return BctWord9::tor(a, b);
+    case DispatchKind::kXor:
+      return BctWord9::txor(a, b);
+    case DispatchKind::kAdd:
+      return pk::add(a, b);
+    case DispatchKind::kSub:
+      return pk::sub(a, b);
+    case DispatchKind::kSr:
+      return a.shr(pk::shift_amount(b));
+    case DispatchKind::kSl:
+      return a.shl(pk::shift_amount(b));
+    case DispatchKind::kComp:
+      return pk::comp_word(a, b);
+    default:
+      throw SimError("superblock: non-register kind in fused ALU slot");
+  }
+}
+
+// The first 18 SuperOpKind values mirror DispatchKind so unfused body
+// translation is a cast.
+static_assert(static_cast<uint8_t>(SuperOpKind::kMv) == static_cast<uint8_t>(DispatchKind::kMv) &&
+                  static_cast<uint8_t>(SuperOpKind::kLi) ==
+                      static_cast<uint8_t>(DispatchKind::kLi),
+              "SuperOpKind must mirror DispatchKind's data-processing kinds");
+
+/// Copies the operand fields a body/terminator slot shares with its
+/// source packed row.
+[[nodiscard]] SuperOp from_packed(const PackedOp& p, uint32_t row) noexcept {
+  SuperOp s;
+  s.word_neg = p.word_neg;
+  s.word_pos = p.word_pos;
+  s.imm = p.imm;
+  s.ta = p.ta;
+  s.tb = p.tb;
+  s.bcond = p.bcond;
+  s.pc = p.pc;
+  s.self_row = static_cast<uint16_t>(row);
+  s.next_row = p.next_row;
+  s.taken_row = p.taken_row;
+  return s;
+}
+
+/// Fused LUI+LI / LUI+ADDI result planes, computed at translation time.
+/// LI keeps the LUI result's high four trits and inserts imm5 (the LUI
+/// word's low five trits are zero, so the planes simply OR); ADDI is a
+/// value-domain add of the LUI result and the numeric immediate.
+[[nodiscard]] BctWord9 fuse_const(const PackedOp& lui, const PackedOp& second) {
+  if (second.kind == DispatchKind::kLi) {
+    return BctWord9::from_planes_unchecked(lui.word_neg | second.word_neg,
+                                           lui.word_pos | second.word_pos);
+  }
+  return pk::add_int(lui.word(), second.imm);
+}
+
+[[nodiscard]] std::shared_ptr<const SuperblockPlan> build_plan(const PackedOp* rows,
+                                                               std::size_t n_rows) {
+  auto plan = std::make_shared<SuperblockPlan>();
+  plan->blocks.resize(n_rows);
+  plan->ops.reserve(n_rows + n_rows / 4);
+
+  for (std::size_t r0 = 0; r0 < n_rows; ++r0) {
+    Superblock& blk = plan->blocks[r0];
+    blk.first_op = static_cast<uint32_t>(plan->ops.size());
+    uint32_t consumed = 0;  // source instructions in the body so far
+    uint32_t row = static_cast<uint32_t>(r0);
+    for (;;) {
+      const PackedOp& p = rows[row];
+
+      // Terminators end the scan; their retire contribution is the part
+      // of blk.retires the budget clamp and the batched commit see.
+      if (p.kind == DispatchKind::kBeq || p.kind == DispatchKind::kBne) {
+        SuperOp t = from_packed(p, row);
+        t.kind = SuperOpKind::kBranch;
+        if (p.kind == DispatchKind::kBne) t.flags |= SuperOp::kFlagBne;
+        plan->ops.push_back(t);
+        blk.retires += 1;
+        break;
+      }
+      if (p.kind == DispatchKind::kJal) {
+        SuperOp t = from_packed(p, row);
+        t.kind = SuperOpKind::kJal;
+        plan->ops.push_back(t);
+        blk.retires += 1;
+        break;
+      }
+      if (p.kind == DispatchKind::kJalr) {
+        SuperOp t = from_packed(p, row);
+        t.kind = SuperOpKind::kJalr;
+        plan->ops.push_back(t);
+        blk.retires += 1;  // the halting self-jump subtracts this at run time
+        break;
+      }
+      if (p.kind == DispatchKind::kHalt) {
+        SuperOp t = from_packed(p, row);
+        t.kind = SuperOpKind::kHalt;
+        plan->ops.push_back(t);
+        break;
+      }
+      if (p.kind == DispatchKind::kInvalid) {
+        SuperOp t = from_packed(p, row);
+        t.kind = SuperOpKind::kTrap;
+        plan->ops.push_back(t);
+        break;
+      }
+      if (consumed >= SuperblockPlan::kMaxBlockInstructions) {
+        // Length cap: chain to the block starting at this (unconsumed) row.
+        SuperOp t;
+        t.kind = SuperOpKind::kFallthrough;
+        t.pc = p.pc;
+        t.self_row = static_cast<uint16_t>(row);
+        t.next_row = static_cast<uint16_t>(row);
+        plan->ops.push_back(t);
+        break;
+      }
+
+      const PackedOp& q = rows[p.next_row];
+
+      // COMP + BEQ/BNE on the comparison result: one fused terminator.
+      if (p.kind == DispatchKind::kComp &&
+          (q.kind == DispatchKind::kBeq || q.kind == DispatchKind::kBne) && q.tb == p.ta) {
+        SuperOp t = from_packed(q, p.next_row);
+        t.kind = SuperOpKind::kCmpBranch;
+        t.ta = p.ta;  // comp writes ta; the branch tests the same register
+        t.tb = p.tb;
+        if (q.kind == DispatchKind::kBne) t.flags |= SuperOp::kFlagBne;
+        plan->ops.push_back(t);
+        blk.retires += 2;
+        ++plan->fused_cmp_branch;
+        break;
+      }
+
+      if (consumed + 2 <= SuperblockPlan::kMaxBlockInstructions) {
+        // LUI + LI/ADDI over the same register: the constant is fully
+        // static — one kConst with precomputed planes.
+        if (p.kind == DispatchKind::kLui &&
+            (q.kind == DispatchKind::kLi || q.kind == DispatchKind::kAddi) && q.ta == p.ta) {
+          SuperOp s = from_packed(p, row);
+          s.kind = SuperOpKind::kConst;
+          const BctWord9 value = fuse_const(p, q);
+          s.word_neg = static_cast<uint16_t>(value.neg_plane());
+          s.word_pos = static_cast<uint16_t>(value.pos_plane());
+          plan->ops.push_back(s);
+          blk.retires += 2;
+          consumed += 2;
+          row = q.next_row;
+          ++plan->fused_const;
+          continue;
+        }
+        // LOAD + register ALU op consuming the loaded value: one dispatch.
+        if (p.kind == DispatchKind::kLoad && is_reg_alu(q.kind) && q.tb == p.ta) {
+          SuperOp s = from_packed(p, row);
+          s.kind = SuperOpKind::kLoadOp;
+          s.kind2 = static_cast<uint8_t>(q.kind);
+          s.ta2 = q.ta;
+          s.tb2 = q.tb;
+          plan->ops.push_back(s);
+          blk.retires += 2;
+          blk.mem_reads += 1;
+          consumed += 2;
+          row = q.next_row;
+          ++plan->fused_load_op;
+          continue;
+        }
+      }
+
+      // Plain body op.
+      SuperOp s = from_packed(p, row);
+      if (p.kind == DispatchKind::kLoad) {
+        s.kind = SuperOpKind::kLoad;
+        blk.mem_reads += 1;
+      } else if (p.kind == DispatchKind::kStore) {
+        s.kind = SuperOpKind::kStore;
+        blk.mem_writes += 1;
+      } else {
+        s.kind = static_cast<SuperOpKind>(p.kind);  // kMv..kLi mirror
+      }
+      plan->ops.push_back(s);
+      blk.retires += 1;
+      consumed += 1;
+      row = p.next_row;
+    }
+    // Entry clamp: a halt/trap terminator retires nothing but still needs
+    // one budget slot to be *attempted* — the golden model reports
+    // kMaxCycles when the budget dies exactly at the body's end.
+    const SuperOpKind term = plan->ops.back().kind;
+    blk.min_budget =
+        blk.retires +
+        ((term == SuperOpKind::kHalt || term == SuperOpKind::kTrap) ? 1 : 0);
+  }
+  plan->ops.shrink_to_fit();
+  return plan;
+}
+
+}  // namespace
+
+const SuperblockPlan& DecodedImage::superblocks() const {
+  std::call_once(superblocks_once_,
+                 [this] { superblocks_ = build_plan(packed_rows(), rows()); });
+  return *superblocks_;
+}
+
+// ---------------------------------------------------------------------------
+// SuperblockSimulator.
+// ---------------------------------------------------------------------------
+
+SuperblockSimulator::SuperblockSimulator(const isa::Program& program)
+    : SuperblockSimulator(decode(program)) {}
+
+SuperblockSimulator::SuperblockSimulator(std::shared_ptr<const DecodedImage> image)
+    : image_(std::move(image)), prows_(image_->packed_rows()), plan_(&image_->superblocks()) {
+  for (const isa::DataWord& d : image_->program().data) {
+    tdm_.poke(d.address, BctWord9::encode(d.value));
+  }
+  pc_ = image_->program().entry;
+  row_ = DecodedImage::row_of(pc_);
+}
+
+// The per-instruction slow path: the observed-run and partial-block
+// semantics, kept in lock-step with PackedFunctionalSimulator::step()
+// (the differential suite runs both).
+bool SuperblockSimulator::step() {
+  const PackedOp& op = prows_[row_];
+  BctWord9* const trf = trf_.data();
+  const std::size_t ta = op.ta;
+  const std::size_t tb = op.tb;
+  switch (op.kind) {
+    case DispatchKind::kBeq:
+    case DispatchKind::kBne: {
+      const bool eq = trf[tb].lst_value() == op.bcond;
+      const bool taken = op.kind == DispatchKind::kBeq ? eq : !eq;
+      if (taken) {
+        pc_ = op.taken_pc;
+        row_ = op.taken_row;
+      } else {
+        pc_ = op.next_pc;
+        row_ = op.next_row;
+      }
+      return true;
+    }
+    case DispatchKind::kHalt:
+      return false;
+    case DispatchKind::kJal:
+      trf[ta] = op.word();  // the pre-packed link
+      pc_ = op.taken_pc;
+      row_ = op.taken_row;
+      return true;
+    case DispatchKind::kJalr: {
+      const int32_t target = pk::wrap(pk::to_int(trf[tb]) + op.imm);
+      if (target == op.pc) return false;  // self-jump = halt (no link write)
+      trf[ta] = op.word();
+      pc_ = target;
+      row_ = pk::row_of(target);
+      return true;
+    }
+    case DispatchKind::kLoad: {
+      const int32_t addr = pk::to_int(trf[tb]) + op.imm;
+      trf[ta] = tdm_.read_row(pk::row_of(addr));
+      break;
+    }
+    case DispatchKind::kStore: {
+      const int32_t addr = pk::to_int(trf[tb]) + op.imm;
+      tdm_.write_row(pk::row_of(addr), trf[ta]);
+      break;
+    }
+    case DispatchKind::kInvalid:
+      throw SimError("fetch from uninitialised TIM address " + std::to_string(op.pc));
+    default:
+      trf[ta] = packed_alu(op, trf[ta], trf[tb]);
+      break;
+  }
+  pc_ = op.next_pc;
+  row_ = op.next_row;
+  return true;
+}
+
+SimStats SuperblockSimulator::run(uint64_t max_instructions) {
+  bool halted = false;
+  uint64_t executed = run_blocks(max_instructions, halted);
+  // Partial-block tail: the fast loop only enters a block when the whole
+  // block fits the remaining budget; what is left (at most one block's
+  // worth of instructions) is stepped exactly.
+  while (!halted && executed < max_instructions) {
+    if (!step()) {
+      halted = true;
+      break;
+    }
+    ++executed;
+  }
+  SimStats stats;
+  stats.instructions = executed;
+  stats.cycles = executed;
+  stats.halt = halted ? HaltReason::kHalted : HaltReason::kMaxCycles;
+  return stats;
+}
+
+// Threaded dispatch (computed goto) is a GNU extension; other compilers
+// fall back to the portable step() loop, as in packed_sim.cpp.
+#if defined(__GNUC__) || defined(__clang__)
+#define ART9_SB_THREADED_DISPATCH 1
+#endif
+
+#if ART9_SB_THREADED_DISPATCH
+
+uint64_t SuperblockSimulator::run_blocks(uint64_t max_instructions, bool& halted) {
+  // Block-chained threaded dispatch: the budget is checked once per
+  // *block* (entry is clamped so a block never half-fits), body handlers
+  // advance a flat op pointer instead of chasing rows, and the
+  // terminator commits the block's precomputed retire/TDM deltas in one
+  // shot before jumping to the successor block.
+  static const void* const kHandlers[] = {
+      &&h_mv,     &&h_pti,       &&h_nti,  &&h_sti,        &&h_and,  &&h_or,
+      &&h_xor,    &&h_add,       &&h_sub,  &&h_sr,         &&h_sl,   &&h_comp,
+      &&h_andi,   &&h_addi,      &&h_sri,  &&h_sli,        &&h_lui,  &&h_li,
+      &&h_load,   &&h_store,     &&h_const, &&h_load_op,
+      &&h_branch, &&h_cmp_branch, &&h_jal, &&h_jalr,
+      &&h_fallthrough, &&h_halt, &&h_trap,
+  };
+  static_assert(sizeof(kHandlers) / sizeof(kHandlers[0]) ==
+                    static_cast<std::size_t>(SuperOpKind::kTrap) + 1,
+                "handler table must cover every SuperOpKind");
+
+  const Superblock* const blocks = plan_->blocks.data();
+  const SuperOp* const ops = plan_->ops.data();
+  const PackedOp* const rows = prows_;
+  BctWord9* const trf = trf_.data();
+  BctWord9* const mem = tdm_.data();
+  uint32_t row = static_cast<uint32_t>(row_);
+  uint64_t executed = 0;
+  uint64_t mem_reads = 0;
+  uint64_t mem_writes = 0;
+  const Superblock* blk;
+  const SuperOp* op;
+
+// Enter the block at `r`: exit on budget exhaustion; bail to the
+// per-instruction tail when the block no longer fits the remainder
+// (keeping run() exact, fused intermediate states included).
+#define ART9_SB_ENTER(r)                                        \
+  do {                                                          \
+    row = (r);                                                  \
+    if (executed >= max_instructions) goto done;                \
+    blk = blocks + row;                                            \
+    if (max_instructions - executed < blk->min_budget) goto done;  \
+    op = ops + blk->first_op;                                   \
+    goto* kHandlers[static_cast<uint8_t>(op->kind)];            \
+  } while (0)
+#define ART9_SB_NEXT() \
+  ++op;                \
+  goto* kHandlers[static_cast<uint8_t>(op->kind)]
+// Batched per-block accounting, committed once by each terminator.
+#define ART9_SB_RETIRE()       \
+  executed += blk->retires;    \
+  mem_reads += blk->mem_reads; \
+  mem_writes += blk->mem_writes
+
+  ART9_SB_ENTER(row);
+
+h_mv:
+  trf[op->ta] = trf[op->tb];
+  ART9_SB_NEXT();
+h_pti:
+  trf[op->ta] = trf[op->tb].pti();
+  ART9_SB_NEXT();
+h_nti:
+  trf[op->ta] = trf[op->tb].nti();
+  ART9_SB_NEXT();
+h_sti:
+  trf[op->ta] = trf[op->tb].sti();
+  ART9_SB_NEXT();
+h_and:
+  trf[op->ta] = BctWord9::tand(trf[op->ta], trf[op->tb]);
+  ART9_SB_NEXT();
+h_or:
+  trf[op->ta] = BctWord9::tor(trf[op->ta], trf[op->tb]);
+  ART9_SB_NEXT();
+h_xor:
+  trf[op->ta] = BctWord9::txor(trf[op->ta], trf[op->tb]);
+  ART9_SB_NEXT();
+h_add:
+  trf[op->ta] = pk::add(trf[op->ta], trf[op->tb]);
+  ART9_SB_NEXT();
+h_sub:
+  trf[op->ta] = pk::sub(trf[op->ta], trf[op->tb]);
+  ART9_SB_NEXT();
+h_sr:
+  trf[op->ta] = trf[op->ta].shr(pk::shift_amount(trf[op->tb]));
+  ART9_SB_NEXT();
+h_sl:
+  trf[op->ta] = trf[op->ta].shl(pk::shift_amount(trf[op->tb]));
+  ART9_SB_NEXT();
+h_comp:
+  trf[op->ta] = pk::comp_word(trf[op->ta], trf[op->tb]);
+  ART9_SB_NEXT();
+h_andi:
+  trf[op->ta] = BctWord9::tand(trf[op->ta], op->word());
+  ART9_SB_NEXT();
+h_addi:
+  trf[op->ta] = pk::add_int(trf[op->ta], op->imm);
+  ART9_SB_NEXT();
+h_sri:
+  trf[op->ta] = trf[op->ta].shr(static_cast<unsigned>(static_cast<int>(op->imm)));
+  ART9_SB_NEXT();
+h_sli:
+  trf[op->ta] = trf[op->ta].shl(static_cast<unsigned>(static_cast<int>(op->imm)));
+  ART9_SB_NEXT();
+h_lui:
+  trf[op->ta] = op->word();
+  ART9_SB_NEXT();
+h_li: {
+  constexpr uint32_t kHigh4 = BctWord9::kMask & ~0x1Fu;
+  trf[op->ta] = BctWord9::from_planes_unchecked((trf[op->ta].neg_plane() & kHigh4) | op->word_neg,
+                                                (trf[op->ta].pos_plane() & kHigh4) | op->word_pos);
+  ART9_SB_NEXT();
+}
+h_load: {
+  const int32_t addr = pk::to_int(trf[op->tb]) + op->imm;
+  trf[op->ta] = mem[pk::row_of(addr)];  // counter delta batched per block
+  ART9_SB_NEXT();
+}
+h_store: {
+  const int32_t addr = pk::to_int(trf[op->tb]) + op->imm;
+  mem[pk::row_of(addr)] = trf[op->ta];
+  ART9_SB_NEXT();
+}
+h_const:
+  trf[op->ta] = op->word();  // the fused LUI+LI/ADDI result, precomputed
+  ART9_SB_NEXT();
+h_load_op: {
+  const int32_t addr = pk::to_int(trf[op->tb]) + op->imm;
+  trf[op->ta] = mem[pk::row_of(addr)];
+  trf[op->ta2] = reg_alu(static_cast<DispatchKind>(op->kind2), trf[op->ta2], trf[op->tb2]);
+  ART9_SB_NEXT();
+}
+h_branch: {
+  const bool eq = trf[op->tb].lst_value() == op->bcond;
+  const bool taken = (op->flags & SuperOp::kFlagBne) ? !eq : eq;
+  ART9_SB_RETIRE();
+  ART9_SB_ENTER(taken ? op->taken_row : op->next_row);
+}
+h_cmp_branch: {
+  const BctWord9 r = pk::comp_word(trf[op->ta], trf[op->tb]);
+  trf[op->ta] = r;
+  const bool eq = r.lst_value() == op->bcond;
+  const bool taken = (op->flags & SuperOp::kFlagBne) ? !eq : eq;
+  ART9_SB_RETIRE();
+  ART9_SB_ENTER(taken ? op->taken_row : op->next_row);
+}
+h_jal:
+  trf[op->ta] = op->word();  // the pre-packed link
+  ART9_SB_RETIRE();
+  ART9_SB_ENTER(op->taken_row);
+h_jalr: {
+  const int32_t target = pk::wrap(pk::to_int(trf[op->tb]) + op->imm);
+  if (target == op->pc) {
+    // Self-jump = halt: it never retires, so back its entry-clamp share
+    // out of the batched count.
+    executed += blk->retires - 1;
+    mem_reads += blk->mem_reads;
+    mem_writes += blk->mem_writes;
+    row = op->self_row;
+    halted = true;
+    goto done;
+  }
+  trf[op->ta] = op->word();
+  ART9_SB_RETIRE();
+  ART9_SB_ENTER(static_cast<uint32_t>(pk::row_of(target)));
+}
+h_fallthrough:
+  ART9_SB_RETIRE();
+  ART9_SB_ENTER(op->next_row);
+h_halt:
+  ART9_SB_RETIRE();  // body only; the halt pseudo-op never retires
+  row = op->self_row;
+  halted = true;
+  goto done;
+h_trap:
+  ART9_SB_RETIRE();  // the body did execute — commit before throwing
+  row_ = op->self_row;
+  pc_ = op->pc;
+  tdm_.add_counters(mem_reads, mem_writes);
+  throw SimError("fetch from uninitialised TIM address " + std::to_string(op->pc));
+
+done:
+
+#undef ART9_SB_ENTER
+#undef ART9_SB_NEXT
+#undef ART9_SB_RETIRE
+
+  row_ = row;
+  pc_ = rows[row].pc;
+  tdm_.add_counters(mem_reads, mem_writes);
+  return executed;
+}
+
+#else  // !ART9_SB_THREADED_DISPATCH — portable fallback: defer everything
+       // to run()'s exact per-instruction tail loop.
+
+uint64_t SuperblockSimulator::run_blocks(uint64_t, bool&) { return 0; }
+
+#endif  // ART9_SB_THREADED_DISPATCH
+
+ArchState SuperblockSimulator::unpack_state() const {
+  ArchState out;
+  for (int i = 0; i < isa::kNumRegisters; ++i) {
+    out.trf.write(i, trf_[static_cast<std::size_t>(i)].decode());
+  }
+  out.tdm = tdm_.unpack();
+  out.pc = pc_;
+  return out;
+}
+
+void SuperblockSimulator::restore(const ArchState& state) {
+  for (int i = 0; i < isa::kNumRegisters; ++i) {
+    trf_[static_cast<std::size_t>(i)] = BctWord9::encode(state.trf.read(i));
+  }
+  tdm_ = PackedMemory{};
+  for (int64_t addr = -ternary::Word9::kMaxValue; addr <= ternary::Word9::kMaxValue; ++addr) {
+    const ternary::Word9& w = state.tdm.peek(addr);
+    if (w == ternary::Word9{}) continue;  // zero rows match the default
+    tdm_.poke(addr, BctWord9::encode(w));
+  }
+  tdm_.set_counters(state.tdm.reads(), state.tdm.writes());
+  pc_ = state.pc;
+  row_ = DecodedImage::row_of(pc_);
+}
+
+ternary::Word9 SuperblockSimulator::reg(int index) const {
+  return trf_.at(static_cast<std::size_t>(index)).decode();
+}
+
+int64_t SuperblockSimulator::reg_int(int index) const { return reg(index).to_int(); }
+
+}  // namespace art9::sim

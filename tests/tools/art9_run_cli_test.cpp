@@ -58,4 +58,21 @@ TEST(Art9RunCli, MissingInputFileIsALoadError) {
   EXPECT_EQ(run(std::string(ART9_RUN_BIN) + " /nonexistent/prog.t9").exit_code, 1);
 }
 
+TEST(Art9RunCli, SuperblockEngineNamesParse) {
+  // Both superblock kinds must be accepted by --engine= (exit 1 = the
+  // parse succeeded and only the input file load failed; an unknown
+  // engine would exit 2 before touching the file).
+  EXPECT_EQ(run(std::string(ART9_RUN_BIN) + " --engine=superblock /nonexistent/prog.t9").exit_code,
+            1);
+  EXPECT_EQ(
+      run(std::string(ART9_RUN_BIN) + " --engine=rv32_superblock /nonexistent/prog.s").exit_code,
+      1);
+}
+
+TEST(Art9RunCli, HelpDocumentsTheSuperblockEngines) {
+  const RunOutput help = run(std::string(ART9_RUN_BIN) + " --help");
+  EXPECT_NE(help.stdout_text.find("superblock"), std::string::npos);
+  EXPECT_NE(help.stdout_text.find("rv32_superblock"), std::string::npos);
+}
+
 }  // namespace

@@ -4,12 +4,12 @@
 // (and exposes the service's deadline / checkpoint-retry / fault-drill
 // controls).
 //
-//   art9-run program.t9 [--engine=lazy|functional|packed|pipeline|pipeline_packed]
+//   art9-run program.t9 [--engine=lazy|functional|packed|superblock|pipeline|pipeline_packed]
 //            [--max-cycles N] [--dump-regs] [--dump-mem LO HI]
 //            [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]
 //            [--deadline-ms N] [--checkpoint-every N] [--retries N]
 //            [--fault-at N] [--fault-seed N]
-//   art9-run program.s  --engine=rv32|rv32_packed [--max-cycles N]
+//   art9-run program.s  --engine=rv32|rv32_superblock|rv32_packed [--max-cycles N]
 //            [--dump-regs] [--dump-mem LO HI] [...same service flags]
 //
 // ART-9 engines consume a .t9 image; the rv32 engines consume RV32I(+M)
@@ -40,15 +40,19 @@ namespace {
 int usage(bool help = false) {
   std::fprintf(help ? stdout : stderr,
                "usage: art9-run <program.t9>\n"
-               "                [--engine=lazy|functional|packed|pipeline|pipeline_packed]\n"
+               "                [--engine=lazy|functional|packed|superblock|pipeline|\n"
+               "                           pipeline_packed]\n"
                "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
                "                [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]\n"
                "                [--deadline-ms N] [--checkpoint-every N] [--retries N]\n"
                "                [--fault-at N] [--fault-seed N]\n"
-               "       art9-run <program.s> --engine=rv32|rv32_packed\n"
+               "       art9-run <program.s> --engine=rv32|rv32_superblock|rv32_packed\n"
                "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
                "engine defaults to pipeline (the cycle-accurate model); pipeline_packed is\n"
-               "the same 5-stage model on plane-packed words; --trace and the\n"
+               "the same 5-stage model on plane-packed words; superblock and\n"
+               "rv32_superblock run the block translation tier (fused macro-ops,\n"
+               "block-chained dispatch) over the fastest functional datapath of each\n"
+               "ISA; --trace and the\n"
                "microarchitecture switches apply to the pipeline engines only.\n"
                "The rv32 engines assemble RV32I(+M) source (rv32_packed holds its words\n"
                "as 21-trit plane pairs) and dump x-registers / RAM words.\n"
