@@ -34,6 +34,7 @@
 #include "rv32/rv32_sim.hpp"
 #include "serve/server.hpp"
 #include "sim/engine.hpp"
+#include "sim/fleet.hpp"
 #include "sim/service.hpp"
 #include "xlat/framework.hpp"
 
@@ -208,6 +209,35 @@ double engine_rate(sim::EngineKind kind) {
   });
 }
 
+/// Aggregate fleet throughput: `lanes` Dhrystone machines advanced to
+/// completion by one bit-sliced simulator, instructions summed over all
+/// lanes — the SIMD-across-scenarios number the fleet tier exists for.
+double fleet_rate(unsigned lanes) {
+  return bench::median_rate([&] {
+    sim::FleetSimulator fleet(dhrystone_image(), lanes);
+    const std::vector<uint64_t> budgets(lanes, 100'000'000);
+    uint64_t instructions = 0;
+    for (const sim::FleetSimulator::LaneProgress& p : fleet.advance(budgets)) {
+      instructions += p.instructions;
+    }
+    return instructions;
+  });
+}
+
+/// Cohort scheduling end to end: `jobs` same-image fleet jobs packed
+/// transparently by run_all — measured in jobs resolved per second.
+double cohort_jobs_rate(unsigned threads, int jobs) {
+  return bench::median_rate([&] {
+    sim::SimulationService service(threads);
+    for (int i = 0; i < jobs; ++i) service.add(dhrystone_image(), sim::EngineKind::kFleet);
+    uint64_t completed = 0;
+    for (const sim::JobResult& r : service.run_all()) {
+      completed += r.outcome == sim::JobOutcome::kCompleted ? 1 : 0;
+    }
+    return completed;
+  });
+}
+
 double batch_rate(unsigned threads, int jobs) {
   return bench::median_rate([&] {
     sim::SimulationService service(threads);
@@ -345,9 +375,25 @@ int run_json_report(const std::string& path) {
   bench::note("rv32 superblk / predec: x" + std::to_string(rv32_superblock / rv32_predecoded));
   bench::note("rv32 packed / predec:   x" + std::to_string(rv32_packed / rv32_predecoded));
 
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  bench::heading("fleet — bit-sliced cohort, 32 Dhrystone machines per plane word");
+  constexpr unsigned kFleetLanes = sim::FleetSimulator::kMaxLanes;
+  const double fleet_single = engine_rate(sim::EngineKind::kFleet);
+  const double fleet = fleet_rate(kFleetLanes);
+  constexpr int kCohortJobs = 64;
+  const double cohort_jobs = cohort_jobs_rate(hw, kCohortJobs);
+  bench::note("fleet (1 lane):         " + std::to_string(fleet_single / 1e6) + " M steps/s");
+  bench::note("fleet (" + std::to_string(kFleetLanes) +
+              " lanes, aggregate): " + std::to_string(fleet / 1e6) + " M steps/s");
+  bench::note("fleet / packed:         x" + std::to_string(packed > 0.0 ? fleet / packed : 0.0));
+  bench::note("fleet / superblock:     x" +
+              std::to_string(superblock > 0.0 ? fleet / superblock : 0.0));
+  bench::note("cohort round trips:     " + std::to_string(cohort_jobs) + " jobs/s (" +
+              std::to_string(kCohortJobs) + " Dhrystones via run_all packing)");
+
   bench::heading("batch_parallel — SimulationService, 8 packed Dhrystone jobs");
   constexpr int kJobs = 8;
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const double batch1 = batch_rate(1, kJobs);
   const double batch2 = batch_rate(2, kJobs);
   const double batchN = hw > 2 ? batch_rate(hw, kJobs) : (hw == 2 ? batch2 : batch1);
@@ -412,6 +458,14 @@ int run_json_report(const std::string& path) {
            rv32_predecoded > 0.0 ? rv32_superblock / rv32_predecoded : 0.0);
   json.add("rv32_packed_vs_predecoded",
            rv32_predecoded > 0.0 ? rv32_packed / rv32_predecoded : 0.0);
+  json.add("host_hw_concurrency", static_cast<double>(hw));
+  json.add("fleet_lanes", static_cast<double>(kFleetLanes));
+  json.add("fleet_steps_per_sec", fleet);
+  json.add("fleet_single_lane_steps_per_sec", fleet_single);
+  json.add("fleet_vs_packed", packed > 0.0 ? fleet / packed : 0.0);
+  json.add("fleet_vs_superblock", superblock > 0.0 ? fleet / superblock : 0.0);
+  json.add("cohort_jobs", static_cast<double>(kCohortJobs));
+  json.add("cohort_jobs_per_sec", cohort_jobs);
   json.add("batch_parallel_jobs", static_cast<double>(kJobs));
   json.add("batch_parallel_engine", "packed");
   json.add("batch_threads_1_steps_per_sec", batch1);

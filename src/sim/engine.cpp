@@ -6,6 +6,7 @@
 
 #include "rv32/packed_rv32_sim.hpp"
 #include "rv32/rv32_superblock.hpp"
+#include "sim/fleet.hpp"
 #include "sim/functional_sim.hpp"
 #include "sim/packed_pipeline.hpp"
 #include "sim/packed_sim.hpp"
@@ -23,6 +24,8 @@ std::string_view engine_kind_name(EngineKind kind) noexcept {
       return "packed";
     case EngineKind::kSuperblock:
       return "superblock";
+    case EngineKind::kFleet:
+      return "fleet";
     case EngineKind::kPipeline:
       return "pipeline";
     case EngineKind::kPackedPipeline:
@@ -174,6 +177,28 @@ class SuperblockEngine final : public FunctionalEngineBase {
   SuperblockSimulator sim_;
 };
 
+/// The bit-sliced fleet backend through the single-machine contract:
+/// lane 0 of a one-lane FleetSimulator.  The multi-lane surface
+/// (advance(), cohorts) is what SimulationService::submit_cohort rides;
+/// this facade is what keeps kFleet inside the conformance suite's
+/// bit-identity net.
+class FleetEngine final : public FunctionalEngineBase {
+ public:
+  explicit FleetEngine(std::shared_ptr<const DecodedImage> image)
+      : FunctionalEngineBase(std::move(image)), sim_(image_, 1) {}
+
+  [[nodiscard]] EngineKind kind() const noexcept override { return EngineKind::kFleet; }
+
+ private:
+  bool do_step() override { return sim_.step(); }
+  SimStats do_run(uint64_t max_instructions) override { return sim_.run(max_instructions); }
+  [[nodiscard]] int64_t pc_now() const override { return sim_.pc(); }
+  [[nodiscard]] ArchState arch_snapshot() const override { return sim_.unpack_lane(0); }
+  void do_restore(const ArchState& state) override { sim_.restore_lane(0, state); }
+
+  FleetSimulator sim_;
+};
+
 /// The cycle-accurate pipelines behind the same contract: step() is one
 /// clock, run()'s budget is a cycle budget, and stats carry the full
 /// microarchitectural accounting.  The retired-instruction observer rides
@@ -315,6 +340,8 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, std::shared_ptr<const Decod
       return std::make_unique<PackedEngine>(std::move(image));
     case EngineKind::kSuperblock:
       return std::make_unique<SuperblockEngine>(std::move(image));
+    case EngineKind::kFleet:
+      return std::make_unique<FleetEngine>(std::move(image));
     case EngineKind::kPipeline:
       return std::make_unique<PipelineEngine<PipelineSimulator, EngineKind::kPipeline>>(
           std::move(image), options);

@@ -64,13 +64,15 @@ enum class EngineKind : uint8_t {
   kRv32,            // RV32 baseline, pre-decoded dispatch (reference model)
   kRv32Superblock,  // RV32 superblock translation tier (fused macro-ops)
   kRv32Packed,      // RV32 on the ternary datapath: PackedWord<21> TRF + RAM
+  kFleet,           // bit-sliced fleet: 32 ART-9 machines per plane word
 };
 
 /// All kinds, in factory order — for generic sweeps (benches, conformance).
-[[nodiscard]] constexpr std::array<EngineKind, 9> all_engine_kinds() noexcept {
+[[nodiscard]] constexpr std::array<EngineKind, 10> all_engine_kinds() noexcept {
   return {EngineKind::kLazy,           EngineKind::kFunctional,     EngineKind::kPacked,
-          EngineKind::kSuperblock,     EngineKind::kPipeline,       EngineKind::kPackedPipeline,
-          EngineKind::kRv32,           EngineKind::kRv32Superblock, EngineKind::kRv32Packed};
+          EngineKind::kSuperblock,     EngineKind::kFleet,          EngineKind::kPipeline,
+          EngineKind::kPackedPipeline, EngineKind::kRv32,           EngineKind::kRv32Superblock,
+          EngineKind::kRv32Packed};
 }
 
 /// True for the kinds that execute RV32 programs (an Rv32DecodedImage);
@@ -80,10 +82,11 @@ enum class EngineKind : uint8_t {
          kind == EngineKind::kRv32Packed;
 }
 
-/// The six ART-9 kinds, in factory order.
-[[nodiscard]] constexpr std::array<EngineKind, 6> art9_engine_kinds() noexcept {
-  return {EngineKind::kLazy,       EngineKind::kFunctional, EngineKind::kPacked,
-          EngineKind::kSuperblock, EngineKind::kPipeline,   EngineKind::kPackedPipeline};
+/// The seven ART-9 kinds, in factory order.
+[[nodiscard]] constexpr std::array<EngineKind, 7> art9_engine_kinds() noexcept {
+  return {EngineKind::kLazy,  EngineKind::kFunctional, EngineKind::kPacked,
+          EngineKind::kSuperblock, EngineKind::kFleet, EngineKind::kPipeline,
+          EngineKind::kPackedPipeline};
 }
 
 /// The three RV32 kinds, in factory order.
@@ -98,7 +101,7 @@ enum class EngineKind : uint8_t {
 }
 
 /// Stable lower-case name ("lazy", "functional", "packed", "superblock",
-/// "pipeline", "pipeline_packed", "rv32", "rv32_superblock",
+/// "fleet", "pipeline", "pipeline_packed", "rv32", "rv32_superblock",
 /// "rv32_packed") — the vocabulary of art9-run's --engine= flag and the
 /// bench JSON keys.
 [[nodiscard]] std::string_view engine_kind_name(EngineKind kind) noexcept;

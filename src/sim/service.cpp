@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <stdexcept>
 #include <utility>
 #include <variant>
 
 #include "sim/fault_injection.hpp"
+#include "sim/fleet.hpp"
 #include "sim/snapshot.hpp"
 
 namespace art9::sim {
@@ -251,6 +253,124 @@ void execute_job(detail::JobState& st) {
   }
 }
 
+/// Runs one fleet cohort to resolution: every job becomes one lane of a
+/// single FleetSimulator, advanced in per-lane budget slices so
+/// cancellation and deadlines stay cooperative lane by lane.  Outcome
+/// classification and the attached state/stats are bit-identical to
+/// execute_job running each job alone (locked by tests/sim/fleet_test.cpp):
+/// a trapping lane resolves with the stats of its last completed slice —
+/// exactly where a solo engine's mid-slice throw leaves them — and never
+/// tears down its cohort.  Never throws.
+void execute_cohort(const std::vector<std::shared_ptr<detail::JobState>>& group) {
+  const unsigned n = static_cast<unsigned>(group.size());
+  for (const auto& st : group) {
+    st->counters->in_flight.fetch_add(1, std::memory_order_acq_rel);
+    st->started.store(true, std::memory_order_release);
+  }
+
+  std::vector<JobResult> res(n);
+  std::vector<SimStats> acc(n);
+  std::vector<uint64_t> remaining(n);
+  std::vector<uint64_t> slice_len(n);
+  std::vector<char> open(n, 1);
+
+  // Pre-dispatch checks per lane — execute_job's, state-free.
+  const auto now0 = std::chrono::steady_clock::now();
+  for (unsigned i = 0; i < n; ++i) {
+    detail::JobState& st = *group[i];
+    remaining[i] = st.job.run.max_steps;
+    slice_len[i] = st.job.control.slice_steps != 0 ? st.job.control.slice_steps : kDefaultSlice;
+    if (st.cancel.load(std::memory_order_acquire)) {
+      res[i].outcome = JobOutcome::kCancelled;
+      finish(res[i], {}, HaltReason::kMaxCycles);
+      resolve(st, std::move(res[i]));
+      open[i] = 0;
+    } else if (st.has_deadline && now0 >= st.deadline_at) {
+      res[i].outcome = JobOutcome::kDeadlineExceeded;
+      finish(res[i], {}, HaltReason::kMaxCycles);
+      resolve(st, std::move(res[i]));
+      open[i] = 0;
+    }
+  }
+
+  try {
+    // submit_cohort validated the shared ART-9 image, so get<> holds.
+    FleetSimulator sim(std::get<std::shared_ptr<const DecodedImage>>(group.front()->job.image), n);
+
+    auto settle = [&](unsigned i, JobOutcome outcome, HaltReason halt) {
+      res[i].outcome = outcome;
+      finish(res[i], acc[i], halt);
+      try {
+        res[i].run.state = MachineState{sim.unpack_lane(i)};
+      } catch (const std::exception&) {
+        // keep the default state; the outcome + error text still stand
+      }
+      resolve(*group[i], std::move(res[i]));
+      open[i] = 0;
+    };
+
+    std::vector<uint64_t> slice(n, 0);
+    for (;;) {
+      bool any = false;
+      const auto now = std::chrono::steady_clock::now();
+      for (unsigned i = 0; i < n; ++i) {
+        slice[i] = 0;
+        if (!open[i]) continue;
+        // Budget first: a job whose budget is spent reports the cut even
+        // when a late cancel raced in — execute_job's while-loop order.
+        if (remaining[i] == 0) {
+          settle(i, JobOutcome::kBudgetExhausted, HaltReason::kMaxCycles);
+          continue;
+        }
+        detail::JobState& st = *group[i];
+        if (st.cancel.load(std::memory_order_acquire)) {
+          settle(i, JobOutcome::kCancelled, HaltReason::kMaxCycles);
+          continue;
+        }
+        if (st.has_deadline && now >= st.deadline_at) {
+          settle(i, JobOutcome::kDeadlineExceeded, HaltReason::kMaxCycles);
+          continue;
+        }
+        slice[i] = std::min(remaining[i], slice_len[i]);
+        any = true;
+      }
+      if (!any) return;
+
+      const std::vector<FleetSimulator::LaneProgress> progress = sim.advance(slice);
+      for (unsigned i = 0; i < n; ++i) {
+        if (slice[i] == 0 || !open[i]) continue;
+        const FleetSimulator::LaneProgress& p = progress[i];
+        if (p.trapped) {
+          // Stats stop at the previous slice: a solo engine throws
+          // mid-slice, so the partial slice never accumulates there.
+          res[i].error = p.trap_message;
+          settle(i, JobOutcome::kTrapped, HaltReason::kMaxCycles);
+          continue;
+        }
+        acc[i].instructions += p.instructions;
+        acc[i].cycles += p.instructions;  // functional kind: cycles == instructions
+        remaining[i] -= p.instructions;
+        if (p.halted) {
+          settle(i, JobOutcome::kCompleted, HaltReason::kHalted);
+        } else if (p.instructions == 0) {
+          settle(i, JobOutcome::kBudgetExhausted, HaltReason::kMaxCycles);
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    // Scheduler-level failure (cohorts carry no retry controls by
+    // contract): every still-open lane resolves kTrapped.
+    for (unsigned i = 0; i < n; ++i) {
+      if (!open[i]) continue;
+      res[i].outcome = JobOutcome::kTrapped;
+      res[i].error = e.what();
+      finish(res[i], acc[i], HaltReason::kMaxCycles);
+      resolve(*group[i], std::move(res[i]));
+      open[i] = 0;
+    }
+  }
+}
+
 }  // namespace
 
 std::string_view job_outcome_name(JobOutcome outcome) noexcept {
@@ -345,21 +465,27 @@ void SimulationService::ensure_workers() {
 
 void SimulationService::worker_loop() {
   for (;;) {
-    std::shared_ptr<detail::JobState> job;
+    WorkItem work;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and fully drained
-      job = std::move(queue_.front());
+      work = std::move(queue_.front());
       queue_.pop_front();
     }
-    execute_job(*job);
+    if (work.size() == 1) {
+      execute_job(*work.front());
+    } else {
+      execute_cohort(work);
+    }
   }
 }
 
 std::size_t SimulationService::queued() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  std::size_t jobs = 0;
+  for (const WorkItem& item : queue_) jobs += item.size();
+  return jobs;
 }
 
 unsigned SimulationService::worker_count() const {
@@ -367,8 +493,7 @@ unsigned SimulationService::worker_count() const {
   return static_cast<unsigned>(workers_.size());
 }
 
-JobHandle SimulationService::submit(Job job) {
-  validate_job(job);
+std::shared_ptr<detail::JobState> SimulationService::make_state(Job job) {
   auto state = std::make_shared<detail::JobState>();
   state->job = std::move(job);
   state->counters = counters_;
@@ -376,18 +501,66 @@ JobHandle SimulationService::submit(Job job) {
     state->has_deadline = true;
     state->deadline_at = std::chrono::steady_clock::now() + state->job.control.deadline;
   }
+  return state;
+}
+
+void SimulationService::enqueue(WorkItem item) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) throw std::logic_error("SimulationService: submit after shutdown began");
-    state->id = next_id_++;
-    // Counted before the push so submitted() >= resolved() always holds
-    // (a worker may resolve the job before submit() even returns).
-    counters_->submitted.fetch_add(1, std::memory_order_acq_rel);
-    queue_.push_back(state);
+    for (const auto& state : item) {
+      state->id = next_id_++;
+      // Counted before the push so submitted() >= resolved() always holds
+      // (a worker may resolve the job before submit() even returns).
+      counters_->submitted.fetch_add(1, std::memory_order_acq_rel);
+    }
+    queue_.push_back(std::move(item));
     ensure_workers();
   }
   work_cv_.notify_one();
-  return JobHandle(std::move(state));
+}
+
+JobHandle SimulationService::submit(Job job) {
+  validate_job(job);
+  std::shared_ptr<detail::JobState> state = make_state(std::move(job));
+  JobHandle handle(state);
+  enqueue(WorkItem{std::move(state)});
+  return handle;
+}
+
+std::vector<JobHandle> SimulationService::submit_cohort(std::vector<Job> jobs) {
+  if (jobs.empty()) throw std::invalid_argument("SimulationService: empty cohort");
+  for (const Job& job : jobs) {
+    validate_job(job);
+    if (job.kind != EngineKind::kFleet) {
+      throw std::invalid_argument("SimulationService: cohort jobs must use the fleet kind");
+    }
+    if (job.control.checkpoint_every != 0 || job.control.retries != 0 || job.control.fault) {
+      throw std::invalid_argument(
+          "SimulationService: cohort jobs cannot use checkpointing, retries or fault injection");
+    }
+  }
+  // kFleet is an ART-9 kind, so validate_job guarantees this get<> holds.
+  const auto& image = std::get<std::shared_ptr<const DecodedImage>>(jobs.front().image);
+  for (const Job& job : jobs) {
+    if (std::get<std::shared_ptr<const DecodedImage>>(job.image) != image) {
+      throw std::invalid_argument("SimulationService: cohort jobs must share one image");
+    }
+  }
+
+  std::vector<JobHandle> handles;
+  handles.reserve(jobs.size());
+  WorkItem item;
+  for (Job& job : jobs) {
+    item.push_back(make_state(std::move(job)));
+    handles.push_back(JobHandle(item.back()));
+    if (item.size() == FleetSimulator::kMaxLanes) {
+      enqueue(std::move(item));
+      item = WorkItem{};
+    }
+  }
+  if (!item.empty()) enqueue(std::move(item));
+  return handles;
 }
 
 JobHandle SimulationService::submit(std::shared_ptr<const DecodedImage> image, EngineKind kind,
@@ -433,9 +606,33 @@ std::shared_ptr<const rv32::Rv32DecodedImage> SimulationService::add(
 std::vector<JobResult> SimulationService::run_all(BatchStats* batch) {
   const auto start = std::chrono::steady_clock::now();
 
-  std::vector<JobHandle> handles;
-  handles.reserve(jobs_.size());
-  for (const Job& job : jobs_) handles.push_back(submit(job));
+  // Transparent cohort packing: fleet jobs sharing an image and carrying
+  // no checkpoint/retry/fault controls ride submit_cohort (bit-identical
+  // per-job results, one bit-sliced engine per <= kMaxLanes of them);
+  // everything else submits individually.  Handles keep job order.
+  std::vector<JobHandle> handles(jobs_.size());
+  std::map<const DecodedImage*, std::vector<std::size_t>> cohorts;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& job = jobs_[i];
+    const bool packable = job.kind == EngineKind::kFleet &&
+                          job.image.index() == 0 && job.control.checkpoint_every == 0 &&
+                          job.control.retries == 0 && !job.control.fault;
+    if (packable) {
+      cohorts[std::get<std::shared_ptr<const DecodedImage>>(job.image).get()].push_back(i);
+    } else {
+      handles[i] = submit(job);
+    }
+  }
+  for (const auto& entry : cohorts) {
+    const std::vector<std::size_t>& indices = entry.second;
+    std::vector<Job> group;
+    group.reserve(indices.size());
+    for (std::size_t i : indices) group.push_back(jobs_[i]);
+    std::vector<JobHandle> cohort_handles = submit_cohort(std::move(group));
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      handles[indices[k]] = std::move(cohort_handles[k]);
+    }
+  }
 
   std::vector<JobResult> results;
   results.reserve(handles.size());

@@ -39,6 +39,13 @@
 // jobs with add(), collect one JobResult per job in job order.  Unlike
 // the pre-async service it never rethrows a job's exception — a trapping
 // job resolves kTrapped while its siblings' results stay intact.
+//
+// Cohorts: submit_cohort() schedules up to FleetSimulator::kMaxLanes
+// fleet-kind jobs sharing one DecodedImage as a single unit of worker
+// work — one bit-sliced FleetSimulator executes every lane at once, and
+// each job still resolves to its own independent JobResult (outcome,
+// state and stats bit-identical to running it alone).  run_all() packs
+// eligible fleet jobs into cohorts transparently.
 #pragma once
 
 #include <array>
@@ -238,6 +245,18 @@ class SimulationService {
                    EngineKind kind = EngineKind::kRv32, RunOptions run = {},
                    JobControls control = {});
 
+  /// Schedules `jobs` as fleet cohorts: chunks of up to
+  /// FleetSimulator::kMaxLanes jobs become one unit of worker work each,
+  /// executed by a single bit-sliced FleetSimulator (one lane per job).
+  /// Every job still resolves independently — per-lane budget, deadline,
+  /// cancellation and outcome classification all match running the job
+  /// alone bit-for-bit.  Requirements (std::invalid_argument otherwise):
+  /// at least one job; every job uses EngineKind::kFleet and the same
+  /// DecodedImage as the first; no checkpointing, retries or fault
+  /// injection (deadline and slice_steps are honoured per lane).
+  /// Returns one handle per job, in job order.
+  std::vector<JobHandle> submit_cohort(std::vector<Job> jobs);
+
   // --- batch API (compatibility adapter over submit + wait) ----------------
 
   /// Queues `job`.  Returns the job index (== result index).
@@ -295,13 +314,21 @@ class SimulationService {
   /// Submits every queued job and waits: one JobResult per job, in job
   /// order.  The queue is left intact, so run_all() is repeatable.  Job
   /// failures resolve as outcomes (kTrapped and friends) — completed
-  /// siblings keep their results; nothing is rethrown.  `batch`, when
+  /// siblings keep their results; nothing is rethrown.  Fleet-kind jobs
+  /// that share an image and carry no checkpoint/retry/fault controls
+  /// are packed into cohorts transparently (results keep job order and
+  /// stay bit-identical to individual submission).  `batch`, when
   /// non-null, receives aggregate throughput stats.
   [[nodiscard]] std::vector<JobResult> run_all(BatchStats* batch = nullptr);
 
  private:
+  /// One unit of worker work: a solo job (size 1) or a fleet cohort.
+  using WorkItem = std::vector<std::shared_ptr<detail::JobState>>;
+
   void worker_loop();
   void ensure_workers();
+  std::shared_ptr<detail::JobState> make_state(Job job);
+  void enqueue(WorkItem item);
 
   unsigned threads_;
   std::vector<Job> jobs_;  // the add() queue (run_all input)
@@ -310,7 +337,7 @@ class SimulationService {
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<detail::JobState>> queue_;
+  std::deque<WorkItem> queue_;
   std::vector<std::thread> workers_;
   std::size_t next_id_ = 0;
   bool stopping_ = false;

@@ -198,6 +198,39 @@ static_assert(static_cast<uint8_t>(SuperOpKind::kMv) == static_cast<uint8_t>(Dis
           ++plan->fused_load_op;
           continue;
         }
+        // ADDI + ADDI… on the same register: fold the whole run's
+        // immediates into one at translation time.  Exact because
+        // (a+i1)+i2 == a+wrap(i1+i2) mod 3^9 — the intermediate wraps
+        // are immaterial, and the fast path never exposes mid-block
+        // states (a partial budget steps the unfused slow path).
+        if (p.kind == DispatchKind::kAddi && q.kind == DispatchKind::kAddi && q.ta == p.ta) {
+          SuperOp s = from_packed(p, row);
+          s.kind = SuperOpKind::kAddiChain;
+          int32_t folded = pk::wrap(static_cast<int32_t>(p.imm) + q.imm);
+          uint32_t length = 2;
+          uint32_t next = q.next_row;
+          while (consumed + length < SuperblockPlan::kMaxBlockInstructions) {
+            const PackedOp& n = rows[next];
+            if (n.kind != DispatchKind::kAddi || n.ta != p.ta) break;
+            folded = pk::wrap(folded + n.imm);
+            next = n.next_row;
+            ++length;
+          }
+          s.imm = static_cast<int16_t>(folded);  // wrapped, so it fits int16
+          // Refresh the operand planes (from_packed copied the first
+          // link's): backends that add the immediate as a broadcast word
+          // (the fleet tier) read the folded value from here.
+          const BctWord9 folded_word = pk::from_int(folded);
+          s.word_neg = static_cast<uint16_t>(folded_word.neg_plane());
+          s.word_pos = static_cast<uint16_t>(folded_word.pos_plane());
+          s.kind2 = static_cast<uint8_t>(length);
+          plan->ops.push_back(s);
+          blk.retires += length;
+          consumed += length;
+          row = next;
+          ++plan->fused_addi_chain;
+          continue;
+        }
       }
 
       // Plain body op.
@@ -348,7 +381,7 @@ uint64_t SuperblockSimulator::run_blocks(uint64_t max_instructions, bool& halted
       &&h_mv,     &&h_pti,       &&h_nti,  &&h_sti,        &&h_and,  &&h_or,
       &&h_xor,    &&h_add,       &&h_sub,  &&h_sr,         &&h_sl,   &&h_comp,
       &&h_andi,   &&h_addi,      &&h_sri,  &&h_sli,        &&h_lui,  &&h_li,
-      &&h_load,   &&h_store,     &&h_const, &&h_load_op,
+      &&h_load,   &&h_store,     &&h_const, &&h_load_op, &&h_addi_chain,
       &&h_branch, &&h_cmp_branch, &&h_jal, &&h_jalr,
       &&h_fallthrough, &&h_halt, &&h_trap,
   };
@@ -467,6 +500,10 @@ h_load_op: {
   trf[op->ta2] = reg_alu(static_cast<DispatchKind>(op->kind2), trf[op->ta2], trf[op->tb2]);
   ART9_SB_NEXT();
 }
+h_addi_chain:
+  // The whole ADDI run in one value-domain add (immediates pre-folded).
+  trf[op->ta] = pk::add_int(trf[op->ta], op->imm);
+  ART9_SB_NEXT();
 h_branch: {
   const bool eq = trf[op->tb].lst_value() == op->bcond;
   const bool taken = (op->flags & SuperOp::kFlagBne) ? !eq : eq;

@@ -72,8 +72,10 @@ enum class SuperOpKind : uint8_t {
   kLoad,
   kStore,
   // Fused macro-ops (body):
-  kConst,   // LUI+LI / LUI+ADDI — result planes precomputed, retires 2
-  kLoadOp,  // LOAD + dependent register ALU op in one dispatch, retires 2
+  kConst,      // LUI+LI / LUI+ADDI — result planes precomputed, retires 2
+  kLoadOp,     // LOAD + dependent register ALU op in one dispatch, retires 2
+  kAddiChain,  // ADDI+ADDI… on one register — immediates folded at
+               // translation time (exact mod 3^9), retire count in kind2
   // Terminators (exactly one per block, last op of the block):
   kBranch,       // BEQ/BNE (sense in flags)
   kCmpBranch,    // fused COMP + BEQ/BNE, retires 2
@@ -94,8 +96,9 @@ struct SuperOp {
   uint8_t ta = 0;
   uint8_t tb = 0;
   int8_t bcond = 0;  // balanced branch condition (kBranch/kCmpBranch)
-  // Fused second op of kLoadOp (restricted to register-only ALU kinds):
-  uint8_t kind2 = 0;  // DispatchKind value, kMv..kComp
+  // Fused second op of kLoadOp (restricted to register-only ALU kinds),
+  // or the folded-instruction count of kAddiChain:
+  uint8_t kind2 = 0;  // DispatchKind value, kMv..kComp / chain length
   uint8_t ta2 = 0;
   uint8_t tb2 = 0;  // always the load's ta (the dependence being fused)
   uint8_t flags = 0;
@@ -143,6 +146,7 @@ struct SuperblockPlan {
   uint32_t fused_const = 0;
   uint32_t fused_cmp_branch = 0;
   uint32_t fused_load_op = 0;
+  uint32_t fused_addi_chain = 0;  // chains folded (each covers >= 2 ADDIs)
 };
 
 /// The superblock execution backend.  Architectural state is identical to

@@ -1,0 +1,392 @@
+// Bit-sliced (transposed) 9-trit words: 32 independent machines per
+// plane word.  BctWord9 packs ONE machine's word as two 9-bit planes
+// (bit t = trit t); SlicedWord9 transposes that layout — per trit
+// position t it keeps two uint32_t planes whose bit i belongs to lane
+// (machine) i.  A single bitwise plane operation then applies one
+// tritwise gate, one balanced-ternary adder stage, or one comparison
+// step to all 32 lanes at once — SIMD-across-scenarios rather than
+// SIMD-within-a-word.
+//
+// Every kernel here is exact with respect to the scalar reference:
+//   extract_lane(op(a, b), i) == scalar_op(extract_lane(a, i),
+//                                          extract_lane(b, i))
+// for every lane i, which the bitsliced_test suite locks exhaustively
+// for the gates and by randomized sweep for add/sub/compare/shifts.
+//
+// Lanes the caller considers inactive simply carry garbage planes; all
+// state mutation goes through assign_masked / insert_lane so a write to
+// lane i can never perturb lane j.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ternary/bct.hpp"
+
+namespace art9::ternary::bitsliced {
+
+/// Lane capacity of the uint32_t planes (a uint64_t build would double it).
+inline constexpr unsigned kLanes = 32;
+
+/// One 9-trit word per lane, transposed: neg[t] / pos[t] hold trit t of
+/// every lane, bit i = lane i.  Trit encoding per lane matches BctWord9:
+/// (neg,pos) = (0,0) zero, (0,1) +1, (1,0) -1; (1,1) never occurs.
+struct SlicedWord9 {
+  std::array<uint32_t, 9> neg{};
+  std::array<uint32_t, 9> pos{};
+
+  friend bool operator==(const SlicedWord9&, const SlicedWord9&) = default;
+};
+
+/// The same word in every lane.
+inline SlicedWord9 broadcast(const BctWord9& w) {
+  SlicedWord9 out;
+  const uint32_t n = w.neg_plane();
+  const uint32_t p = w.pos_plane();
+  for (unsigned t = 0; t < 9; ++t) {
+    out.neg[t] = 0u - ((n >> t) & 1u);
+    out.pos[t] = 0u - ((p >> t) & 1u);
+  }
+  return out;
+}
+
+/// Un-transposes lane `lane` back into a scalar word.
+inline BctWord9 extract_lane(const SlicedWord9& w, unsigned lane) {
+  uint32_t n = 0;
+  uint32_t p = 0;
+  for (unsigned t = 0; t < 9; ++t) {
+    n |= ((w.neg[t] >> lane) & 1u) << t;
+    p |= ((w.pos[t] >> lane) & 1u) << t;
+  }
+  return BctWord9::from_planes_unchecked(n, p);
+}
+
+/// Writes lane `lane` only; every other lane's bits are untouched.
+inline void insert_lane(SlicedWord9& w, unsigned lane, const BctWord9& v) {
+  const uint32_t bit = 1u << lane;
+  const uint32_t n = v.neg_plane();
+  const uint32_t p = v.pos_plane();
+  for (unsigned t = 0; t < 9; ++t) {
+    w.neg[t] = (w.neg[t] & ~bit) | ((0u - ((n >> t) & 1u)) & bit);
+    w.pos[t] = (w.pos[t] & ~bit) | ((0u - ((p >> t) & 1u)) & bit);
+  }
+}
+
+/// dst = src where mask bit set, dst unchanged elsewhere — the only way
+/// fleet register state is mutated, so inactive lanes are preserved.
+inline void assign_masked(SlicedWord9& dst, const SlicedWord9& src, uint32_t mask) {
+  if (mask == ~0u) {  // full cohort (the lockstep fast case): plain copy
+    dst = src;
+    return;
+  }
+  for (unsigned t = 0; t < 9; ++t) {
+    dst.neg[t] = (dst.neg[t] & ~mask) | (src.neg[t] & mask);
+    dst.pos[t] = (dst.pos[t] & ~mask) | (src.pos[t] & mask);
+  }
+}
+
+/// True iff every masked lane holds the same word — the lockstep-cohort
+/// test that lets per-lane effects (memory rows, jump targets) collapse
+/// to one shared computation.  Lanes outside `mask` are ignored.
+inline bool uniform(const SlicedWord9& w, uint32_t mask) {
+  for (unsigned t = 0; t < 9; ++t) {
+    const uint32_t n = w.neg[t] & mask;
+    const uint32_t p = w.pos[t] & mask;
+    if ((n != 0 && n != mask) || (p != 0 && p != mask)) return false;
+  }
+  return true;
+}
+
+/// dst's lane = src's lane (same index), every other lane untouched — a
+/// sliced-to-sliced single-lane move with no cross-bit shuffling, far
+/// cheaper than extract_lane + insert_lane.
+inline void copy_lane(SlicedWord9& dst, const SlicedWord9& src, unsigned lane) {
+  const uint32_t bit = 1u << lane;
+  for (unsigned t = 0; t < 9; ++t) {
+    dst.neg[t] = (dst.neg[t] & ~bit) | (src.neg[t] & bit);
+    dst.pos[t] = (dst.pos[t] & ~bit) | (src.pos[t] & bit);
+  }
+}
+
+// --- tritwise unary gates (all lanes at once) --------------------------------
+
+/// STI: negate every trit (swap the planes).
+inline SlicedWord9 sti(const SlicedWord9& a) {
+  SlicedWord9 out;
+  out.neg = a.pos;
+  out.pos = a.neg;
+  return out;
+}
+
+/// NTI: -1 -> +1, else -1 (mirrors BctWord9::nti per lane).
+inline SlicedWord9 nti(const SlicedWord9& a) {
+  SlicedWord9 out;
+  for (unsigned t = 0; t < 9; ++t) {
+    out.pos[t] = a.neg[t];
+    out.neg[t] = ~a.neg[t];
+  }
+  return out;
+}
+
+/// PTI: +1 -> -1, else +1 (mirrors BctWord9::pti per lane).
+inline SlicedWord9 pti(const SlicedWord9& a) {
+  SlicedWord9 out;
+  for (unsigned t = 0; t < 9; ++t) {
+    out.neg[t] = a.pos[t];
+    out.pos[t] = ~a.pos[t];
+  }
+  return out;
+}
+
+// --- tritwise binary gates ---------------------------------------------------
+
+/// TAND: tritwise minimum.
+inline SlicedWord9 tand(const SlicedWord9& a, const SlicedWord9& b) {
+  SlicedWord9 out;
+  for (unsigned t = 0; t < 9; ++t) {
+    out.neg[t] = a.neg[t] | b.neg[t];
+    out.pos[t] = a.pos[t] & b.pos[t] & ~out.neg[t];
+  }
+  return out;
+}
+
+/// TOR: tritwise maximum.
+inline SlicedWord9 tor(const SlicedWord9& a, const SlicedWord9& b) {
+  SlicedWord9 out;
+  for (unsigned t = 0; t < 9; ++t) {
+    out.pos[t] = a.pos[t] | b.pos[t];
+    out.neg[t] = a.neg[t] & b.neg[t] & ~out.pos[t];
+  }
+  return out;
+}
+
+/// TXOR: tritwise product (matches BctWord9::txor).
+inline SlicedWord9 txor(const SlicedWord9& a, const SlicedWord9& b) {
+  SlicedWord9 out;
+  for (unsigned t = 0; t < 9; ++t) {
+    out.neg[t] = (a.pos[t] & b.pos[t]) | (a.neg[t] & b.neg[t]);
+    out.pos[t] = (a.pos[t] & b.neg[t]) | (a.neg[t] & b.pos[t]);
+  }
+  return out;
+}
+
+// --- balanced-ternary arithmetic ---------------------------------------------
+
+namespace detail {
+
+/// One balanced-ternary half add of trit planes (an,ap) + (bn,bp):
+/// digit (sn,sp) in {-1,0,+1} and carry (kn,kp) with
+/// a + b == s + 3*(kp - kn).  Carries of a half add are never both set.
+struct HalfSum {
+  uint32_t sn, sp, kn, kp;
+};
+
+inline HalfSum half_add(uint32_t an, uint32_t ap, uint32_t bn, uint32_t bp) {
+  const uint32_t az = ~(an | ap);
+  const uint32_t bz = ~(bn | bp);
+  HalfSum h;
+  h.sp = (ap & bz) | (bp & az) | (an & bn);  // +1: (+1,0), (0,+1), (-1,-1)
+  h.sn = (an & bz) | (bn & az) | (ap & bp);  // -1: (-1,0), (0,-1), (+1,+1)
+  h.kp = ap & bp;                            // +1 + +1 = -1 carry +1
+  h.kn = an & bn;                            // -1 + -1 = +1 carry -1
+  return h;
+}
+
+/// Full add with carry-in: digit (sn,sp) and carry-out (cn,cp).  The two
+/// stage carries can disagree in sign (e.g. +1 +1 -1); the combine masks
+/// cancel them so the carry-out is again a single trit.
+inline HalfSum full_add(uint32_t an, uint32_t ap, uint32_t bn, uint32_t bp, uint32_t cn,
+                        uint32_t cp) {
+  const HalfSum h1 = half_add(an, ap, bn, bp);
+  const HalfSum h2 = half_add(h1.sn, h1.sp, cn, cp);
+  HalfSum out;
+  out.sn = h2.sn;
+  out.sp = h2.sp;
+  out.kp = (h1.kp | h2.kp) & ~(h1.kn | h2.kn);
+  out.kn = (h1.kn | h2.kn) & ~(h1.kp | h2.kp);
+  return out;
+}
+
+}  // namespace detail
+
+/// a + b per lane, exact mod 3^9 (dropping the digit-9 carry IS the wrap
+/// onto the unique balanced residue, so this matches packed::add and
+/// Word<9> addition bit for bit).
+inline SlicedWord9 add(const SlicedWord9& a, const SlicedWord9& b) {
+  SlicedWord9 out;
+  uint32_t cn = 0;
+  uint32_t cp = 0;
+  for (unsigned t = 0; t < 9; ++t) {
+    // Dead carry + zero addend trit in every lane: the digit is a's trit
+    // verbatim.  Small immediates (the dominant ADDI traffic) take this
+    // path for most of the word, and the test is cohort-stable so it
+    // predicts well.
+    if ((cn | cp | b.neg[t] | b.pos[t]) == 0) {
+      out.neg[t] = a.neg[t];
+      out.pos[t] = a.pos[t];
+      continue;
+    }
+    const detail::HalfSum s = detail::full_add(a.neg[t], a.pos[t], b.neg[t], b.pos[t], cn, cp);
+    out.neg[t] = s.sn;
+    out.pos[t] = s.sp;
+    cn = s.kn;
+    cp = s.kp;
+  }
+  return out;
+}
+
+/// a - b per lane: add with b's planes swapped (balanced negation is free).
+inline SlicedWord9 sub(const SlicedWord9& a, const SlicedWord9& b) {
+  SlicedWord9 nb;
+  nb.neg = b.pos;
+  nb.pos = b.neg;
+  return add(a, nb);
+}
+
+/// Per-lane sign of the UNWRAPPED difference to_int(a) - to_int(b):
+/// `gt` bit i set iff lane i has a > b, `lt` iff a < b (equal lanes set
+/// neither).  Keeps all nine digits of a + (-b) plus the final carry as
+/// digit 9 and sign-scans from the most significant digit down, which is
+/// exact because |to_int| <= 9841 < 3^9.
+struct CompareMasks {
+  uint32_t gt = 0;
+  uint32_t lt = 0;
+};
+
+inline CompareMasks compare(const SlicedWord9& a, const SlicedWord9& b) {
+  std::array<uint32_t, 10> dn;
+  std::array<uint32_t, 10> dp;
+  uint32_t cn = 0;
+  uint32_t cp = 0;
+  for (unsigned t = 0; t < 9; ++t) {
+    // Dead carry + zero subtrahend trit everywhere: digit = a's trit.
+    if ((cn | cp | b.neg[t] | b.pos[t]) == 0) {
+      dn[t] = a.neg[t];
+      dp[t] = a.pos[t];
+      continue;
+    }
+    // b's planes swapped: a + (-b).
+    const detail::HalfSum s = detail::full_add(a.neg[t], a.pos[t], b.pos[t], b.neg[t], cn, cp);
+    dn[t] = s.sn;
+    dp[t] = s.sp;
+    cn = s.kn;
+    cp = s.kp;
+  }
+  dn[9] = cn;  // final carry = digit 9 of the unwrapped difference
+  dp[9] = cp;
+  CompareMasks out;
+  uint32_t undecided = ~0u;
+  for (int t = 9; t >= 0; --t) {
+    out.gt |= undecided & dp[size_t(t)];
+    out.lt |= undecided & dn[size_t(t)];
+    undecided &= ~(dp[size_t(t)] | dn[size_t(t)]);
+  }
+  return out;
+}
+
+/// COMP result word per lane: trit 0 = sign(to_int(a) - to_int(b)), all
+/// other trits zero — matches packed::comp_word.
+inline SlicedWord9 comp(const SlicedWord9& a, const SlicedWord9& b) {
+  const CompareMasks m = compare(a, b);
+  SlicedWord9 out;
+  out.pos[0] = m.gt;
+  out.neg[0] = m.lt;
+  return out;
+}
+
+// --- shifts ------------------------------------------------------------------
+
+/// Uniform logical shift toward the LST by `amount` trits; amounts >= 9
+/// clear the word (the BctWord9::shr contract, so a negative immediate
+/// cast to a huge unsigned clears too).
+inline SlicedWord9 shr(const SlicedWord9& a, unsigned amount) {
+  SlicedWord9 out;
+  if (amount >= 9) return out;  // also guards t + amount wrap-around
+  for (unsigned t = 0; t + amount < 9; ++t) {
+    out.neg[t] = a.neg[t + amount];
+    out.pos[t] = a.pos[t + amount];
+  }
+  return out;
+}
+
+/// Uniform logical shift away from the LST; amounts >= 9 clear.
+inline SlicedWord9 shl(const SlicedWord9& a, unsigned amount) {
+  SlicedWord9 out;
+  for (unsigned t = 0; t < 9; ++t) {
+    if (t >= amount && amount < 9) {
+      out.neg[t] = a.neg[t - amount];
+      out.pos[t] = a.pos[t - amount];
+    }
+  }
+  return out;
+}
+
+namespace detail {
+
+/// Per-lane level masks for one shift-amount trit of `amt`: a trit value
+/// of -1/0/+1 selects level 0/1/2 (packed::shift_amount's trit+1).
+struct LevelMasks {
+  uint32_t l0, l1, l2;
+};
+
+inline LevelMasks level_masks(const SlicedWord9& amt, unsigned trit) {
+  return LevelMasks{amt.neg[trit], ~(amt.neg[trit] | amt.pos[trit]), amt.pos[trit]};
+}
+
+}  // namespace detail
+
+/// Per-lane variable shift toward the LST: lane i shifts by
+/// packed::shift_amount(amt lane i) = 3*(trit1+1) + (trit0+1) in [0, 8].
+/// Two masked barrel stages: units {0,1,2} then threes {0,3,6}.
+inline SlicedWord9 shr_var(const SlicedWord9& a, const SlicedWord9& amt) {
+  const detail::LevelMasks u = detail::level_masks(amt, 0);
+  const detail::LevelMasks h = detail::level_masks(amt, 1);
+  SlicedWord9 stage;
+  for (unsigned t = 0; t < 9; ++t) {
+    stage.neg[t] = (u.l0 & a.neg[t]) | (t + 1 < 9 ? u.l1 & a.neg[t + 1] : 0u) |
+                   (t + 2 < 9 ? u.l2 & a.neg[t + 2] : 0u);
+    stage.pos[t] = (u.l0 & a.pos[t]) | (t + 1 < 9 ? u.l1 & a.pos[t + 1] : 0u) |
+                   (t + 2 < 9 ? u.l2 & a.pos[t + 2] : 0u);
+  }
+  SlicedWord9 out;
+  for (unsigned t = 0; t < 9; ++t) {
+    out.neg[t] = (h.l0 & stage.neg[t]) | (t + 3 < 9 ? h.l1 & stage.neg[t + 3] : 0u) |
+                 (t + 6 < 9 ? h.l2 & stage.neg[t + 6] : 0u);
+    out.pos[t] = (h.l0 & stage.pos[t]) | (t + 3 < 9 ? h.l1 & stage.pos[t + 3] : 0u) |
+                 (t + 6 < 9 ? h.l2 & stage.pos[t + 6] : 0u);
+  }
+  return out;
+}
+
+/// Per-lane variable shift away from the LST (same amount encoding).
+inline SlicedWord9 shl_var(const SlicedWord9& a, const SlicedWord9& amt) {
+  const detail::LevelMasks u = detail::level_masks(amt, 0);
+  const detail::LevelMasks h = detail::level_masks(amt, 1);
+  SlicedWord9 stage;
+  for (unsigned t = 0; t < 9; ++t) {
+    stage.neg[t] = (u.l0 & a.neg[t]) | (t >= 1 ? u.l1 & a.neg[t - 1] : 0u) |
+                   (t >= 2 ? u.l2 & a.neg[t - 2] : 0u);
+    stage.pos[t] = (u.l0 & a.pos[t]) | (t >= 1 ? u.l1 & a.pos[t - 1] : 0u) |
+                   (t >= 2 ? u.l2 & a.pos[t - 2] : 0u);
+  }
+  SlicedWord9 out;
+  for (unsigned t = 0; t < 9; ++t) {
+    out.neg[t] = (h.l0 & stage.neg[t]) | (t >= 3 ? h.l1 & stage.neg[t - 3] : 0u) |
+                 (t >= 6 ? h.l2 & stage.neg[t - 6] : 0u);
+    out.pos[t] = (h.l0 & stage.pos[t]) | (t >= 3 ? h.l1 & stage.pos[t - 3] : 0u) |
+                 (t >= 6 ? h.l2 & stage.pos[t - 6] : 0u);
+  }
+  return out;
+}
+
+// --- condition evaluation ----------------------------------------------------
+
+/// Lanes whose least-significant trit equals `value` (-1, 0 or +1) — the
+/// branch-condition mask, one bitwise op for all 32 lanes.
+inline uint32_t lst_eq_mask(const SlicedWord9& w, int value) {
+  if (value < 0) return w.neg[0];
+  if (value > 0) return w.pos[0];
+  return ~(w.neg[0] | w.pos[0]);
+}
+
+}  // namespace art9::ternary::bitsliced

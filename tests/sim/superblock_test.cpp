@@ -179,6 +179,54 @@ TEST(SuperblockParity, EveryOpcodeCorpusBitIdenticalAtEveryBudget) {
                                 full.instructions + 2);
 }
 
+TEST(SuperblockPlan, AddiChainsFoldAcrossRunsOfOneRegister) {
+  // Three fusable runs reachable from the entry: a 4-deep chain on T1, a
+  // 2-deep chain on T2, and a pair on T3 split by an op on another
+  // register (the T4 write breaks the chain).  Every TIM row gets its
+  // own block, so suffixes of each chain re-fuse in later-entry blocks —
+  // the counter is a lower bound of 3, not an exact 3.
+  const SuperblockSimulator sim(isa::assemble(R"(
+    ADDI T1, 1
+    ADDI T1, 2
+    ADDI T1, 3
+    ADDI T1, -4
+    ADDI T2, 13
+    ADDI T2, -11
+    ADDI T3, 5
+    ADDI T3, 6
+    ADDI T4, 9
+    ADDI T3, 7
+    HALT
+  )"));
+  EXPECT_GE(sim.plan().fused_addi_chain, 3u);
+}
+
+TEST(SuperblockParity, AddiChainBitIdenticalAtEveryBudget) {
+  // Budgets dying inside a folded chain must still observe every
+  // intermediate architectural state (the partial block steps on the
+  // per-instruction tail) — including wrap-around past +-9841.
+  const isa::Program program = isa::assemble(R"(
+    LIMM  T1, 9835
+    ADDI  T1, 13
+    ADDI  T1, 13
+    ADDI  T1, 13
+    ADDI  T2, -3
+    ADDI  T2, -4
+    ADDI  T2, -5
+    ADD   T2, T1
+    HALT
+  )");
+  const SuperblockSimulator sim(program);
+  EXPECT_GT(sim.plan().fused_addi_chain, 0u);
+  const SimStats full = make_engine(EngineKind::kFunctional, program)->run_stats();
+  ASSERT_EQ(full.halt, HaltReason::kHalted);
+  expect_budget_sweep_identical(EngineKind::kFunctional, EngineKind::kSuperblock, program,
+                                full.instructions + 2);
+  // The fleet backend shares the plan (and the folded fast path).
+  expect_budget_sweep_identical(EngineKind::kFunctional, EngineKind::kFleet, program,
+                                full.instructions + 2);
+}
+
 TEST(SuperblockParity, TinyBudgetAgainstHaltTerminatedBlock) {
   // Budget dying exactly at the block body's end must report kMaxCycles
   // without attempting the halt terminator (the min_budget clamp); one

@@ -75,4 +75,47 @@ TEST(Art9RunCli, HelpDocumentsTheSuperblockEngines) {
   EXPECT_NE(help.stdout_text.find("rv32_superblock"), std::string::npos);
 }
 
+TEST(Art9RunCli, FleetEngineNameParses) {
+  // Exit 1 = the engine name parsed and only the input load failed.
+  EXPECT_EQ(run(std::string(ART9_RUN_BIN) + " --engine=fleet /nonexistent/prog.t9").exit_code, 1);
+}
+
+TEST(Art9RunCli, LanesRequiresTheFleetEngine) {
+  // --lanes maps onto submit_cohort, which only packs fleet jobs: any
+  // other engine is a usage error, caught before the input is touched.
+  EXPECT_EQ(
+      run(std::string(ART9_RUN_BIN) + " --engine=packed --lanes 4 /nonexistent/prog.t9").exit_code,
+      2);
+  EXPECT_EQ(run(std::string(ART9_RUN_BIN) + " --lanes 4 /nonexistent/prog.t9").exit_code, 2);
+}
+
+TEST(Art9RunCli, LanesRejectsTheRecoveryControls) {
+  // Cohort lanes share one packed word, so the per-job recovery
+  // machinery (checkpoints, retries, fault drills) cannot apply.
+  EXPECT_EQ(run(std::string(ART9_RUN_BIN) +
+                " --engine=fleet --lanes 4 --retries 2 /nonexistent/prog.t9")
+                .exit_code,
+            2);
+  EXPECT_EQ(run(std::string(ART9_RUN_BIN) +
+                " --engine=fleet --lanes 4 --checkpoint-every 100 /nonexistent/prog.t9")
+                .exit_code,
+            2);
+  EXPECT_EQ(run(std::string(ART9_RUN_BIN) +
+                " --engine=fleet --lanes 4 --fault-at 10 /nonexistent/prog.t9")
+                .exit_code,
+            2);
+}
+
+TEST(Art9RunCli, LanesMustBePositive) {
+  EXPECT_EQ(
+      run(std::string(ART9_RUN_BIN) + " --engine=fleet --lanes -3 /nonexistent/prog.t9").exit_code,
+      2);
+}
+
+TEST(Art9RunCli, HelpDocumentsTheFleetCohortMode) {
+  const RunOutput help = run(std::string(ART9_RUN_BIN) + " --help");
+  EXPECT_NE(help.stdout_text.find("fleet"), std::string::npos);
+  EXPECT_NE(help.stdout_text.find("--lanes"), std::string::npos);
+}
+
 }  // namespace

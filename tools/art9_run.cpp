@@ -4,8 +4,9 @@
 // (and exposes the service's deadline / checkpoint-retry / fault-drill
 // controls).
 //
-//   art9-run program.t9 [--engine=lazy|functional|packed|superblock|pipeline|pipeline_packed]
-//            [--max-cycles N] [--dump-regs] [--dump-mem LO HI]
+//   art9-run program.t9 [--engine=lazy|functional|packed|superblock|fleet|pipeline|
+//                                  pipeline_packed]
+//            [--lanes N] [--max-cycles N] [--dump-regs] [--dump-mem LO HI]
 //            [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]
 //            [--deadline-ms N] [--checkpoint-every N] [--retries N]
 //            [--fault-at N] [--fault-seed N]
@@ -19,12 +20,14 @@
 //   0 completed   3 trapped            4 budget_exhausted
 //   5 deadline_exceeded   6 cancelled   7 faulted
 //   1 load/internal error   2 usage error
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "isa/image_io.hpp"
 #include "rv32/rv32_assembler.hpp"
@@ -40,8 +43,9 @@ namespace {
 int usage(bool help = false) {
   std::fprintf(help ? stdout : stderr,
                "usage: art9-run <program.t9>\n"
-               "                [--engine=lazy|functional|packed|superblock|pipeline|\n"
+               "                [--engine=lazy|functional|packed|superblock|fleet|pipeline|\n"
                "                           pipeline_packed]\n"
+               "                [--lanes N]\n"
                "                [--max-cycles N] [--dump-regs] [--dump-mem LO HI]\n"
                "                [--no-forwarding] [--branch-in-ex] [--stats] [--trace N]\n"
                "                [--deadline-ms N] [--checkpoint-every N] [--retries N]\n"
@@ -52,7 +56,11 @@ int usage(bool help = false) {
                "the same 5-stage model on plane-packed words; superblock and\n"
                "rv32_superblock run the block translation tier (fused macro-ops,\n"
                "block-chained dispatch) over the fastest functional datapath of each\n"
-               "ISA; --trace and the\n"
+               "ISA; fleet runs the bit-sliced backend (32 machines per plane word) —\n"
+               "pair it with --lanes N to run N copies of the program as one\n"
+               "service cohort, reporting a per-lane outcome summary and exiting\n"
+               "with the worst lane's code (--lanes needs --engine=fleet and is\n"
+               "incompatible with the checkpoint/retry/fault flags); --trace and the\n"
                "microarchitecture switches apply to the pipeline engines only.\n"
                "The rv32 engines assemble RV32I(+M) source (rv32_packed holds its words\n"
                "as 21-trit plane pairs) and dump x-registers / RAM words.\n"
@@ -138,6 +146,7 @@ int main(int argc, char** argv) {
   int64_t mem_lo = 0;
   int64_t mem_hi = -1;
   long long trace_cycles = 0;
+  long long lanes = 0;  // 0 = no --lanes flag (solo job)
   uint64_t max_cycles = 100'000'000;
   long long fault_at = 0;
   long long fault_seed = 0;
@@ -154,6 +163,8 @@ int main(int argc, char** argv) {
         return usage();
       }
       kind = *parsed;
+    } else if (arg == "--lanes" && i + 1 < argc) {
+      lanes = std::atoll(argv[++i]);
     } else if (arg == "--max-cycles" && i + 1 < argc) {
       max_cycles = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
@@ -188,6 +199,26 @@ int main(int argc, char** argv) {
     }
   }
   if (input.empty()) return usage();
+  if (lanes != 0) {
+    // The cohort path maps straight onto SimulationService::submit_cohort,
+    // which owns the same restrictions: fleet jobs only, no
+    // checkpoint/retry/fault machinery inside a packed word.
+    if (kind != art9::sim::EngineKind::kFleet) {
+      std::fprintf(stderr, "art9-run: --lanes needs --engine=fleet\n");
+      return usage();
+    }
+    if (lanes < 1) {
+      std::fprintf(stderr, "art9-run: --lanes must be >= 1\n");
+      return usage();
+    }
+    if (controls.checkpoint_every != 0 || controls.retries != 0 || fault_at > 0 ||
+        fault_seed > 0) {
+      std::fprintf(stderr,
+                   "art9-run: --lanes cannot be combined with --checkpoint-every, "
+                   "--retries or --fault-*\n");
+      return usage();
+    }
+  }
 
   try {
     if (trace_cycles > 0) {
@@ -220,6 +251,37 @@ int main(int argc, char** argv) {
     // One job through the service: the same scheduling, outcome and
     // recovery machinery the batch/network front ends use.
     art9::sim::SimulationService service(1);
+
+    if (lanes > 1) {
+      // --lanes: N copies of the program as one bit-sliced cohort.  Every
+      // lane gets its own JobResult; the dump flags read lane 0 and the
+      // exit code is the worst lane's outcome class.
+      std::vector<art9::sim::SimulationService::Job> jobs(
+          static_cast<std::size_t>(lanes),
+          art9::sim::SimulationService::Job{image, kind, art9::sim::RunOptions{max_cycles},
+                                            options, controls});
+      const std::vector<art9::sim::JobHandle> handles = service.submit_cohort(std::move(jobs));
+      int worst = 0;
+      unsigned long long lanes_completed = 0;
+      for (std::size_t lane = 0; lane < handles.size(); ++lane) {
+        const art9::sim::JobResult& lane_result = handles[lane].result();
+        std::printf("lane=%zu outcome=%s instructions=%llu\n", lane,
+                    std::string(art9::sim::job_outcome_name(lane_result.outcome)).c_str(),
+                    static_cast<unsigned long long>(lane_result.run.stats.instructions));
+        if (!lane_result.error.empty()) {
+          std::fprintf(stderr, "art9-run: lane %zu: %s\n", lane, lane_result.error.c_str());
+        }
+        if (lane_result.outcome == art9::sim::JobOutcome::kCompleted) ++lanes_completed;
+        worst = std::max(worst, outcome_exit_code(lane_result.outcome));
+      }
+      std::printf("engine=%s lanes=%zu completed=%llu\n",
+                  std::string(art9::sim::engine_kind_name(kind)).c_str(), handles.size(),
+                  lanes_completed);
+      if (want_regs) dump_regs(handles.front().result().run.state);
+      if (mem_hi >= mem_lo) dump_mem(handles.front().result().run.state, mem_lo, mem_hi);
+      return worst;
+    }
+
     const art9::sim::JobHandle handle = service.submit(art9::sim::SimulationService::Job{
         image, kind, art9::sim::RunOptions{max_cycles}, options, controls});
     const art9::sim::JobResult& result = handle.result();
